@@ -1,0 +1,170 @@
+// Package bench holds the repository-level benchmark suite: one testing.B
+// benchmark per paper table/figure (each drives the corresponding
+// experiment at a reduced scale; run `go run ./cmd/phocus-bench -scale 1`
+// for paper-sized datasets) plus micro-benchmarks of the core operations
+// whose costs the paper's complexity analysis discusses.
+package bench
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"phocus/internal/celf"
+	"phocus/internal/dataset"
+	"phocus/internal/experiments"
+	"phocus/internal/lsh"
+	"phocus/internal/par"
+	"phocus/internal/sparsify"
+)
+
+// benchCfg keeps per-iteration work small enough for `go test -bench`.
+func benchCfg() experiments.Config {
+	return experiments.Config{Scale: 0.02, Seed: 0}
+}
+
+func benchmarkExperiment(b *testing.B, name string) {
+	run := experiments.Find(name)
+	if run == nil {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := run(benchCfg(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Datasets(b *testing.B) { benchmarkExperiment(b, "table2") }
+func BenchmarkFig5a(b *testing.B)          { benchmarkExperiment(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B)          { benchmarkExperiment(b, "fig5b") }
+func BenchmarkFig5c(b *testing.B)          { benchmarkExperiment(b, "fig5c") }
+func BenchmarkFig5d(b *testing.B)          { benchmarkExperiment(b, "fig5d") }
+func BenchmarkFig5e(b *testing.B)          { benchmarkExperiment(b, "fig5e") }
+func BenchmarkFig5f(b *testing.B)          { benchmarkExperiment(b, "fig5f") }
+func BenchmarkFig5g(b *testing.B)          { benchmarkExperiment(b, "fig5g") }
+func BenchmarkFig5h(b *testing.B)          { benchmarkExperiment(b, "fig5h") }
+func BenchmarkSmallBudget(b *testing.B)    { benchmarkExperiment(b, "smallbudget") }
+func BenchmarkJudgments(b *testing.B)      { benchmarkExperiment(b, "judgments") }
+func BenchmarkOnlineBound(b *testing.B)    { benchmarkExperiment(b, "onlinebound") }
+func BenchmarkTauSweep(b *testing.B)       { benchmarkExperiment(b, "tau") }
+func BenchmarkAblationUCvsCB(b *testing.B) { benchmarkExperiment(b, "ablation") }
+func BenchmarkCompression(b *testing.B)    { benchmarkExperiment(b, "compression") }
+func BenchmarkStreaming(b *testing.B)      { benchmarkExperiment(b, "streaming") }
+func BenchmarkCaching(b *testing.B)        { benchmarkExperiment(b, "caching") }
+func BenchmarkDynamic(b *testing.B)        { benchmarkExperiment(b, "dynamic") }
+func BenchmarkScaling(b *testing.B)        { benchmarkExperiment(b, "scaling") }
+func BenchmarkVariance(b *testing.B)       { benchmarkExperiment(b, "variance") }
+
+// ---- micro-benchmarks of the core operations ----
+
+func benchInstance(b *testing.B, photos int) *dataset.Dataset {
+	b.Helper()
+	ds, err := dataset.GeneratePublic(dataset.PublicSpec{
+		Name: "bench", NumPhotos: photos, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ds.SetBudget(0.2 * ds.Instance.TotalCost()); err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkEvaluatorGain measures one marginal-gain evaluation, the cost
+// unit of the paper's Ω(B·n⁴) vs O(B·n) comparison.
+func BenchmarkEvaluatorGain(b *testing.B) {
+	ds := benchInstance(b, 1000)
+	e := par.NewEvaluator(ds.Instance)
+	rng := rand.New(rand.NewSource(1))
+	for p := 0; p < 50; p++ {
+		e.Add(par.PhotoID(rng.Intn(1000)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Gain(par.PhotoID(i % 1000))
+	}
+}
+
+// BenchmarkLazyGreedy solves P-1K-sized instances end to end with CELF.
+func BenchmarkLazyGreedy(b *testing.B) {
+	ds := benchInstance(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := celf.LazyGreedy(ds.Instance, celf.CB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEagerGreedy is the non-lazy ablation counterpart.
+func BenchmarkEagerGreedy(b *testing.B) {
+	ds := benchInstance(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := celf.EagerGreedy(ds.Instance, celf.CB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSparsifyExact measures all-pairs τ-sparsification.
+func BenchmarkSparsifyExact(b *testing.B) {
+	ds := benchInstance(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparsify.Exact(ds.Instance, 0.75); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSparsifyLSH measures SimHash-based sparsification of the same
+// instance; the gap versus BenchmarkSparsifyExact is the paper's "roughly
+// linear time" claim in action.
+func BenchmarkSparsifyLSH(b *testing.B) {
+	ds := benchInstance(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := sparsify.WithLSH(rng, ds.Instance, ds.CtxVectors, 0.75); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimHashSignature measures signature computation for one
+// 32-dimensional embedding.
+func BenchmarkSimHashSignature(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	h := lsh.New(rng, 32, 16, 8)
+	ds := benchInstance(b, 100)
+	v := ds.Global[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Signature(v)
+	}
+}
+
+// BenchmarkOnlineBoundP1K measures the a-posteriori certificate pass.
+func BenchmarkOnlineBoundP1K(b *testing.B) {
+	ds := benchInstance(b, 1000)
+	var s celf.Solver
+	sol, err := s.Solve(ds.Instance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		celf.OnlineBound(ds.Instance, sol.Photos)
+	}
+}

@@ -1,0 +1,134 @@
+// Command phocus-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	phocus-bench -exp all -scale 0.2
+//	phocus-bench -exp fig5a -scale 1 -v
+//	phocus-bench -list
+//
+// Scale 1 reproduces the full Table 2 dataset sizes; smaller scales shrink
+// every dataset proportionally, preserving the comparative shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"phocus/internal/experiments"
+	"phocus/internal/metrics"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale   = flag.Float64("scale", 0.2, "dataset scale in (0, 1]; 1 = paper-sized datasets")
+		seed    = flag.Int64("seed", 0, "seed offset for all generators")
+		tau     = flag.Float64("tau", 0.75, "sparsification threshold used by PHOcus runs")
+		verbose = flag.Bool("v", false, "log per-run progress to stderr")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		html    = flag.String("html", "", "also write a standalone HTML report to this file")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Tau: *tau}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	var sections []metrics.Section
+	run := func(name, desc string, r experiments.Runner) error {
+		start := time.Now()
+		var body strings.Builder
+		out := io.Writer(os.Stdout)
+		if *html != "" {
+			out = io.MultiWriter(os.Stdout, &body)
+		}
+		if err := r(cfg, out); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *html != "" {
+			sections = append(sections, metrics.Section{ID: name, Title: desc, Body: body.String()})
+		}
+		return nil
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *exp == "all" {
+		for _, e := range experiments.Registry() {
+			if err := run(e.Name, e.Desc, e.Run); err != nil {
+				fail(err)
+			}
+		}
+	} else {
+		r := experiments.Find(*exp)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		if err := run(*exp, *exp, r); err != nil {
+			fail(err)
+		}
+	}
+
+	if *html != "" {
+		f, err := os.Create(*html)
+		if err != nil {
+			fail(err)
+		}
+		title := fmt.Sprintf("PHOcus reproduction — scale %.2f", cfg.Scale)
+		if err := metrics.WriteHTMLReport(f, title, sections); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("HTML report written to %s\n", *html)
+	}
+}

@@ -1,0 +1,75 @@
+// Command phocus-datagen emits synthetic PAR instances as JSON, in the
+// format cmd/phocus and cmd/phocus-server consume.
+//
+// Usage:
+//
+//	phocus-datagen -kind public -photos 1000 -seed 1 > p1k.json
+//	phocus-datagen -kind ec -domain Fashion -products 500 -queries 50 > fashion.json
+//
+// Note the JSON enumerates pairwise similarities, so this tool is meant for
+// CLI-scale instances; the benchmark harness generates the large datasets
+// in-process instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"phocus/internal/dataset"
+	"phocus/internal/par"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "public", "dataset family: public or ec")
+		photos   = flag.Int("photos", 1000, "public: number of photos")
+		products = flag.Int("products", 500, "ec: catalog size")
+		queries  = flag.Int("queries", 50, "ec: number of query-derived subsets")
+		topK     = flag.Int("topk", 25, "ec: results per query")
+		domain   = flag.String("domain", "Fashion", "ec: Fashion, Electronics or 'Home & Garden'")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		budget   = flag.Float64("budget", 0, "budget in bytes (0 = 20% of total size)")
+		format   = flag.String("format", "json", "output format: json or binary")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *kind, *photos, *products, *queries, *topK, *domain, *seed, *budget, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "phocus-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, kind string, photos, products, queries, topK int, domain string, seed int64, budget float64, format string) error {
+	var ds *dataset.Dataset
+	var err error
+	switch kind {
+	case "public":
+		ds, err = dataset.GeneratePublic(dataset.PublicSpec{
+			Name: fmt.Sprintf("P-%d", photos), NumPhotos: photos, Seed: seed,
+		})
+	case "ec":
+		ds, err = dataset.GenerateEC(dataset.ECSpec{
+			Domain: domain, NumProducts: products, NumQueries: queries, TopK: topK, Seed: seed,
+		})
+	default:
+		err = fmt.Errorf("unknown -kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	if budget == 0 {
+		budget = 0.2 * ds.Instance.TotalCost()
+	}
+	if err := ds.SetBudget(budget); err != nil {
+		return err
+	}
+	switch format {
+	case "json":
+		return par.WriteJSON(w, ds.Instance)
+	case "binary":
+		return par.WriteBinary(w, ds.Instance)
+	default:
+		return fmt.Errorf("unknown -format %q", format)
+	}
+}

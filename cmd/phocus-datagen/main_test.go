@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"phocus/internal/par"
+)
+
+func TestRunPublicJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "public", 50, 0, 0, 0, "", 3, 0, "json"); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := par.ReadJSON(&out)
+	if err != nil {
+		t.Fatalf("output not loadable: %v", err)
+	}
+	if inst.NumPhotos() != 50 {
+		t.Errorf("photos = %d, want 50", inst.NumPhotos())
+	}
+	// Default budget: 20% of total.
+	if ratio := inst.Budget / inst.TotalCost(); ratio < 0.19 || ratio > 0.21 {
+		t.Errorf("budget ratio %.3f, want ≈0.2", ratio)
+	}
+}
+
+func TestRunECBinary(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "ec", 0, 120, 12, 8, "Electronics", 4, 5e6, "binary"); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := par.ReadBinary(&out)
+	if err != nil {
+		t.Fatalf("binary output not loadable: %v", err)
+	}
+	if inst.Budget != 5e6 {
+		t.Errorf("budget %.0f, want explicit 5e6", inst.Budget)
+	}
+	if len(inst.Subsets) == 0 {
+		t.Error("no subsets generated")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "nope", 10, 0, 0, 0, "", 1, 0, "json"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run(&out, "public", 50, 0, 0, 0, "", 1, 0, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run(&out, "ec", 0, 100, 10, 8, "Toys", 1, 0, "json"); err == nil {
+		t.Error("unknown domain accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Command phocus-server exposes the PHOcus Solver over HTTP — the Go
+// counterpart of the paper's Python/Flask solver service (Section 5.1).
+//
+//	POST /solve?algo=celf&tau=0.75&budget=5e6   body: instance JSON
+//	GET  /healthz
+//
+// The response is a JSON document listing the photos to retain and archive
+// with the achieved score and the online optimality certificate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"phocus/internal/celf"
+	"phocus/internal/exact"
+	"phocus/internal/par"
+	"phocus/internal/sparsify"
+	"phocus/internal/sviridenko"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logging(logger, newMux()),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute, // large instances upload slowly
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		logger.Info("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Error("shutdown", "err", err)
+		}
+	}()
+
+	logger.Info("phocus-server listening", "addr", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// logging wraps the mux with per-request structured logs.
+func logging(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		lw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(lw, r)
+		logger.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", lw.status, "duration", time.Since(start).Round(time.Millisecond))
+	})
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+// WriteHeader records the status before delegating.
+func (s *statusWriter) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// newMux builds the HTTP API.
+func newMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /solve", handleSolve)
+	return mux
+}
+
+// solveResponse is the wire format of a solver result.
+type solveResponse struct {
+	Algorithm   string        `json:"algorithm"`
+	Retain      []par.PhotoID `json:"retain"`
+	Archive     []par.PhotoID `json:"archive"`
+	Score       float64       `json:"score"`
+	Cost        float64       `json:"cost"`
+	Budget      float64       `json:"budget"`
+	OnlineBound float64       `json:"online_bound"`
+}
+
+func handleSolve(w http.ResponseWriter, r *http.Request) {
+	inst, err := par.ReadJSON(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	if b := q.Get("budget"); b != "" {
+		v, err := strconv.ParseFloat(b, 64)
+		if err != nil || v <= 0 {
+			http.Error(w, "invalid budget", http.StatusBadRequest)
+			return
+		}
+		inst.Budget = v
+		if err := inst.Finalize(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+
+	solveInst := inst
+	if t := q.Get("tau"); t != "" {
+		tau, err := strconv.ParseFloat(t, 64)
+		if err != nil || tau < 0 || tau > 1 {
+			http.Error(w, "invalid tau", http.StatusBadRequest)
+			return
+		}
+		if tau > 0 {
+			res, err := sparsify.Exact(inst, tau)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			solveInst = res.Instance
+		}
+	}
+
+	var solver par.Solver
+	switch algo := q.Get("algo"); algo {
+	case "", "celf":
+		solver = &celf.Solver{}
+	case "sviridenko":
+		solver = &sviridenko.Solver{}
+	case "exact":
+		solver = &exact.Solver{MaxNodes: 50_000_000}
+	default:
+		http.Error(w, fmt.Sprintf("unknown algo %q", algo), http.StatusBadRequest)
+		return
+	}
+
+	sol, err := solver.Solve(solveInst)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sol.Score = par.ScoreFast(inst, sol.Photos)
+
+	kept := make([]bool, inst.NumPhotos())
+	for _, p := range sol.Photos {
+		kept[p] = true
+	}
+	archive := []par.PhotoID{}
+	for p := 0; p < inst.NumPhotos(); p++ {
+		if !kept[p] {
+			archive = append(archive, par.PhotoID(p))
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(solveResponse{
+		Algorithm:   solver.Name(),
+		Retain:      sol.Photos,
+		Archive:     archive,
+		Score:       sol.Score,
+		Cost:        sol.Cost,
+		Budget:      inst.Budget,
+		OnlineBound: celf.OnlineBound(inst, sol.Photos),
+	})
+}

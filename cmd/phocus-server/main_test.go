@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"phocus/internal/par"
+)
+
+func instanceBody(t *testing.T, budget float64) *bytes.Buffer {
+	t.Helper()
+	inst := par.Figure1Instance()
+	inst.Budget = budget
+	if err := inst.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := par.WriteJSON(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/solve?algo=celf", "application/json", instanceBody(t, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != "PHOcus" {
+		t.Errorf("algorithm %q", out.Algorithm)
+	}
+	// Figure 3's trace: p1, p6, p2 retained at budget 3.0; score 13.25.
+	if len(out.Retain) != 3 || out.Score < 13.24 || out.Score > 13.26 {
+		t.Errorf("retain %v score %.4f, want 3 photos at 13.25", out.Retain, out.Score)
+	}
+	if len(out.Archive) != 4 {
+		t.Errorf("archive %v, want 4 photos", out.Archive)
+	}
+	if out.OnlineBound < out.Score {
+		t.Errorf("bound %.4f below score %.4f", out.OnlineBound, out.Score)
+	}
+}
+
+func TestSolveBudgetOverrideAndTau(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/solve?budget=1.3&tau=0.6&algo=exact", "application/json", instanceBody(t, 8.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Budget != 1.3 {
+		t.Errorf("budget %g, want override 1.3", out.Budget)
+	}
+	if out.Cost > 1.3 {
+		t.Errorf("cost %g exceeds overridden budget", out.Cost)
+	}
+	if out.Algorithm != "Brute-Force" {
+		t.Errorf("algorithm %q", out.Algorithm)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	cases := []struct {
+		name, url, body string
+		wantStatus      int
+	}{
+		{"bad json", "/solve", "{", http.StatusBadRequest},
+		{"bad algo", "/solve?algo=magic", "", http.StatusBadRequest},
+		{"bad budget", "/solve?budget=-3", "", http.StatusBadRequest},
+		{"bad tau", "/solve?tau=7", "", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		body := tc.body
+		if body == "" {
+			body = instanceBody(t, 3.0).String()
+		}
+		resp, err := http.Post(srv.URL+tc.url, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /solve status %d, want method-not-allowed", resp.StatusCode)
+	}
+}
+
+func TestLoggingMiddleware(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	srv := httptest.NewServer(logging(logger, newMux()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(srv.URL+"/solve", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	logs := buf.String()
+	if !strings.Contains(logs, "path=/healthz") || !strings.Contains(logs, "status=200") {
+		t.Errorf("missing healthz log line:\n%s", logs)
+	}
+	if !strings.Contains(logs, "path=/solve") || !strings.Contains(logs, "status=400") {
+		t.Errorf("missing solve error log line:\n%s", logs)
+	}
+}

@@ -1,0 +1,224 @@
+// Command phocus solves a PAR instance from a JSON file and reports which
+// photos to retain and which to archive.
+//
+// Usage:
+//
+//	phocus -input instance.json [-budget 5e6] [-algo celf|sviridenko|exact]
+//	       [-tau 0.75] [-retained 0,5,9] [-json]
+//
+// The input may be in either the JSON or the binary format produced by
+// phocus-datagen (auto-detected). A budget of 0 keeps the file's budget;
+// -retained extends the file's S0.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"phocus/internal/baselines"
+	"phocus/internal/celf"
+	"phocus/internal/exact"
+	"phocus/internal/metrics"
+	"phocus/internal/par"
+	"phocus/internal/sparsify"
+	"phocus/internal/streaming"
+	"phocus/internal/sviridenko"
+)
+
+func main() {
+	var (
+		input    = flag.String("input", "", "instance JSON file (required; '-' for stdin)")
+		budget   = flag.Float64("budget", 0, "override budget in bytes (0 = keep file budget)")
+		algo     = flag.String("algo", "celf", "solver: celf, sviridenko or exact")
+		tau      = flag.Float64("tau", 0, "τ-sparsification threshold (0 = off)")
+		retained = flag.String("retained", "", "comma-separated photo IDs to force-retain (added to the file's S0)")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON")
+		stats    = flag.Bool("stats", false, "print instance statistics before solving")
+		compare  = flag.Bool("compare", false, "run every solver and baseline, print a comparison table instead of solving once")
+	)
+	flag.Parse()
+	if *compare {
+		if err := runCompare(os.Stdout, *input, *budget, *retained); err != nil {
+			fmt.Fprintln(os.Stderr, "phocus:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(os.Stdout, *input, *budget, *algo, *tau, *retained, *asJSON, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "phocus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, input string, budget float64, algo string, tau float64, retained string, asJSON bool, stats bool) error {
+	inst, err := loadInstance(input, budget, retained)
+	if err != nil {
+		return err
+	}
+	if stats {
+		fmt.Fprintln(w, par.Stats(inst))
+		fmt.Fprintln(w)
+	}
+
+	solveInst := inst
+	if tau > 0 {
+		res, err := sparsify.Exact(inst, tau)
+		if err != nil {
+			return err
+		}
+		solveInst = res.Instance
+	}
+
+	var solver par.Solver
+	switch algo {
+	case "celf":
+		solver = &celf.Solver{}
+	case "sviridenko":
+		solver = &sviridenko.Solver{}
+	case "exact":
+		solver = &exact.Solver{}
+	default:
+		return fmt.Errorf("unknown -algo %q", algo)
+	}
+	sol, err := solver.Solve(solveInst)
+	if err != nil {
+		return err
+	}
+	sol.Score = par.ScoreFast(inst, sol.Photos) // true objective
+	bound := celf.OnlineBound(inst, sol.Photos)
+
+	var archived []par.PhotoID
+	kept := make([]bool, inst.NumPhotos())
+	for _, p := range sol.Photos {
+		kept[p] = true
+	}
+	for p := 0; p < inst.NumPhotos(); p++ {
+		if !kept[p] {
+			archived = append(archived, par.PhotoID(p))
+		}
+	}
+
+	if asJSON {
+		out := struct {
+			Algorithm   string        `json:"algorithm"`
+			Retain      []par.PhotoID `json:"retain"`
+			Archive     []par.PhotoID `json:"archive"`
+			Score       float64       `json:"score"`
+			Cost        float64       `json:"cost"`
+			Budget      float64       `json:"budget"`
+			OnlineBound float64       `json:"online_bound"`
+		}{solver.Name(), sol.Photos, archived, sol.Score, sol.Cost, inst.Budget, bound}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	fmt.Fprintf(w, "algorithm:    %s\n", solver.Name())
+	fmt.Fprintf(w, "photos:       %d total, %d retained, %d archived\n",
+		inst.NumPhotos(), len(sol.Photos), len(archived))
+	fmt.Fprintf(w, "cost:         %s of %s budget\n", metrics.FormatBytes(sol.Cost), metrics.FormatBytes(inst.Budget))
+	fmt.Fprintf(w, "score:        %.6f (max attainable %.6f)\n", sol.Score, inst.TotalWeight())
+	if bound > 0 {
+		fmt.Fprintf(w, "certified:    ≥ %.1f%% of optimal (online bound %.6f)\n", 100*sol.Score/bound, bound)
+	}
+	fmt.Fprintf(w, "retain:       %v\n", sol.Photos)
+	return nil
+}
+
+// loadInstance reads an instance (JSON or binary), applying the budget
+// override and extra retained IDs.
+func loadInstance(input string, budget float64, retained string) (*par.Instance, error) {
+	if input == "" {
+		return nil, fmt.Errorf("-input is required")
+	}
+	in := os.Stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	inst, err := par.ReadAuto(in)
+	if err != nil {
+		return nil, err
+	}
+	if budget > 0 {
+		inst.Budget = budget
+	}
+	if retained != "" {
+		for _, tok := range strings.Split(retained, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return nil, fmt.Errorf("bad -retained entry %q: %w", tok, err)
+			}
+			inst.Retained = append(inst.Retained, par.PhotoID(id))
+		}
+	}
+	if err := inst.Finalize(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// runCompare solves the instance with every algorithm and baseline and
+// prints a quality/time comparison.
+func runCompare(w io.Writer, input string, budget float64, retained string) error {
+	inst, err := loadInstance(input, budget, retained)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, par.Stats(inst))
+	fmt.Fprintln(w)
+
+	solvers := []par.Solver{
+		&celf.Solver{},
+		&sviridenko.Solver{},
+		&streaming.Solver{},
+		baselines.NewGreedyNR(),
+		&baselines.RandAdd{Seed: 1},
+	}
+	if inst.NumPhotos() <= 60 {
+		solvers = append(solvers, &exact.Solver{MaxNodes: 20_000_000})
+	}
+	t := metrics.Table{Header: []string{"algorithm", "score", "% of bound", "photos", "time"}}
+	bound := 0.0
+	type row struct {
+		name    string
+		sol     par.Solution
+		elapsed time.Duration
+	}
+	var rows []row
+	for _, s := range solvers {
+		start := time.Now()
+		sol, err := s.Solve(inst)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		sol.Score = par.ScoreFast(inst, sol.Photos)
+		rows = append(rows, row{name: s.Name(), sol: sol, elapsed: time.Since(start)})
+		if b := celf.OnlineBound(inst, sol.Photos); b > bound {
+			bound = b
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sol.Score > rows[j].sol.Score })
+	for _, r := range rows {
+		pct := "-"
+		if bound > 0 {
+			pct = fmt.Sprintf("%.1f%%", 100*r.sol.Score/bound)
+		}
+		t.AddRow(r.name, fmt.Sprintf("%.6f", r.sol.Score), pct,
+			fmt.Sprint(len(r.sol.Photos)), metrics.FormatDuration(r.elapsed))
+	}
+	t.Fprint(w)
+	fmt.Fprintf(w, "upper bound on the optimum: %.6f\n", bound)
+	return nil
+}

@@ -1,0 +1,3 @@
+module phocus
+
+go 1.22

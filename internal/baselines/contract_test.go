@@ -1,0 +1,34 @@
+package baselines
+
+import (
+	"testing"
+
+	"phocus/internal/par"
+	"phocus/internal/solvertest"
+)
+
+func TestRandAddContract(t *testing.T) {
+	// RAND-A stops at the first photo that does not fit, so it does not
+	// saturate even when everything would fit... except it does: with a
+	// saturating budget every photo fits and the walk adds them all. Keep
+	// the clause on.
+	solvertest.Contract(t, func() par.Solver { return &RandAdd{Seed: 7} }, solvertest.Options{Saturates: true})
+}
+
+func TestRandDeleteContract(t *testing.T) {
+	solvertest.Contract(t, func() par.Solver { return &RandDelete{Seed: 7} }, solvertest.Options{Saturates: true})
+}
+
+func TestGreedyNRContract(t *testing.T) {
+	solvertest.Contract(t, func() par.Solver { return NewGreedyNR() }, solvertest.Options{Saturates: true})
+}
+
+func TestGreedyNCSContract(t *testing.T) {
+	global := func(p1, p2 par.PhotoID) float64 {
+		if p1 == p2 {
+			return 1
+		}
+		return 0.3
+	}
+	solvertest.Contract(t, func() par.Solver { return NewGreedyNCS(global) }, solvertest.Options{Saturates: true})
+}

@@ -1,0 +1,67 @@
+package celf
+
+import (
+	"sort"
+
+	"phocus/internal/par"
+)
+
+// OnlineBound computes the a-posteriori upper bound on OPT of Leskovec et
+// al. (Section 4.2 of the paper) for an arbitrary feasible solution Ŝ:
+//
+//	OPT ≤ G(Ŝ) + max{ Σ_{p∈T} δ_p(Ŝ) : C(T) ≤ B }
+//
+// where δ_p(Ŝ) is the marginal gain of p with respect to Ŝ. The inner
+// maximum is itself upper-bounded by its fractional-knapsack relaxation
+// (sort by δ_p/C(p), fill the budget, take the last item fractionally),
+// which is what this function computes. The bound is valid for the output
+// of any algorithm, and the certified ratio G(Ŝ)/OnlineBound is typically
+// far above the (1−1/e)/2 worst-case guarantee.
+func OnlineBound(inst *par.Instance, sol []par.PhotoID) float64 {
+	e := par.NewEvaluator(inst)
+	for _, p := range sol {
+		e.Add(p)
+	}
+	type marginal struct {
+		gain, cost float64
+	}
+	margs := make([]marginal, 0, inst.NumPhotos())
+	for p := 0; p < inst.NumPhotos(); p++ {
+		id := par.PhotoID(p)
+		if e.Contains(id) {
+			continue
+		}
+		if g := e.Gain(id); g > 0 {
+			margs = append(margs, marginal{gain: g, cost: inst.Cost[p]})
+		}
+	}
+	sort.Slice(margs, func(i, j int) bool {
+		return margs[i].gain*margs[j].cost > margs[j].gain*margs[i].cost
+	})
+	bound := e.Score()
+	remaining := inst.Budget
+	for _, m := range margs {
+		if remaining <= 0 {
+			break
+		}
+		if m.cost <= remaining {
+			bound += m.gain
+			remaining -= m.cost
+			continue
+		}
+		bound += m.gain * remaining / m.cost
+		break
+	}
+	return bound
+}
+
+// CertifiedRatio returns G(Ŝ) / OnlineBound(Ŝ), a lower bound on the
+// solution's true performance ratio G(Ŝ)/OPT. It returns 1 for instances
+// whose optimum is 0 (empty bound).
+func CertifiedRatio(inst *par.Instance, sol par.Solution) float64 {
+	bound := OnlineBound(inst, sol.Photos)
+	if bound <= 0 {
+		return 1
+	}
+	return sol.Score / bound
+}

@@ -1,0 +1,247 @@
+// Package celf implements the paper's main solver (Algorithms 1 and 2): the
+// CELF lazy-greedy scheme of Leskovec et al. for maximizing a monotone
+// submodular function under a knapsack constraint, adapted to PAR.
+//
+// Algorithm 1 runs two greedy sub-procedures and keeps the better solution:
+//
+//   - UC ("unit cost") ignores photo costs when ranking candidates and picks
+//     the photo with the largest marginal gain δ_p each round;
+//   - CB ("cost benefit") ranks by the density δ_p / C(p).
+//
+// Taking the best of the two yields a (1−1/e)/2 worst-case approximation.
+// Both sub-procedures use lazy evaluation: stale gains are kept in a
+// max-priority queue and only recomputed when they reach the top, which is
+// sound because submodularity guarantees gains never increase as the
+// solution grows.
+//
+// The package also provides the a-posteriori online bound of Leskovec et
+// al., which upper-bounds OPT from any solution and in practice certifies
+// performance ratios far above the worst-case guarantee (Section 4.2 of the
+// paper; the onlinebound experiment regenerates the observation).
+package celf
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"phocus/internal/par"
+)
+
+// Variant selects the candidate-ranking rule of Algorithm 2.
+type Variant int
+
+const (
+	// UC ranks candidates by marginal gain, ignoring costs.
+	UC Variant = iota
+	// CB ranks candidates by marginal gain per byte.
+	CB
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case UC:
+		return "UC"
+	case CB:
+		return "CB"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Stats reports the work done by a solver run.
+type Stats struct {
+	// GainEvals is the number of marginal-gain evaluations, the cost unit
+	// the paper uses to compare algorithms.
+	GainEvals int64
+	// PQPops counts priority-queue pops, i.e. lazy-evaluation probes.
+	PQPops int64
+	// Selected is the number of photos added beyond S0.
+	Selected int
+	// Winner records which sub-procedure produced the returned solution
+	// when solving with both (Algorithm 1).
+	Winner Variant
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration
+}
+
+// Solver runs Algorithm 1 (best of UC and CB). It implements par.Solver.
+type Solver struct {
+	// LastStats is populated by each Solve call.
+	LastStats Stats
+}
+
+// Name implements par.Solver.
+func (s *Solver) Name() string { return "PHOcus" }
+
+// Solve runs both lazy-greedy variants and returns the better solution.
+func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
+	start := time.Now()
+	solUC, statsUC, err := LazyGreedy(inst, UC)
+	if err != nil {
+		return par.Solution{}, err
+	}
+	solCB, statsCB, err := LazyGreedy(inst, CB)
+	if err != nil {
+		return par.Solution{}, err
+	}
+	s.LastStats = Stats{
+		GainEvals: statsUC.GainEvals + statsCB.GainEvals,
+		PQPops:    statsUC.PQPops + statsCB.PQPops,
+		Elapsed:   time.Since(start),
+	}
+	if solCB.Score >= solUC.Score {
+		s.LastStats.Winner = CB
+		s.LastStats.Selected = statsCB.Selected
+		return solCB, nil
+	}
+	s.LastStats.Winner = UC
+	s.LastStats.Selected = statsUC.Selected
+	return solUC, nil
+}
+
+// Observer receives the lazy-greedy events of one LazyGreedyObserved run,
+// in order. It exists for demonstrations (the Figure 3 walkthrough) and
+// debugging; the zero-overhead path is LazyGreedy.
+type Observer interface {
+	// Recomputed fires when a stale priority-queue entry gets its marginal
+	// gain recomputed against the current solution (curr_p ← true).
+	Recomputed(p par.PhotoID, gain float64)
+	// Selected fires when a photo is added to the solution.
+	Selected(p par.PhotoID, gain float64)
+}
+
+// LazyGreedy is Algorithm 2: one lazy-greedy pass with the given ranking
+// rule. The instance must be finalized.
+func LazyGreedy(inst *par.Instance, variant Variant) (par.Solution, Stats, error) {
+	return LazyGreedyObserved(inst, variant, nil)
+}
+
+// LazyGreedyObserved is LazyGreedy with an optional event observer.
+func LazyGreedyObserved(inst *par.Instance, variant Variant, obs Observer) (par.Solution, Stats, error) {
+	start := time.Now()
+	e := par.NewEvaluator(inst)
+	e.Seed() // S ← S0
+
+	// Priority queue of candidate photos keyed by (possibly stale) gain.
+	pq := newGainQueue(variant, inst)
+	for p := 0; p < inst.NumPhotos(); p++ {
+		id := par.PhotoID(p)
+		if e.Contains(id) {
+			continue
+		}
+		// δ_p ← ∞: represented by pushing with the maximal possible gain so
+		// every candidate is recomputed at least once before selection.
+		pq.push(candidate{photo: id, gain: inf})
+	}
+
+	var stats Stats
+	for pq.Len() > 0 {
+		top := pq.pop()
+		stats.PQPops++
+		if e.Contains(top.photo) || !e.Fits(top.photo) {
+			// Infeasible now and forever (costs are fixed and the budget
+			// only shrinks): drop the candidate.
+			continue
+		}
+		if top.current {
+			// curr_p is true: the gain was computed against the current
+			// solution and is still the queue maximum, so by submodularity
+			// it is the best candidate. Select it.
+			gain := e.Add(top.photo)
+			stats.Selected++
+			pq.invalidate()
+			if obs != nil {
+				obs.Selected(top.photo, gain)
+			}
+			continue
+		}
+		// Recompute δ_p against the current solution and reinsert.
+		top.gain = e.Gain(top.photo)
+		top.current = true
+		pq.push(top)
+		if obs != nil {
+			obs.Recomputed(top.photo, top.gain)
+		}
+	}
+
+	stats.GainEvals = e.GainEvals()
+	stats.Elapsed = time.Since(start)
+	sol := e.Solution()
+	if !inst.Feasible(sol.Photos) {
+		return par.Solution{}, stats, fmt.Errorf("celf: produced infeasible solution (cost %.3f, budget %.3f)", sol.Cost, inst.Budget)
+	}
+	return sol, stats, nil
+}
+
+// inf is the initial "∞" gain of Algorithm 2 line 4. Any real gain is
+// finite, so candidates initialized to inf always get recomputed first.
+const inf = 1e300
+
+// candidate is a priority-queue entry.
+type candidate struct {
+	photo par.PhotoID
+	gain  float64
+	// current is curr_p from Algorithm 2: whether gain was computed against
+	// the present solution.
+	current bool
+	// epoch tags the solution version the gain was computed against; the
+	// queue clears current on entries from older epochs lazily.
+	epoch int64
+}
+
+// gainQueue is a max-heap over candidates, ranking by gain (UC) or gain per
+// cost (CB). Instead of walking the heap to reset curr_p after every
+// selection, it stamps entries with an epoch and treats entries from older
+// epochs as stale.
+type gainQueue struct {
+	variant Variant
+	inst    *par.Instance
+	epoch   int64
+	items   []candidate
+}
+
+func newGainQueue(variant Variant, inst *par.Instance) *gainQueue {
+	return &gainQueue{variant: variant, inst: inst}
+}
+
+// key returns the ranking value of a candidate under the queue's variant.
+func (g *gainQueue) key(c candidate) float64 {
+	if g.variant == CB {
+		return c.gain / g.inst.Cost[c.photo]
+	}
+	return c.gain
+}
+
+func (g *gainQueue) Len() int { return len(g.items) }
+
+func (g *gainQueue) Less(i, j int) bool { return g.key(g.items[i]) > g.key(g.items[j]) }
+
+func (g *gainQueue) Swap(i, j int) { g.items[i], g.items[j] = g.items[j], g.items[i] }
+
+func (g *gainQueue) Push(x any) { g.items = append(g.items, x.(candidate)) }
+
+func (g *gainQueue) Pop() any {
+	old := g.items
+	n := len(old)
+	it := old[n-1]
+	g.items = old[:n-1]
+	return it
+}
+
+func (g *gainQueue) push(c candidate) {
+	c.epoch = g.epoch
+	heap.Push(g, c)
+}
+
+func (g *gainQueue) pop() candidate {
+	c := heap.Pop(g).(candidate)
+	if c.epoch != g.epoch {
+		c.current = false
+	}
+	return c
+}
+
+// invalidate marks all queued gains stale; called after each selection.
+func (g *gainQueue) invalidate() { g.epoch++ }

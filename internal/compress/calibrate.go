@@ -1,0 +1,53 @@
+package compress
+
+import (
+	"fmt"
+
+	"phocus/internal/embed"
+	"phocus/internal/imagesim"
+)
+
+// CalibrateLevel measures a compression Level from pixels instead of
+// assuming it: each sample photo is box-downscaled by the factor, its cost
+// factor is the size-model ratio of the downscaled raster, and its quality
+// is the cosine between the original's feature embedding and the
+// down-then-upscaled round trip's embedding (the round trip restores the
+// feature layout's resolution so the comparison is apples to apples). The
+// returned level uses the sample means, clamped into the open intervals
+// Expand requires.
+func CalibrateLevel(name string, samples []*imagesim.Photo, factor int, cfg imagesim.EmbeddingConfig) (Level, error) {
+	if len(samples) == 0 {
+		return Level{}, fmt.Errorf("compress: no calibration samples")
+	}
+	if factor < 2 {
+		return Level{}, fmt.Errorf("compress: downscale factor must be ≥ 2")
+	}
+	var costSum, qualSum float64
+	for _, ph := range samples {
+		small := imagesim.Downscale(ph.Image, factor)
+		costSum += imagesim.EstimateJPEGSize(small) / imagesim.EstimateJPEGSize(ph.Image)
+		restored := imagesim.Upscale(small, factor)
+		orig := imagesim.Embedding(ph.Image, cfg)
+		back := imagesim.Embedding(restored, cfg)
+		qualSum += embed.CosineSim01(orig, back)
+	}
+	n := float64(len(samples))
+	lvl := Level{
+		Name:       name,
+		CostFactor: clampOpen(costSum / n),
+		Quality:    clampOpen(qualSum / n),
+	}
+	return lvl, nil
+}
+
+// clampOpen forces v into the open interval (0, 1) Expand validates.
+func clampOpen(v float64) float64 {
+	const eps = 1e-3
+	if v < eps {
+		return eps
+	}
+	if v > 1-eps {
+		return 1 - eps
+	}
+	return v
+}

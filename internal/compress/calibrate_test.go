@@ -1,0 +1,60 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"phocus/internal/imagesim"
+	"phocus/internal/par"
+)
+
+func calibrationSamples(t *testing.T, n int) []*imagesim.Photo {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	m := imagesim.NewCategoryModel(rng, "cal")
+	cfg := imagesim.DefaultGenConfig()
+	out := make([]*imagesim.Photo, n)
+	for i := range out {
+		out[i] = m.Generate(rng, i, cfg)
+	}
+	return out
+}
+
+func TestCalibrateLevel(t *testing.T) {
+	samples := calibrationSamples(t, 6)
+	ecfg := imagesim.DefaultEmbeddingConfig()
+	web, err := CalibrateLevel("web", samples, 2, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thumb, err := CalibrateLevel("thumb", samples, 4, ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range []Level{web, thumb} {
+		if lvl.CostFactor <= 0 || lvl.CostFactor >= 1 || lvl.Quality <= 0 || lvl.Quality >= 1 {
+			t.Fatalf("level %+v outside open intervals", lvl)
+		}
+	}
+	// Heavier downscaling must be cheaper and lower fidelity.
+	if thumb.CostFactor >= web.CostFactor {
+		t.Errorf("4x cost factor %.3f not below 2x %.3f", thumb.CostFactor, web.CostFactor)
+	}
+	if thumb.Quality >= web.Quality {
+		t.Errorf("4x quality %.3f not below 2x %.3f", thumb.Quality, web.Quality)
+	}
+	// Calibrated levels must be usable by Expand end to end.
+	if _, err := Expand(par.Figure1Instance(), []Level{web, thumb}); err != nil {
+		t.Fatalf("Expand rejected calibrated levels: %v", err)
+	}
+}
+
+func TestCalibrateLevelErrors(t *testing.T) {
+	ecfg := imagesim.DefaultEmbeddingConfig()
+	if _, err := CalibrateLevel("x", nil, 2, ecfg); err == nil {
+		t.Error("no samples accepted")
+	}
+	if _, err := CalibrateLevel("x", calibrationSamples(t, 1), 1, ecfg); err == nil {
+		t.Error("factor 1 accepted")
+	}
+}

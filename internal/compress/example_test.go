@@ -1,0 +1,32 @@
+package compress_test
+
+import (
+	"fmt"
+
+	"phocus/internal/compress"
+	"phocus/internal/par"
+)
+
+// ExampleExpand turns a keep-or-archive instance into a
+// keep/compress/archive one and interprets a solution over it.
+func ExampleExpand() {
+	inst := par.Figure1Instance()
+	ex, err := compress.Expand(inst, compress.DefaultLevels())
+	if err != nil {
+		panic(err)
+	}
+	// p1 full quality, p6 as a web-compressed variant (ID offset n=7).
+	plan := ex.Interpret(par.Solution{Photos: []par.PhotoID{0, 7 + 5}})
+	for _, c := range plan.Keep {
+		if c.Level == nil {
+			fmt.Printf("p%d: keep full\n", c.Photo+1)
+		} else {
+			fmt.Printf("p%d: keep %s\n", c.Photo+1, c.Level.Name)
+		}
+	}
+	fmt.Printf("archived: %d photos\n", len(plan.Archive))
+	// Output:
+	// p1: keep full
+	// p6: keep web
+	// archived: 5 photos
+}

@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelFor runs f(i) for i in [0, n) across GOMAXPROCS workers. Used for
+// the pure (rng-free) stages of dataset generation; determinism is
+// preserved because every index writes only its own slots.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

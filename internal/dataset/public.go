@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phocus/internal/embed"
+	"phocus/internal/par"
+)
+
+// PublicSpec configures the Open-Images-style generator (Section 5.2,
+// "Public Photos Datasets"). Photos carry 1+Poisson labels drawn from a
+// Zipf-skewed pool of over 6000 labels; each label that accumulates at
+// least MinSubsetSize photos becomes a pre-defined subset whose relevance
+// scores are the label confidences, whose importance is the label's
+// frequency in the dataset, and whose contextual similarity is the cosine
+// of context-masked photo embeddings.
+type PublicSpec struct {
+	Name string
+	// NumPhotos is the dataset size (1000 for P-1K, ..., 100000 for P-100K).
+	NumPhotos int
+	// LabelPool is the size of the label vocabulary (default 6000, as in
+	// Open Images).
+	LabelPool int
+	// MeanLabels is the mean number of labels per photo (default 3).
+	MeanLabels float64
+	// ZipfS is the label-popularity skew (default 1.05).
+	ZipfS float64
+	// MinSubsetSize drops labels seen on fewer photos (default 2).
+	MinSubsetSize int
+	// Dim is the embedding dimension (default 32).
+	Dim int
+	// NoiseLevel is the per-dimension photo noise around the primary
+	// label's prototype (default 0.12).
+	NoiseLevel float64
+	// RetainFrac marks this fraction of photos as policy-retained S0
+	// (default 0).
+	RetainFrac float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (s *PublicSpec) fill() {
+	if s.LabelPool == 0 {
+		s.LabelPool = 6000
+	}
+	if s.MeanLabels == 0 {
+		s.MeanLabels = 3
+	}
+	if s.ZipfS == 0 {
+		s.ZipfS = 1.05
+	}
+	if s.MinSubsetSize == 0 {
+		s.MinSubsetSize = 2
+	}
+	if s.Dim == 0 {
+		s.Dim = 32
+	}
+	if s.NoiseLevel == 0 {
+		s.NoiseLevel = 0.12
+	}
+}
+
+// PublicSpecs returns the five Table 2 public dataset specs. Pass a scale
+// in (0, 1] to shrink every dataset proportionally (benchmarks use small
+// scales; the cmd/phocus-bench harness defaults to full size for P-1K and
+// P-5K and scales the larger ones).
+func PublicSpecs(scale float64) []PublicSpec {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	mk := func(name string, photos int, seed int64) PublicSpec {
+		n := int(float64(photos) * scale)
+		if n < 20 {
+			n = 20
+		}
+		return PublicSpec{Name: name, NumPhotos: n, Seed: seed}
+	}
+	return []PublicSpec{
+		mk("P-1K", 1_000, 101),
+		mk("P-5K", 5_000, 102),
+		mk("P-10K", 10_000, 103),
+		mk("P-50K", 50_000, 104),
+		mk("P-100K", 100_000, 105),
+	}
+}
+
+// GeneratePublic builds one public dataset.
+func GeneratePublic(spec PublicSpec) (*Dataset, error) {
+	spec.fill()
+	if spec.NumPhotos <= 0 {
+		return nil, fmt.Errorf("dataset: NumPhotos must be positive")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// Label popularity and lazily created label prototypes.
+	weights := zipfWeights(spec.LabelPool, spec.ZipfS)
+	cum := cumulative(weights)
+	protos := make([]embed.Vector, spec.LabelPool)
+	proto := func(l int) embed.Vector {
+		if protos[l] == nil {
+			protos[l] = embed.RandomUnit(rng, spec.Dim)
+		}
+		return protos[l]
+	}
+
+	// Per-photo label draws and embeddings.
+	type member struct {
+		photo par.PhotoID
+		conf  float64
+	}
+	labelPhotos := map[int][]member{}
+	global := make([]embed.Vector, spec.NumPhotos)
+	cost := make([]float64, spec.NumPhotos)
+	for p := 0; p < spec.NumPhotos; p++ {
+		nLabels := 1 + poisson(rng, spec.MeanLabels-1)
+		labels := make([]int, 0, nLabels)
+		seen := map[int]bool{}
+		for len(labels) < nLabels {
+			l := sampleIndex(rng, cum)
+			if !seen[l] {
+				seen[l] = true
+				labels = append(labels, l)
+			}
+		}
+		// The photo's embedding mixes its labels' prototypes, dominated by
+		// the first (primary) label, plus instance noise.
+		v := make(embed.Vector, spec.Dim)
+		for rank, l := range labels {
+			coeff := 1.0
+			if rank > 0 {
+				coeff = 0.35
+			}
+			pv := proto(l)
+			for i := range v {
+				v[i] += coeff * pv[i]
+			}
+		}
+		for i := range v {
+			v[i] += spec.NoiseLevel * rng.NormFloat64()
+		}
+		embed.Normalize(v)
+		global[p] = v
+		// Label confidence: how well the photo matches the label prototype.
+		for _, l := range labels {
+			conf := embed.CosineSim01(v, proto(l))
+			if conf <= 0 {
+				conf = 0.01
+			}
+			labelPhotos[l] = append(labelPhotos[l], member{photo: par.PhotoID(p), conf: conf})
+		}
+		// Photo size: log-normal-ish between ~0.3 MB and ~3 MB.
+		sz := 1e6 * (0.3 + 1.2*rng.Float64() + 0.8*rng.Float64()*rng.Float64())
+		cost[p] = sz
+	}
+
+	inst := &par.Instance{Cost: cost}
+	ds := &Dataset{Name: spec.Name, Instance: inst, Global: global}
+
+	// Subsets from labels, ordered by label ID for determinism.
+	for l := 0; l < spec.LabelPool; l++ {
+		mems := labelPhotos[l]
+		if len(mems) < spec.MinSubsetSize {
+			continue
+		}
+		members := make([]par.PhotoID, len(mems))
+		rel := make([]float64, len(mems))
+		ctxVecs := make([]embed.Vector, len(mems))
+		// Strong per-label contextualization, mirroring the paper's learned
+		// per-subset embeddings: the global cosine is a lossy surrogate of
+		// the in-context similarity.
+		ctx := embed.RandomSignedContext(rng, spec.Dim, 0.4, 10, 0.3)
+		for i, m := range mems {
+			members[i] = m.photo
+			rel[i] = m.conf
+			ctxVecs[i] = ctx.Apply(embed.Clone(global[m.photo]))
+		}
+		inst.Subsets = append(inst.Subsets, par.Subset{
+			Name:      fmt.Sprintf("label-%d", l),
+			Weight:    float64(len(mems)) / float64(spec.NumPhotos),
+			Members:   members,
+			Relevance: rel,
+			Sim:       vecSim{vecs: ctxVecs},
+		})
+		ds.CtxVectors = append(ds.CtxVectors, ctxVecs)
+	}
+	if len(inst.Subsets) == 0 {
+		return nil, fmt.Errorf("dataset: %s produced no subsets; lower MinSubsetSize or raise NumPhotos", spec.Name)
+	}
+	inst.NormalizeRelevance()
+
+	if spec.RetainFrac > 0 {
+		for p := 0; p < spec.NumPhotos; p++ {
+			if rng.Float64() < spec.RetainFrac {
+				inst.Retained = append(inst.Retained, par.PhotoID(p))
+			}
+		}
+	}
+
+	inst.Budget = inst.TotalCost()
+	if err := inst.Finalize(); err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", spec.Name, err)
+	}
+	return ds, nil
+}

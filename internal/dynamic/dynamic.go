@@ -1,0 +1,295 @@
+// Package dynamic maintains a near-optimal retained set while the archive
+// grows — the operational loop around the paper's one-shot optimization.
+// New photos keep arriving (new products, new uploads); re-running the full
+// solver on every arrival is wasteful, so the Maintainer applies a cheap
+// per-arrival swap rule and escalates to a full CELF re-solve only when the
+// accumulated drift suggests the incremental decisions have degraded.
+//
+// The simulation model: the complete instance (all photos that will ever
+// exist, with their subset memberships) is built up front, and photos are
+// revealed to the maintainer one at a time. The maintainer only ever reads
+// revealed photos, so its decisions are exactly those of an online system.
+//
+// Per-arrival rule: compute the arrival's marginal gain w.r.t. the current
+// retained set. If it fits the leftover budget, keep it. Otherwise evict
+// the lowest-density retained photos (by gain recorded at their own
+// admission — a heuristic; submodularity only makes those records upper
+// bounds) until the arrival fits, and keep the swap only if it improves
+// the objective. Every ResolveEvery arrivals, or when the incremental
+// score falls below DriftFactor × the last full-solve score trajectory, a
+// full re-solve over all revealed photos resets the state.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"phocus/internal/celf"
+	"phocus/internal/par"
+)
+
+// Options tunes the maintainer.
+type Options struct {
+	// ResolveEvery forces a full re-solve after this many arrivals
+	// (0 = never force; default 0).
+	ResolveEvery int
+	// DriftFactor triggers a re-solve when the maintained score drops
+	// below DriftFactor times the score a full solve achieved at the last
+	// checkpoint, scaled by revealed growth (default 0 = disabled).
+	DriftFactor float64
+}
+
+// Verdict describes what happened to one arrival.
+type Verdict int
+
+const (
+	// Rejected: the arrival is archived immediately.
+	Rejected Verdict = iota
+	// Admitted: the arrival joined the retained set within budget.
+	Admitted
+	// Swapped: the arrival replaced one or more retained photos.
+	Swapped
+	// Resolved: the arrival triggered a full re-solve.
+	Resolved
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Rejected:
+		return "rejected"
+	case Admitted:
+		return "admitted"
+	case Swapped:
+		return "swapped"
+	case Resolved:
+		return "resolved"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Stats counts maintainer activity.
+type Stats struct {
+	Arrivals, Admitted, Rejected, Swapped, Resolves int
+	ResolveTime                                     time.Duration
+}
+
+// Maintainer holds the evolving retained set.
+type Maintainer struct {
+	inst     *par.Instance
+	opts     Options
+	revealed []bool
+	eval     *par.Evaluator
+	// admissionDensity records gain/cost at admission time per retained
+	// photo; the eviction heuristic targets the smallest.
+	admissionDensity map[par.PhotoID]float64
+	sinceResolve     int
+	lastResolveScore float64
+	stats            Stats
+}
+
+// New returns a maintainer over the (finalized) full instance with nothing
+// revealed. Retained photos (S0) are treated as revealed and always kept.
+func New(inst *par.Instance, opts Options) *Maintainer {
+	m := &Maintainer{
+		inst:             inst,
+		opts:             opts,
+		revealed:         make([]bool, inst.NumPhotos()),
+		eval:             par.NewEvaluator(inst),
+		admissionDensity: make(map[par.PhotoID]float64),
+	}
+	m.eval.Seed()
+	for _, p := range inst.Retained {
+		m.revealed[p] = true
+	}
+	return m
+}
+
+// Solution returns the current retained set.
+func (m *Maintainer) Solution() par.Solution { return m.eval.Solution() }
+
+// Stats returns a copy of the activity counters.
+func (m *Maintainer) Stats() Stats { return m.stats }
+
+// Arrive reveals photo p and decides its fate.
+func (m *Maintainer) Arrive(p par.PhotoID) (Verdict, error) {
+	if p < 0 || int(p) >= m.inst.NumPhotos() {
+		return Rejected, fmt.Errorf("dynamic: photo %d out of range", p)
+	}
+	if m.revealed[p] {
+		return Rejected, fmt.Errorf("dynamic: photo %d already arrived", p)
+	}
+	m.revealed[p] = true
+	m.stats.Arrivals++
+	m.sinceResolve++
+
+	if m.shouldResolve() {
+		if err := m.resolve(); err != nil {
+			return Rejected, err
+		}
+		return Resolved, nil
+	}
+
+	gain := m.eval.Gain(p)
+	if m.eval.Fits(p) {
+		if gain <= 0 {
+			m.stats.Rejected++
+			return Rejected, nil
+		}
+		m.admissionDensity[p] = gain / m.inst.Cost[p]
+		m.eval.Add(p)
+		m.stats.Admitted++
+		return Admitted, nil
+	}
+
+	// Swap attempt: free room by evicting the lowest admission-density
+	// photos, then keep the swap only if the objective improved.
+	current := m.eval.Solution()
+	kept := make([]par.PhotoID, len(current.Photos))
+	copy(kept, current.Photos)
+	sort.Slice(kept, func(i, j int) bool {
+		return m.admissionDensity[kept[i]] < m.admissionDensity[kept[j]]
+	})
+	needed := m.inst.Cost[p] - (m.inst.Budget - current.Cost)
+	var evict []par.PhotoID
+	var freed float64
+	for _, r := range kept {
+		if freed >= needed {
+			break
+		}
+		if m.inst.IsRetained(r) {
+			continue // S0 is not evictable
+		}
+		evict = append(evict, r)
+		freed += m.inst.Cost[r]
+	}
+	if freed < needed {
+		m.stats.Rejected++
+		return Rejected, nil
+	}
+	evictSet := make(map[par.PhotoID]bool, len(evict))
+	for _, r := range evict {
+		evictSet[r] = true
+	}
+	trial := par.NewEvaluator(m.inst)
+	for _, r := range current.Photos {
+		if !evictSet[r] {
+			trial.Add(r)
+		}
+	}
+	trialGain := trial.Gain(p)
+	trial.Add(p)
+	if trial.Score() <= current.Score {
+		m.stats.Rejected++
+		return Rejected, nil
+	}
+	for _, r := range evict {
+		delete(m.admissionDensity, r)
+	}
+	m.admissionDensity[p] = trialGain / m.inst.Cost[p]
+	m.eval = trial
+	m.stats.Swapped++
+	return Swapped, nil
+}
+
+// shouldResolve applies the escalation policy.
+func (m *Maintainer) shouldResolve() bool {
+	if m.opts.ResolveEvery > 0 && m.sinceResolve >= m.opts.ResolveEvery {
+		return true
+	}
+	if m.opts.DriftFactor > 0 && m.lastResolveScore > 0 {
+		return m.eval.Score() < m.opts.DriftFactor*m.lastResolveScore
+	}
+	return false
+}
+
+// Resolve forces a full CELF re-solve over the revealed photos.
+func (m *Maintainer) Resolve() error { return m.resolve() }
+
+func (m *Maintainer) resolve() error {
+	start := time.Now()
+	sub := m.revealedInstance()
+	var solver celf.Solver
+	sol, err := solver.Solve(sub)
+	if err != nil {
+		return err
+	}
+	// Rebuild the evaluator over the FULL instance with the chosen photos
+	// (IDs coincide: revealedInstance preserves photo IDs).
+	eval := par.NewEvaluator(m.inst)
+	m.admissionDensity = make(map[par.PhotoID]float64, len(sol.Photos))
+	for _, p := range sol.Photos {
+		g := eval.Gain(p)
+		eval.Add(p)
+		m.admissionDensity[p] = g / m.inst.Cost[p]
+	}
+	m.eval = eval
+	m.sinceResolve = 0
+	m.lastResolveScore = eval.Score()
+	m.stats.Resolves++
+	m.stats.ResolveTime += time.Since(start)
+	return nil
+}
+
+// revealedInstance restricts the full instance to revealed photos while
+// keeping photo IDs stable: subset memberships are trimmed to revealed
+// members, and unrevealed photos are additionally made unaffordable (cost
+// above the budget) so no solver can select them.
+func (m *Maintainer) revealedInstance() *par.Instance {
+	cost := make([]float64, m.inst.NumPhotos())
+	copy(cost, m.inst.Cost)
+	for p := range cost {
+		if !m.revealed[p] {
+			cost[p] = m.inst.Budget * 10 // can never fit
+		}
+	}
+	sub := &par.Instance{
+		Cost:     cost,
+		Retained: m.inst.Retained,
+		Budget:   m.inst.Budget,
+	}
+	for qi := range m.inst.Subsets {
+		q := &m.inst.Subsets[qi]
+		var members []par.PhotoID
+		var rel []float64
+		var idx []int
+		for mi, p := range q.Members {
+			if m.revealed[p] {
+				members = append(members, p)
+				rel = append(rel, q.Relevance[mi])
+				idx = append(idx, mi)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		sub.Subsets = append(sub.Subsets, par.Subset{
+			Name:      q.Name,
+			Weight:    q.Weight,
+			Members:   members,
+			Relevance: rel,
+			Sim:       remapSim{orig: q.Sim, idx: idx},
+		})
+	}
+	sub.NormalizeRelevance()
+	if err := sub.Finalize(); err != nil {
+		// The restriction of a valid instance is valid by construction;
+		// a failure here is a programming error.
+		panic("dynamic: revealed restriction invalid: " + err.Error())
+	}
+	return sub
+}
+
+// remapSim views a subset of another similarity's members.
+type remapSim struct {
+	orig par.Similarity
+	idx  []int
+}
+
+// Len implements par.Similarity.
+func (r remapSim) Len() int { return len(r.idx) }
+
+// Sim implements par.Similarity.
+func (r remapSim) Sim(i, j int) float64 { return r.orig.Sim(r.idx[i], r.idx[j]) }

@@ -1,0 +1,172 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"phocus/internal/celf"
+	"phocus/internal/par"
+)
+
+func stream(rng *rand.Rand, inst *par.Instance) []par.PhotoID {
+	var order []par.PhotoID
+	for _, p := range rng.Perm(inst.NumPhotos()) {
+		if !inst.IsRetained(par.PhotoID(p)) {
+			order = append(order, par.PhotoID(p))
+		}
+	}
+	return order
+}
+
+func TestArrivalVerdicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst := par.Random(rng, par.RandomConfig{Photos: 40, Subsets: 20, BudgetFrac: 0.2})
+	m := New(inst, Options{})
+	var admitted, rejected, swapped int
+	for _, p := range stream(rng, inst) {
+		v, err := m.Arrive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch v {
+		case Admitted:
+			admitted++
+		case Rejected:
+			rejected++
+		case Swapped:
+			swapped++
+		}
+		sol := m.Solution()
+		if !inst.Feasible(sol.Photos) {
+			t.Fatalf("infeasible after arrival %d", p)
+		}
+	}
+	st := m.Stats()
+	if st.Arrivals != 40 || admitted == 0 || rejected == 0 {
+		t.Errorf("verdict mix: admitted=%d rejected=%d swapped=%d stats=%+v",
+			admitted, rejected, swapped, st)
+	}
+	if swapped == 0 {
+		t.Error("tight budget stream produced no swaps")
+	}
+}
+
+func TestArriveErrors(t *testing.T) {
+	inst := par.Figure1Instance()
+	m := New(inst, Options{})
+	if _, err := m.Arrive(99); err == nil {
+		t.Error("out-of-range arrival accepted")
+	}
+	if _, err := m.Arrive(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Arrive(0); err == nil {
+		t.Error("duplicate arrival accepted")
+	}
+}
+
+func TestRetainedSurviveAllSwaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	inst := par.Random(rng, par.RandomConfig{Photos: 30, Subsets: 15, BudgetFrac: 0.25, RetainFrac: 0.1})
+	m := New(inst, Options{})
+	for _, p := range stream(rng, inst) {
+		if _, err := m.Arrive(p); err != nil {
+			t.Fatal(err)
+		}
+		sol := m.Solution()
+		have := map[par.PhotoID]bool{}
+		for _, kept := range sol.Photos {
+			have[kept] = true
+		}
+		for _, r := range inst.Retained {
+			if !have[r] {
+				t.Fatalf("retained photo %d evicted", r)
+			}
+		}
+	}
+}
+
+// The maintained solution must track the full re-solve closely: the final
+// incremental score stays within a modest factor of solving the complete
+// instance from scratch.
+func TestMaintainedQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		inst := par.Random(rng, par.RandomConfig{Photos: 50, Subsets: 25, BudgetFrac: 0.2})
+		m := New(inst, Options{})
+		for _, p := range stream(rng, inst) {
+			if _, err := m.Arrive(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var solver celf.Solver
+		oracle, err := solver.Solve(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Solution().Score; got < 0.75*oracle.Score {
+			t.Errorf("trial %d: maintained %.4f below 75%% of oracle %.4f", trial, got, oracle.Score)
+		}
+	}
+}
+
+func TestPeriodicResolveRestoresOracleQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	inst := par.Random(rng, par.RandomConfig{Photos: 60, Subsets: 30, BudgetFrac: 0.2})
+	incremental := New(inst, Options{})
+	periodic := New(inst, Options{ResolveEvery: 15})
+	order := stream(rng, inst)
+	for _, p := range order {
+		if _, err := incremental.Arrive(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := periodic.Arrive(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if periodic.Stats().Resolves == 0 {
+		t.Fatal("ResolveEvery never triggered")
+	}
+	// A final explicit resolve gives the oracle answer on the whole stream.
+	if err := periodic.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	var solver celf.Solver
+	oracle, err := solver.Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := periodic.Solution().Score; got < oracle.Score-1e-9 {
+		t.Errorf("post-resolve score %.4f below oracle %.4f", got, oracle.Score)
+	}
+	if periodic.Solution().Score+1e-9 < incremental.Solution().Score {
+		t.Errorf("periodic re-solving (%.4f) lost to pure incremental (%.4f)",
+			periodic.Solution().Score, incremental.Solution().Score)
+	}
+}
+
+func TestDriftTrigger(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := par.Random(rng, par.RandomConfig{Photos: 50, Subsets: 25, BudgetFrac: 0.15})
+	m := New(inst, Options{ResolveEvery: 10, DriftFactor: 0.95})
+	for _, p := range stream(rng, inst) {
+		if _, err := m.Arrive(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Stats().Resolves == 0 {
+		t.Error("no resolves despite periodic + drift policy")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	want := map[Verdict]string{Rejected: "rejected", Admitted: "admitted", Swapped: "swapped", Resolved: "resolved"}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+	if Verdict(9).String() != "Verdict(9)" {
+		t.Error("unknown verdict string")
+	}
+}

@@ -1,0 +1,145 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+
+	"phocus/internal/par"
+)
+
+// Context carries the per-subset information that contextualizes photo
+// embeddings: the same two photos get a different similarity in different
+// pre-defined subsets (an important novelty the paper highlights in
+// Section 2). Contextualization follows the common "feature emphasis"
+// scheme: each context owns a nonnegative per-dimension emphasis mask; a
+// photo's contextual embedding is normalize(v ⊙ mask), so dimensions the
+// context cares about dominate the cosine.
+type Context struct {
+	// Mask is the per-dimension emphasis; all-ones means no
+	// contextualization.
+	Mask Vector
+	// NormalizeDistances enables the paper's per-context distance
+	// normalization: all pairwise distances (1 − cosine) are divided by the
+	// maximum distance within the context, stretching fine-grained contexts
+	// so that small variations matter (Section 5.1's "trips to Paris"
+	// discussion).
+	NormalizeDistances bool
+}
+
+// UniformContext returns the no-op context for a given dimension.
+func UniformContext(dim int) Context {
+	mask := make(Vector, dim)
+	for i := range mask {
+		mask[i] = 1
+	}
+	return Context{Mask: mask}
+}
+
+// RandomContext draws a context that emphasizes a random fraction of the
+// dimensions (strength ≥ 1) and de-emphasizes the rest (weight 1). Larger
+// strength values make contexts more discriminating.
+func RandomContext(rng *rand.Rand, dim int, frac, strength float64) Context {
+	mask := make(Vector, dim)
+	for i := range mask {
+		if rng.Float64() < frac {
+			mask[i] = strength
+		} else {
+			mask[i] = 1
+		}
+	}
+	return Context{Mask: mask}
+}
+
+// RandomSignedContext is RandomContext with an additional random sign flip
+// on flipFrac of the dimensions. Sign flips genuinely reshape the metric
+// per context — two photos can be similar in one context and dissimilar in
+// another — emulating the learned per-subset contextual embeddings of the
+// paper (a positive mask alone leaves the contextual cosine strongly
+// rank-correlated with the global cosine, which would make non-contextual
+// baselines artificially competitive).
+func RandomSignedContext(rng *rand.Rand, dim int, frac, strength, flipFrac float64) Context {
+	ctx := RandomContext(rng, dim, frac, strength)
+	for i := range ctx.Mask {
+		if rng.Float64() < flipFrac {
+			ctx.Mask[i] = -ctx.Mask[i]
+		}
+	}
+	return ctx
+}
+
+// Apply returns the contextual embedding of v under the context.
+func (c Context) Apply(v Vector) Vector {
+	return Normalize(Hadamard(v, c.Mask))
+}
+
+// ContextualSim materializes a par.Similarity over the members of one
+// subset from their raw embeddings and the subset's context. The pairwise
+// similarities are precomputed into a DenseSim, so solver-side lookups are
+// O(1). Use Sparsified (package sparsify) to get a sparse variant instead.
+func ContextualSim(vectors []Vector, ctx Context) *par.DenseSim {
+	k := len(vectors)
+	ctxVecs := make([]Vector, k)
+	for i, v := range vectors {
+		ctxVecs[i] = ctx.Apply(Clone(v))
+	}
+	sim := par.NewDenseSim(k)
+	if !ctx.NormalizeDistances {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				sim.Set(i, j, CosineSim01(ctxVecs[i], ctxVecs[j]))
+			}
+		}
+		return sim
+	}
+	// Distance normalization: d(i,j) = 1 − cos01(i,j), divided by the
+	// maximum in-context distance, then mapped back to similarity.
+	dists := make([][]float64, k)
+	maxDist := 0.0
+	for i := 0; i < k; i++ {
+		dists[i] = make([]float64, k)
+		for j := i + 1; j < k; j++ {
+			d := 1 - CosineSim01(ctxVecs[i], ctxVecs[j])
+			dists[i][j] = d
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			s := 1.0
+			if maxDist > 0 {
+				s = 1 - dists[i][j]/maxDist
+			}
+			sim.Set(i, j, clamp01(s))
+		}
+	}
+	return sim
+}
+
+// GlobalSim materializes the non-contextual similarity over members: plain
+// cosine of the raw embeddings. It is the surrogate the Greedy-NCS baseline
+// selects with.
+func GlobalSim(vectors []Vector) *par.DenseSim {
+	k := len(vectors)
+	sim := par.NewDenseSim(k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			sim.Set(i, j, CosineSim01(vectors[i], vectors[j]))
+		}
+	}
+	return sim
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	if math.IsNaN(x) {
+		return 0
+	}
+	return x
+}

@@ -1,0 +1,53 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomSignedContextFlipsSigns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ctx := RandomSignedContext(rng, 200, 0.3, 5, 0.5)
+	neg := 0
+	for _, w := range ctx.Mask {
+		if w < 0 {
+			neg++
+		}
+		if w == 0 {
+			t.Fatal("zero mask weight")
+		}
+	}
+	// With flipFrac 0.5 over 200 dims, the negative count concentrates
+	// around 100.
+	if neg < 60 || neg > 140 {
+		t.Errorf("flipped %d of 200 dims, want ≈100", neg)
+	}
+}
+
+func TestRandomSignedContextZeroFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ctx := RandomSignedContext(rng, 50, 0.3, 5, 0)
+	for _, w := range ctx.Mask {
+		if w < 0 {
+			t.Fatal("flipFrac 0 produced a negative weight")
+		}
+	}
+}
+
+// Sign flips must decorrelate contextual similarity from the global cosine
+// while keeping near-duplicates similar (self-sim stays 1; two essentially
+// identical vectors stay close under any diagonal transform).
+func TestSignedContextPreservesNearDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := RandomUnit(rng, 64)
+	w := Perturb(rng, v, 0.01)
+	ctx := RandomSignedContext(rng, 64, 0.4, 10, 0.3)
+	cv, cw := ctx.Apply(Clone(v)), ctx.Apply(Clone(w))
+	if got := Cosine(cv, cw); got < 0.9 {
+		t.Errorf("near-duplicates dropped to contextual cosine %.3f", got)
+	}
+	if got := CosineSim01(cv, cv); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self contextual sim = %g", got)
+	}
+}

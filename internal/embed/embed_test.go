@@ -1,0 +1,214 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDotNormCosine(t *testing.T) {
+	a := Vector{3, 4}
+	b := Vector{4, 3}
+	if got := Dot(a, b); got != 24 {
+		t.Errorf("Dot = %g, want 24", got)
+	}
+	if got := Norm(a); got != 5 {
+		t.Errorf("Norm = %g, want 5", got)
+	}
+	if got := Cosine(a, b); math.Abs(got-24.0/25) > 1e-12 {
+		t.Errorf("Cosine = %g, want 0.96", got)
+	}
+	if got := Cosine(Vector{0, 0}, a); got != 0 {
+		t.Errorf("Cosine with zero vector = %g, want 0", got)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Dot":      func() { Dot(Vector{1}, Vector{1, 2}) },
+		"Add":      func() { Add(Vector{1}, Vector{1, 2}) },
+		"Hadamard": func() { Hadamard(Vector{1}, Vector{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on dimension mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCosineSim01Clamps(t *testing.T) {
+	a := Vector{1, 0}
+	b := Vector{-1, 0}
+	if got := CosineSim01(a, b); got != 0 {
+		t.Errorf("anti-parallel CosineSim01 = %g, want 0", got)
+	}
+	if got := CosineSim01(a, a); got != 1 {
+		t.Errorf("self CosineSim01 = %g, want 1", got)
+	}
+}
+
+func TestNormalizeAndClone(t *testing.T) {
+	a := Vector{3, 4}
+	b := Clone(a)
+	Normalize(a)
+	if math.Abs(Norm(a)-1) > 1e-12 {
+		t.Errorf("Norm after Normalize = %g, want 1", Norm(a))
+	}
+	if b[0] != 3 || b[1] != 4 {
+		t.Error("Clone shares storage with original")
+	}
+	z := Vector{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Error("Normalize modified the zero vector")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a, b := Vector{1, 2}, Vector{3, 4}
+	if got := Add(a, b); got[0] != 4 || got[1] != 6 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Scale(a, 2); got[0] != 2 || got[1] != 4 {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Hadamard(a, b); got[0] != 3 || got[1] != 8 {
+		t.Errorf("Hadamard = %v", got)
+	}
+}
+
+func TestRandomUnitAndPerturb(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := RandomUnit(rng, 16)
+	if math.Abs(Norm(v)-1) > 1e-12 {
+		t.Errorf("RandomUnit norm = %g", Norm(v))
+	}
+	p := Perturb(rng, v, 0.1)
+	if math.Abs(Norm(p)-1) > 1e-12 {
+		t.Errorf("Perturb norm = %g", Norm(p))
+	}
+	// Small noise keeps the perturbed point close to the original.
+	if Cosine(v, p) < 0.8 {
+		t.Errorf("Perturb(0.1) moved too far: cos = %g", Cosine(v, p))
+	}
+	// Perturbation must be deterministic given the rng state.
+	rng2 := rand.New(rand.NewSource(1))
+	v2 := RandomUnit(rng2, 16)
+	if Cosine(v, v2) < 1-1e-12 {
+		t.Error("RandomUnit not deterministic for a fixed seed")
+	}
+}
+
+func TestUniformContextIsIdentityOnSphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ctx := UniformContext(8)
+	v := RandomUnit(rng, 8)
+	u := ctx.Apply(Clone(v))
+	if Cosine(u, v) < 1-1e-12 {
+		t.Errorf("uniform context rotated the vector: cos = %g", Cosine(u, v))
+	}
+}
+
+func TestContextChangesSimilarity(t *testing.T) {
+	// Two photos agree on dims {0,1} and disagree on dims {2,3}: a context
+	// emphasizing the first pair sees them as similar, one emphasizing the
+	// second pair as dissimilar.
+	a := Normalize(Vector{1, 1, 1, 0})
+	b := Normalize(Vector{1, 1, 0, 1})
+	likeCtx := Context{Mask: Vector{10, 10, 1, 1}}
+	diffCtx := Context{Mask: Vector{1, 1, 10, 10}}
+	simLike := ContextualSim([]Vector{a, b}, likeCtx).Sim(0, 1)
+	simDiff := ContextualSim([]Vector{a, b}, diffCtx).Sim(0, 1)
+	if simLike <= simDiff {
+		t.Errorf("contextualization had no effect: like=%g diff=%g", simLike, simDiff)
+	}
+	if simLike < 0.9 {
+		t.Errorf("emphasizing shared dims should yield high sim, got %g", simLike)
+	}
+}
+
+func TestDistanceNormalization(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	proto := RandomUnit(rng, 32)
+	// A tight cluster: raw cosine similarities are all near 1.
+	vs := []Vector{
+		Perturb(rng, proto, 0.05),
+		Perturb(rng, proto, 0.05),
+		Perturb(rng, proto, 0.05),
+	}
+	plain := ContextualSim(vs, UniformContext(32))
+	normed := ContextualSim(vs, Context{Mask: UniformContext(32).Mask, NormalizeDistances: true})
+	// Normalization stretches the most distant pair to similarity 0.
+	minNormed := 1.0
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if s := normed.Sim(i, j); s < minNormed {
+				minNormed = s
+			}
+			if plain.Sim(i, j) < 0.9 {
+				t.Fatalf("cluster not tight: plain sim %g", plain.Sim(i, j))
+			}
+		}
+	}
+	if minNormed > 1e-9 {
+		t.Errorf("distance normalization should drive the farthest pair to 0, got %g", minNormed)
+	}
+}
+
+func TestDistanceNormalizationDegenerate(t *testing.T) {
+	// Identical vectors: max distance is 0; normalized similarity must be 1.
+	v := Normalize(Vector{1, 2, 3})
+	sim := ContextualSim([]Vector{Clone(v), Clone(v)}, Context{Mask: Vector{1, 1, 1}, NormalizeDistances: true})
+	if got := sim.Sim(0, 1); got != 1 {
+		t.Errorf("identical vectors normalized sim = %g, want 1", got)
+	}
+}
+
+func TestGlobalSimMatchesCosine(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vs := []Vector{RandomUnit(rng, 8), RandomUnit(rng, 8), RandomUnit(rng, 8)}
+	sim := GlobalSim(vs)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if got, want := sim.Sim(i, j), CosineSim01(vs[i], vs[j]); math.Abs(got-want) > 1e-12 {
+				t.Errorf("GlobalSim(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+// Property: contextual similarities are valid (in [0,1], symmetric by
+// construction of DenseSim, 1 on the diagonal).
+func TestContextualSimValidQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(6)
+		vs := make([]Vector, k)
+		for i := range vs {
+			vs[i] = RandomUnit(rng, 12)
+		}
+		ctx := RandomContext(rng, 12, 0.3, 5)
+		ctx.NormalizeDistances = rng.Intn(2) == 0
+		sim := ContextualSim(vs, ctx)
+		for i := 0; i < k; i++ {
+			if sim.Sim(i, i) != 1 {
+				return false
+			}
+			for j := 0; j < k; j++ {
+				s := sim.Sim(i, j)
+				if s < 0 || s > 1 || math.IsNaN(s) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package embed provides the vector-embedding substrate of PHOcus' Data
+// Representation Module. The paper derives photo similarities from ResNet-50
+// image embeddings compared with cosine similarity, contextualized per
+// pre-defined subset (Section 5.1); this package implements the vector
+// arithmetic, the contextualization, the per-context distance normalization
+// the paper describes, and a deterministic synthetic embedder that stands in
+// for the neural network (see DESIGN.md's substitution table).
+package embed
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Vector is a dense embedding.
+type Vector []float64
+
+// Dot returns the inner product. Vectors must have equal length.
+func Dot(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic("embed: dimension mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm.
+func Norm(a Vector) float64 { return math.Sqrt(Dot(a, a)) }
+
+// Cosine returns the cosine similarity of a and b, 0 if either is zero.
+func Cosine(a, b Vector) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// CosineSim01 maps cosine similarity into [0,1] by clamping negatives to 0,
+// the convention this repository uses for SIM scores (embeddings of related
+// photos are non-negatively correlated by construction; an anti-correlated
+// pair is simply "not similar").
+func CosineSim01(a, b Vector) float64 {
+	c := Cosine(a, b)
+	if c < 0 {
+		return 0
+	}
+	if c > 1 { // guard against rounding above 1
+		return 1
+	}
+	return c
+}
+
+// Normalize scales a to unit norm in place and returns it. Zero vectors are
+// left unchanged.
+func Normalize(a Vector) Vector {
+	n := Norm(a)
+	if n == 0 {
+		return a
+	}
+	for i := range a {
+		a[i] /= n
+	}
+	return a
+}
+
+// Clone returns an independent copy.
+func Clone(a Vector) Vector {
+	b := make(Vector, len(a))
+	copy(b, a)
+	return b
+}
+
+// Add returns a + b.
+func Add(a, b Vector) Vector {
+	if len(a) != len(b) {
+		panic("embed: dimension mismatch")
+	}
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Scale returns s·a.
+func Scale(a Vector, s float64) Vector {
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] * s
+	}
+	return out
+}
+
+// Hadamard returns the elementwise product a ⊙ b.
+func Hadamard(a, b Vector) Vector {
+	if len(a) != len(b) {
+		panic("embed: dimension mismatch")
+	}
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] * b[i]
+	}
+	return out
+}
+
+// RandomUnit draws a uniformly random unit vector of the given dimension.
+func RandomUnit(rng *rand.Rand, dim int) Vector {
+	v := make(Vector, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return Normalize(v)
+}
+
+// Perturb returns normalize(a + noise·g) where g is Gaussian: a point near a
+// on the unit sphere. It models instance-level variation around a category
+// prototype.
+func Perturb(rng *rand.Rand, a Vector, noise float64) Vector {
+	out := make(Vector, len(a))
+	for i := range a {
+		out[i] = a[i] + noise*rng.NormFloat64()
+	}
+	return Normalize(out)
+}

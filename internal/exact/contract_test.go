@@ -1,0 +1,12 @@
+package exact
+
+import (
+	"testing"
+
+	"phocus/internal/par"
+	"phocus/internal/solvertest"
+)
+
+func TestSolverContract(t *testing.T) {
+	solvertest.Contract(t, func() par.Solver { return &Solver{} }, solvertest.Options{Saturates: true, Trials: 10})
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps every experiment fast enough for the unit-test suite.
+func tinyCfg() Config {
+	return Config{Scale: 0.02, Seed: 0}
+}
+
+// TestAllExperimentsRun executes every registered experiment at tiny scale
+// and checks that each produces a report without shape violations. This is
+// the end-to-end regression net over the whole reproduction.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := e.Run(tinyCfg(), &sb); err != nil {
+				t.Fatalf("%s failed: %v", e.Name, err)
+			}
+			out := sb.String()
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", e.Name)
+			}
+			if strings.Contains(out, "VIOLATION") {
+				t.Errorf("%s reports a shape violation:\n%s", e.Name, out)
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if Find("fig5a") == nil {
+		t.Error("fig5a not registered")
+	}
+	if Find("nope") != nil {
+		t.Error("unknown experiment found")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "fig5a", "fig5b", "fig5c", "fig5d", "fig5e",
+		"fig5f", "fig5g", "fig5h", "smallbudget", "judgments",
+		"onlinebound", "tau", "ablation", "compression", "streaming", "caching", "dynamic", "scaling", "variance",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, name := range want {
+		if reg[i].Name != name {
+			t.Errorf("registry[%d] = %q, want %q", i, reg[i].Name, name)
+		}
+		if reg[i].Desc == "" {
+			t.Errorf("registry[%d] has no description", i)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.fill()
+	if c.Scale != 0.2 || c.Tau != 0.75 {
+		t.Errorf("defaults: %+v", c)
+	}
+	c2 := Config{Scale: 5}
+	c2.fill()
+	if c2.Scale != 0.2 {
+		t.Error("out-of-range scale not clamped")
+	}
+}
+
+func TestDisplayName(t *testing.T) {
+	cases := map[string]string{
+		"RAND-A": "RAND", "RAND-D": "RAND",
+		"Greedy-NR": "G-NR", "Greedy-NCS": "G-NCS",
+		"PHOcus": "PHOcus", "Brute-Force": "Brute-Force",
+	}
+	for in, want := range cases {
+		if got := displayName(in); got != want {
+			t.Errorf("displayName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

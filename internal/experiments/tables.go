@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"phocus/internal/dataset"
+	"phocus/internal/metrics"
+)
+
+// Table1 prints the qualitative comparison of image-summarization systems
+// with PHOcus (Table 1 of the paper): whether the space constraint is a
+// byte budget, whether the coverage focus is user-specifiable, and whether
+// a worst-case approximation guarantee is provided.
+func Table1(cfg Config, w io.Writer) error {
+	t := metrics.Table{
+		Title:  "Table 1: image summarization systems vs PHOcus",
+		Header: []string{"System", "SpaceConstraint", "CoverageFocus", "ApproxGuarantee"},
+	}
+	rows := [][4]string{
+		{"Canonview [42]", "no", "no", "no"},
+		{"Personal photologs [44]", "no", "no", "no"},
+		{"Submodular mixture [46]", "no", "yes", "yes"},
+		{"Fantom [35]", "no", "yes", "yes"},
+		{"Image corpus [43]", "no", "no", "no"},
+		{"PHOcus", "yes", "yes", "yes"},
+	}
+	for _, r := range rows {
+		t.AddRow(r[0], r[1], r[2], r[3])
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// Table2 generates all eight datasets at the configured scale and prints
+// their inventory (photos, subsets, total size), mirroring Table 2.
+func Table2(cfg Config, w io.Writer) error {
+	cfg.fill()
+	t := metrics.Table{
+		Title:  fmt.Sprintf("Table 2: datasets (scale %.2f)", cfg.Scale),
+		Header: []string{"Dataset", "#Photos", "#Predefined subsets", "TotalSize"},
+	}
+	for _, spec := range dataset.PublicSpecs(cfg.Scale) {
+		spec.Seed += cfg.Seed
+		cfg.logf("generating %s (%d photos)...", spec.Name, spec.NumPhotos)
+		ds, err := dataset.GeneratePublic(spec)
+		if err != nil {
+			return err
+		}
+		s := ds.Summarize()
+		t.AddRow(s.Name, fmt.Sprint(s.Photos), fmt.Sprint(s.Subsets), metrics.FormatBytes(s.TotalBytes))
+	}
+	for _, spec := range dataset.ECSpecs(cfg.Scale) {
+		spec.Seed += cfg.Seed
+		cfg.logf("generating EC-%s (%d products)...", spec.Domain, spec.NumProducts)
+		ds, err := dataset.GenerateEC(spec)
+		if err != nil {
+			return err
+		}
+		s := ds.Summarize()
+		t.AddRow(s.Name, fmt.Sprint(s.Photos), fmt.Sprint(s.Subsets), metrics.FormatBytes(s.TotalBytes))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// publicDataset generates the idx-th public dataset (0 = P-1K ...) at the
+// config's scale.
+func publicDataset(cfg Config, idx int) (*dataset.Dataset, error) {
+	specs := dataset.PublicSpecs(cfg.Scale)
+	spec := specs[idx]
+	spec.Seed += cfg.Seed
+	cfg.logf("generating %s (%d photos)...", spec.Name, spec.NumPhotos)
+	return dataset.GeneratePublic(spec)
+}
+
+// ecDataset generates the EC dataset for the given domain at scale.
+func ecDataset(cfg Config, domain string) (*dataset.Dataset, error) {
+	for _, spec := range dataset.ECSpecs(cfg.Scale) {
+		if spec.Domain == domain {
+			spec.Seed += cfg.Seed
+			cfg.logf("generating EC-%s (%d products)...", spec.Domain, spec.NumProducts)
+			return dataset.GenerateEC(spec)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown EC domain %q", domain)
+}

@@ -1,0 +1,136 @@
+package gfl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"phocus/internal/par"
+)
+
+// randomSolution draws a random photo subset (budget irrelevant to F/G).
+func randomSolution(rng *rand.Rand, n int) []par.PhotoID {
+	var s []par.PhotoID
+	for p := 0; p < n; p++ {
+		if rng.Intn(2) == 0 {
+			s = append(s, par.PhotoID(p))
+		}
+	}
+	return s
+}
+
+func TestFigure2Shape(t *testing.T) {
+	inst := par.Figure1Instance()
+	g := FromPAR(inst)
+	// T_R = Σ |q| = 3 + 3 + 1 + 2 = 9 right nodes (Figure 2 shows them).
+	if got := len(g.Right); got != 9 {
+		t.Fatalf("|T_R| = %d, want 9", got)
+	}
+	// W_R = Σ W(q)·R(q,p) = Σ W(q) = 14 because relevance sums to 1.
+	if got := g.TotalRightWeight(); math.Abs(got-14) > 1e-9 {
+		t.Errorf("W_R = %g, want 14", got)
+	}
+	// Edge count: per subset, self edges |q| plus 2 per positive pair.
+	// q1: 3 + 2·3 = 9; q2: 3 + 2·3 = 9; q3: 1; q4: 2 + 2·1 = 4. Total 23.
+	if got := g.NumEdges(); got != 23 {
+		t.Errorf("NumEdges = %d, want 23", got)
+	}
+	if g.Budget != inst.Budget {
+		t.Errorf("budget %g, want %g", g.Budget, inst.Budget)
+	}
+}
+
+// Property (Example 4.7): F over the GFL formulation equals G over the PAR
+// instance for every photo subset.
+func TestEquivalenceQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := par.Random(rng, par.RandomConfig{Photos: 12, Subsets: 6})
+		g := FromPAR(inst)
+		for trial := 0; trial < 5; trial++ {
+			s := randomSolution(rng, 12)
+			if math.Abs(g.Value(s)-par.Score(inst, s)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCost(t *testing.T) {
+	inst := par.Figure1Instance()
+	g := FromPAR(inst)
+	if got := g.Cost([]par.PhotoID{0, 5, 1}); math.Abs(got-3.0) > 1e-9 {
+		t.Errorf("Cost = %g, want 3.0", got)
+	}
+}
+
+func TestSparsifyKeepsSelfEdges(t *testing.T) {
+	inst := par.Figure1Instance()
+	g := FromPAR(inst)
+	s := g.Sparsify(2) // τ > 1 removes every cross edge
+	// Only self edges remain: one per right node.
+	if got := s.NumEdges(); got != 9 {
+		t.Errorf("NumEdges after τ=2 sparsification = %d, want 9 self edges", got)
+	}
+	// Every photo still fully covers itself.
+	all := []par.PhotoID{0, 1, 2, 3, 4, 5, 6}
+	if got := s.Value(all); math.Abs(got-14) > 1e-9 {
+		t.Errorf("Value(P) on fully sparsified graph = %g, want 14", got)
+	}
+}
+
+func TestSparsifyThreshold(t *testing.T) {
+	inst := par.Figure1Instance()
+	g := FromPAR(inst)
+	s := g.Sparsify(0.6)
+	// Surviving cross edges: all pairs with SIM ≥ 0.6 — q1: (p1,p2)=0.7,
+	// (p1,p3)=0.8; q2: (p4,p5)=0.7, (p5,p6)=0.7; q4: (p6,p7)=0.7. That is
+	// 5 pairs × 2 directed edges + 9 self edges = 19.
+	if got := s.NumEdges(); got != 19 {
+		t.Errorf("NumEdges after τ=0.6 = %d, want 19", got)
+	}
+	// Dropped edge (p2,p3)=0.5 lowers the value of {p2} as a cover of q1.
+	v := s.Value([]par.PhotoID{1})
+	// q1 via p2: p1 gets 0.7, p2 gets 1, p3 gets 0 (edge dropped).
+	want := 9 * (0.5*0.7 + 0.3*1 + 0.2*0)
+	if math.Abs(v-want) > 1e-9 {
+		t.Errorf("Value({p2}) = %g, want %g", v, want)
+	}
+	// The unsparsified graph keeps the 0.5 edge.
+	vFull := g.Value([]par.PhotoID{1})
+	wantFull := 9 * (0.5*0.7 + 0.3*1 + 0.2*0.5)
+	if math.Abs(vFull-wantFull) > 1e-9 {
+		t.Errorf("full Value({p2}) = %g, want %g", vFull, wantFull)
+	}
+}
+
+// Property: sparsification never increases F and τ=0 is the identity.
+func TestSparsifyMonotoneQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := par.Random(rng, par.RandomConfig{Photos: 10, Subsets: 5})
+		g := FromPAR(inst)
+		s := randomSolution(rng, 10)
+		v0 := g.Value(s)
+		if math.Abs(g.Sparsify(0).Value(s)-v0) > 1e-12 {
+			return false
+		}
+		prev := v0
+		for _, tau := range []float64{0.25, 0.5, 0.75, 1.01} {
+			v := g.Sparsify(tau).Value(s)
+			if v > prev+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package imagesim
+
+// Downscale returns the image reduced by an integer factor using box
+// filtering (each output pixel averages a factor×factor block). It is the
+// pixel-level ground truth behind the compression extension: a downscaled
+// photo costs less under the size model and drifts away from the original
+// in feature space, and both effects can be measured instead of assumed.
+func Downscale(im *Image, factor int) *Image {
+	if factor <= 1 {
+		clone := NewImage(im.Width, im.Height)
+		copy(clone.Pixels, im.Pixels)
+		return clone
+	}
+	w := im.Width / factor
+	h := im.Height / factor
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	out := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var r, g, b, n float64
+			for dy := 0; dy < factor; dy++ {
+				for dx := 0; dx < factor; dx++ {
+					sx := x*factor + dx
+					sy := y*factor + dy
+					if sx >= im.Width || sy >= im.Height {
+						continue
+					}
+					p := im.At(sx, sy)
+					r += float64(p.R)
+					g += float64(p.G)
+					b += float64(p.B)
+					n++
+				}
+			}
+			out.Set(x, y, RGB{
+				R: clampByte(r / n),
+				G: clampByte(g / n),
+				B: clampByte(b / n),
+			})
+		}
+	}
+	return out
+}
+
+// Upscale returns the image enlarged by an integer factor using nearest-
+// neighbour replication. Comparing a photo with its down-then-up-scaled
+// round trip in the SAME feature space is how compression fidelity is
+// measured (feature layouts are resolution-dependent, so the round trip
+// restores comparability).
+func Upscale(im *Image, factor int) *Image {
+	if factor <= 1 {
+		clone := NewImage(im.Width, im.Height)
+		copy(clone.Pixels, im.Pixels)
+		return clone
+	}
+	out := NewImage(im.Width*factor, im.Height*factor)
+	for y := 0; y < out.Height; y++ {
+		for x := 0; x < out.Width; x++ {
+			out.Set(x, y, im.At(x/factor, y/factor))
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package imagesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"phocus/internal/embed"
+)
+
+func TestDownscaleDimensions(t *testing.T) {
+	im := NewImage(32, 32)
+	small := Downscale(im, 4)
+	if small.Width != 8 || small.Height != 8 {
+		t.Fatalf("downscaled to %dx%d, want 8x8", small.Width, small.Height)
+	}
+	// Factor 1 and below clone.
+	same := Downscale(im, 1)
+	if same.Width != 32 || same == im {
+		t.Error("factor 1 should clone, not alias")
+	}
+	// Degenerate factor larger than the image collapses to 1x1.
+	tiny := Downscale(im, 64)
+	if tiny.Width != 1 || tiny.Height != 1 {
+		t.Fatalf("over-downscale gave %dx%d", tiny.Width, tiny.Height)
+	}
+}
+
+func TestDownscaleAverages(t *testing.T) {
+	im := NewImage(2, 2)
+	im.Set(0, 0, RGB{0, 0, 0})
+	im.Set(1, 0, RGB{100, 100, 100})
+	im.Set(0, 1, RGB{100, 100, 100})
+	im.Set(1, 1, RGB{200, 200, 200})
+	small := Downscale(im, 2)
+	if got := small.At(0, 0); got != (RGB{100, 100, 100}) {
+		t.Errorf("box average = %v, want {100 100 100}", got)
+	}
+}
+
+func TestUpscaleReplicates(t *testing.T) {
+	im := NewImage(2, 1)
+	im.Set(0, 0, RGB{10, 10, 10})
+	im.Set(1, 0, RGB{20, 20, 20})
+	big := Upscale(im, 3)
+	if big.Width != 6 || big.Height != 3 {
+		t.Fatalf("upscaled to %dx%d", big.Width, big.Height)
+	}
+	if big.At(2, 2) != (RGB{10, 10, 10}) || big.At(3, 0) != (RGB{20, 20, 20}) {
+		t.Error("nearest-neighbour replication wrong")
+	}
+	if same := Upscale(im, 1); same.Width != 2 || same == im {
+		t.Error("factor 1 should clone, not alias")
+	}
+}
+
+// Downscaling must shrink the size model's estimate and keep the round trip
+// recognizable in feature space — the two quantities CalibrateLevel uses.
+func TestDownscaleSizeAndFidelity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewCategoryModel(rng, "cal")
+	cfg := DefaultGenConfig()
+	ecfg := DefaultEmbeddingConfig()
+	ph := m.Generate(rng, 0, cfg)
+	small := Downscale(ph.Image, 2)
+	if EstimateJPEGSize(small) >= EstimateJPEGSize(ph.Image) {
+		t.Error("downscaled image not cheaper under the size model")
+	}
+	restored := Upscale(small, 2)
+	fidelity := embed.CosineSim01(Embedding(ph.Image, ecfg), Embedding(restored, ecfg))
+	if fidelity < 0.6 {
+		t.Errorf("2x round-trip fidelity %.3f implausibly low", fidelity)
+	}
+	if fidelity >= 1 {
+		t.Errorf("2x round-trip fidelity %.3f lost nothing; downscale is a no-op", fidelity)
+	}
+}

@@ -1,0 +1,142 @@
+package imagesim
+
+import (
+	"math"
+
+	"phocus/internal/embed"
+)
+
+// ColorHistogram computes a normalized per-channel color histogram with the
+// given number of bins per channel (3·bins values summing to 1).
+func ColorHistogram(im *Image, bins int) []float64 {
+	h := make([]float64, 3*bins)
+	scale := float64(bins) / 256
+	for _, p := range im.Pixels {
+		h[binIndex(p.R, scale, bins)]++
+		h[bins+binIndex(p.G, scale, bins)]++
+		h[2*bins+binIndex(p.B, scale, bins)]++
+	}
+	total := float64(3 * len(im.Pixels))
+	for i := range h {
+		h[i] /= total
+	}
+	return h
+}
+
+func binIndex(v uint8, scale float64, bins int) int {
+	b := int(float64(v) * scale)
+	if b >= bins {
+		b = bins - 1
+	}
+	return b
+}
+
+// GradientDescriptor computes a SIFT-flavoured descriptor: the image is
+// divided into grid×grid cells and each cell accumulates a histogram of
+// gradient orientations (orientBins bins) weighted by gradient magnitude.
+// The concatenated histograms are L2-normalized. Length: grid²·orientBins.
+func GradientDescriptor(im *Image, grid, orientBins int) []float64 {
+	desc := make([]float64, grid*grid*orientBins)
+	cellW := float64(im.Width) / float64(grid)
+	cellH := float64(im.Height) / float64(grid)
+	for y := 1; y < im.Height-1; y++ {
+		for x := 1; x < im.Width-1; x++ {
+			gx := im.At(x+1, y).Luminance() - im.At(x-1, y).Luminance()
+			gy := im.At(x, y+1).Luminance() - im.At(x, y-1).Luminance()
+			mag := math.Hypot(gx, gy)
+			if mag == 0 {
+				continue
+			}
+			theta := math.Atan2(gy, gx) + math.Pi // [0, 2π]
+			ob := int(theta / (2 * math.Pi) * float64(orientBins))
+			if ob >= orientBins {
+				ob = orientBins - 1
+			}
+			cx := int(float64(x) / cellW)
+			cy := int(float64(y) / cellH)
+			if cx >= grid {
+				cx = grid - 1
+			}
+			if cy >= grid {
+				cy = grid - 1
+			}
+			desc[(cy*grid+cx)*orientBins+ob] += mag
+		}
+	}
+	var norm float64
+	for _, v := range desc {
+		norm += v * v
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range desc {
+			desc[i] /= norm
+		}
+	}
+	return desc
+}
+
+// LuminanceEntropy returns the Shannon entropy (bits) of the 256-bin
+// luminance histogram, a proxy for how compressible the image is.
+func LuminanceEntropy(im *Image) float64 {
+	var hist [256]float64
+	for _, p := range im.Pixels {
+		hist[int(p.Luminance())]++
+	}
+	total := float64(len(im.Pixels))
+	var h float64
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		pr := c / total
+		h -= pr * math.Log2(pr)
+	}
+	return h
+}
+
+// EmbeddingConfig fixes the feature layout of Embedding. The default (zero
+// value is invalid; use DefaultEmbeddingConfig) yields 8·3 + 4·4·8 = 152
+// dimensions.
+type EmbeddingConfig struct {
+	ColorBins  int // histogram bins per channel
+	Grid       int // gradient descriptor grid
+	OrientBins int // gradient orientation bins
+}
+
+// DefaultEmbeddingConfig is the layout used by the dataset generators.
+func DefaultEmbeddingConfig() EmbeddingConfig {
+	return EmbeddingConfig{ColorBins: 8, Grid: 4, OrientBins: 8}
+}
+
+// Dim returns the embedding dimension of the config.
+func (c EmbeddingConfig) Dim() int { return 3*c.ColorBins + c.Grid*c.Grid*c.OrientBins }
+
+// Embedding computes the photo's feature embedding: concatenated color
+// histogram and gradient descriptor, each centered around its own mean and
+// then jointly L2-normalized. It is the synthetic stand-in for the paper's
+// ResNet-50 embedding — what matters to PAR is that visually similar
+// photos land nearby under cosine similarity. Centering matters: raw
+// histograms are non-negative, which compresses all cosines into a narrow
+// high band; subtracting each block's mean spreads unrelated photos toward
+// zero (and below) while near-duplicates stay close to 1, matching the
+// geometry of learned embeddings.
+func Embedding(im *Image, cfg EmbeddingConfig) embed.Vector {
+	v := make(embed.Vector, 0, cfg.Dim())
+	v = append(v, centered(ColorHistogram(im, cfg.ColorBins))...)
+	v = append(v, centered(GradientDescriptor(im, cfg.Grid, cfg.OrientBins))...)
+	return embed.Normalize(v)
+}
+
+// centered subtracts the block's mean in place and returns it.
+func centered(block []float64) []float64 {
+	var mean float64
+	for _, x := range block {
+		mean += x
+	}
+	mean /= float64(len(block))
+	for i := range block {
+		block[i] -= mean
+	}
+	return block
+}

@@ -1,0 +1,66 @@
+// Package imagesim is the synthetic photo substrate standing in for the
+// paper's real image collections (Open Images and the XYZ product archive).
+// It generates raster images from category models, extracts the classical
+// features the paper's Data Representation Module relies on — color
+// histograms, gradient-orientation descriptors in the spirit of SIFT visual
+// words, EXIF-like metadata — and models each photo's storage cost with an
+// entropy-based JPEG size estimate. Downstream, internal/dataset composes
+// these pieces into PAR instances and internal/tagging uses the features
+// for automatic subset derivation.
+package imagesim
+
+import "fmt"
+
+// RGB is one 8-bit pixel.
+type RGB struct {
+	R, G, B uint8
+}
+
+// Image is a dense raster.
+type Image struct {
+	Width, Height int
+	Pixels        []RGB // row-major
+}
+
+// NewImage allocates a black image.
+func NewImage(width, height int) *Image {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("imagesim: invalid dimensions %dx%d", width, height))
+	}
+	return &Image{Width: width, Height: height, Pixels: make([]RGB, width*height)}
+}
+
+// At returns the pixel at (x, y).
+func (im *Image) At(x, y int) RGB { return im.Pixels[y*im.Width+x] }
+
+// Set writes the pixel at (x, y).
+func (im *Image) Set(x, y int, p RGB) { im.Pixels[y*im.Width+x] = p }
+
+// Luminance returns the Rec. 601 luma of a pixel in [0, 255].
+func (p RGB) Luminance() float64 {
+	return 0.299*float64(p.R) + 0.587*float64(p.G) + 0.114*float64(p.B)
+}
+
+// EXIF is the metadata block attached to a photo. The attributes mirror the
+// ones the paper mentions reading for similarity features (Section 5.1):
+// capture time, location and camera.
+type EXIF struct {
+	// UnixTime is the capture timestamp in seconds.
+	UnixTime int64
+	// Latitude and Longitude locate the capture.
+	Latitude, Longitude float64
+	// Camera is the camera model string.
+	Camera string
+}
+
+// Photo couples an image with its metadata and storage cost.
+type Photo struct {
+	ID        int
+	Image     *Image
+	EXIF      EXIF
+	SizeBytes float64
+	// Category is the index of the generating category model; generators
+	// record it so dataset builders can derive labels, and tagging
+	// evaluates against it as ground truth.
+	Category int
+}

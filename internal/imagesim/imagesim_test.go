@@ -1,0 +1,246 @@
+package imagesim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"phocus/internal/embed"
+)
+
+func TestImageBasics(t *testing.T) {
+	im := NewImage(4, 3)
+	if len(im.Pixels) != 12 {
+		t.Fatalf("pixel buffer %d, want 12", len(im.Pixels))
+	}
+	im.Set(3, 2, RGB{R: 10, G: 20, B: 30})
+	if got := im.At(3, 2); got != (RGB{10, 20, 30}) {
+		t.Errorf("At(3,2) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewImage(0,1) should panic")
+		}
+	}()
+	NewImage(0, 1)
+}
+
+func TestLuminance(t *testing.T) {
+	if got := (RGB{255, 255, 255}).Luminance(); math.Abs(got-255) > 1e-9 {
+		t.Errorf("white luminance = %g", got)
+	}
+	if got := (RGB{}).Luminance(); got != 0 {
+		t.Errorf("black luminance = %g", got)
+	}
+}
+
+func TestColorHistogramNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewCategoryModel(rng, "cat")
+	ph := m.Generate(rng, 0, DefaultGenConfig())
+	h := ColorHistogram(ph.Image, 8)
+	if len(h) != 24 {
+		t.Fatalf("histogram length %d, want 24", len(h))
+	}
+	var sum float64
+	for _, v := range h {
+		if v < 0 {
+			t.Fatal("negative histogram bin")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 { // normalized over all channels jointly
+		t.Errorf("histogram sums to %g, want 1", sum)
+	}
+}
+
+func TestGradientDescriptor(t *testing.T) {
+	// A vertical edge produces horizontal gradients only.
+	im := NewImage(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 8; x < 16; x++ {
+			im.Set(x, y, RGB{255, 255, 255})
+		}
+	}
+	d := GradientDescriptor(im, 2, 8)
+	if len(d) != 32 {
+		t.Fatalf("descriptor length %d, want 32", len(d))
+	}
+	var norm float64
+	for _, v := range d {
+		norm += v * v
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("descriptor norm² = %g, want 1", norm)
+	}
+	// Orientation bins for gx>0, gy=0: theta = atan2(0, +) + π = π → bin
+	// orientBins/2. All mass should be there.
+	var onAxis float64
+	for cell := 0; cell < 4; cell++ {
+		onAxis += d[cell*8+4] * d[cell*8+4]
+	}
+	if onAxis < 0.99 {
+		t.Errorf("vertical edge mass on expected orientation = %g, want ≈1", onAxis)
+	}
+}
+
+func TestGradientDescriptorFlatImage(t *testing.T) {
+	im := NewImage(8, 8)
+	d := GradientDescriptor(im, 2, 4)
+	for _, v := range d {
+		if v != 0 {
+			t.Fatal("flat image must yield zero descriptor")
+		}
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	flat := NewImage(8, 8)
+	if got := LuminanceEntropy(flat); got != 0 {
+		t.Errorf("flat image entropy = %g, want 0", got)
+	}
+	rng := rand.New(rand.NewSource(2))
+	noisy := NewImage(16, 16)
+	for i := range noisy.Pixels {
+		noisy.Pixels[i] = RGB{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))}
+	}
+	h := LuminanceEntropy(noisy)
+	if h <= 4 || h > 8 {
+		t.Errorf("noisy image entropy = %g, want in (4, 8]", h)
+	}
+}
+
+func TestJPEGSizeModel(t *testing.T) {
+	flat := NewImage(32, 32)
+	rng := rand.New(rand.NewSource(3))
+	noisy := NewImage(32, 32)
+	for i := range noisy.Pixels {
+		noisy.Pixels[i] = RGB{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))}
+	}
+	sFlat, sNoisy := EstimateJPEGSize(flat), EstimateJPEGSize(noisy)
+	if sFlat >= sNoisy {
+		t.Errorf("flat image (%.0f B) should be smaller than noisy (%.0f B)", sFlat, sNoisy)
+	}
+	if sFlat < 300_000 {
+		t.Errorf("size floor violated: %.0f", sFlat)
+	}
+	if sNoisy > 3_000_000 {
+		t.Errorf("noisy 32×32 size %.0f B implausibly large", sNoisy)
+	}
+}
+
+func TestEmbeddingConfig(t *testing.T) {
+	cfg := DefaultEmbeddingConfig()
+	if cfg.Dim() != 3*8+4*4*8 {
+		t.Errorf("Dim() = %d, want 152", cfg.Dim())
+	}
+}
+
+// Intra-category embeddings must be much more similar than inter-category
+// ones: the property the whole similarity pipeline rests on.
+func TestCategorySeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := DefaultGenConfig()
+	ecfg := DefaultEmbeddingConfig()
+	catA := NewCategoryModel(rng, "A")
+	catB := NewCategoryModel(rng, "B")
+	var intra, inter []float64
+	for trial := 0; trial < 10; trial++ {
+		a1 := Embedding(catA.Generate(rng, 0, cfg).Image, ecfg)
+		a2 := Embedding(catA.Generate(rng, 1, cfg).Image, ecfg)
+		b1 := Embedding(catB.Generate(rng, 2, cfg).Image, ecfg)
+		intra = append(intra, embed.Cosine(a1, a2))
+		inter = append(inter, embed.Cosine(a1, b1))
+	}
+	if mean(intra) <= mean(inter)+0.05 {
+		t.Errorf("intra-category cosine %.3f not separated from inter %.3f", mean(intra), mean(inter))
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig()
+	m := NewCategoryModel(rand.New(rand.NewSource(5)), "X")
+	p1 := m.Generate(rand.New(rand.NewSource(6)), 0, cfg)
+	p2 := m.Generate(rand.New(rand.NewSource(6)), 0, cfg)
+	if p1.SizeBytes != p2.SizeBytes || p1.EXIF != p2.EXIF {
+		t.Error("Generate not deterministic for fixed seed")
+	}
+	for i := range p1.Image.Pixels {
+		if p1.Image.Pixels[i] != p2.Image.Pixels[i] {
+			t.Fatal("pixels differ for fixed seed")
+		}
+	}
+}
+
+func TestCollection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cats := []*CategoryModel{
+		NewCategoryModel(rng, "a"),
+		NewCategoryModel(rng, "b"),
+	}
+	photos, err := Collection(rng, cats, 50, []float64{9, 1}, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(photos) != 50 {
+		t.Fatalf("generated %d photos", len(photos))
+	}
+	counts := map[int]int{}
+	for i, p := range photos {
+		if p.ID != i {
+			t.Fatalf("photo %d has ID %d", i, p.ID)
+		}
+		counts[p.Category]++
+	}
+	if counts[0] <= counts[1] {
+		t.Errorf("weighted sampling ignored weights: %v", counts)
+	}
+}
+
+func TestCollectionErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if _, err := Collection(rng, nil, 5, nil, DefaultGenConfig()); err == nil {
+		t.Error("expected error for no categories")
+	}
+	cats := []*CategoryModel{NewCategoryModel(rng, "a")}
+	if _, err := Collection(rng, cats, 5, []float64{1, 2}, DefaultGenConfig()); err == nil {
+		t.Error("expected error for weight length mismatch")
+	}
+	if _, err := Collection(rng, cats, 5, []float64{-1}, DefaultGenConfig()); err == nil {
+		t.Error("expected error for negative weight")
+	}
+	if _, err := Collection(rng, cats, 5, []float64{0}, DefaultGenConfig()); err == nil {
+		t.Error("expected error for zero total weight")
+	}
+}
+
+// Property: every generated photo has valid size and embedding.
+func TestGenerateValidQuick(t *testing.T) {
+	cfg := DefaultGenConfig()
+	ecfg := DefaultEmbeddingConfig()
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewCategoryModel(rng, "q")
+		ph := m.Generate(rng, 0, cfg)
+		if ph.SizeBytes <= 0 || math.IsNaN(ph.SizeBytes) {
+			return false
+		}
+		v := Embedding(ph.Image, ecfg)
+		if len(v) != ecfg.Dim() {
+			return false
+		}
+		return math.Abs(embed.Norm(v)-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+package imagesim
+
+import "math"
+
+// QualityScore rates a photo's visual quality in [0, 1]. Section 5.1 of the
+// paper computes relevance "based both on the quality of the image (using
+// [an] ML model ...) and the relevance score of the product"; this is the
+// classical-feature stand-in for that quality model. Three ingredients,
+// each mapped to [0, 1] and averaged:
+//
+//   - exposure: mean luminance near mid-gray scores high, crushed blacks or
+//     blown highlights score low;
+//   - contrast: luminance standard deviation, saturating at ~64 levels;
+//   - sharpness: mean gradient magnitude, saturating at ~32 levels/pixel.
+func QualityScore(im *Image) float64 {
+	n := float64(len(im.Pixels))
+	var sum, sumSq float64
+	for _, p := range im.Pixels {
+		l := p.Luminance()
+		sum += l
+		sumSq += l * l
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	std := math.Sqrt(variance)
+
+	// Exposure: triangular score peaking at mid-gray (127.5).
+	exposure := 1 - math.Abs(mean-127.5)/127.5
+
+	// Contrast: saturating ramp.
+	contrast := std / 64
+	if contrast > 1 {
+		contrast = 1
+	}
+
+	// Sharpness: mean central-difference gradient magnitude.
+	var grad float64
+	var cnt float64
+	for y := 1; y < im.Height-1; y++ {
+		for x := 1; x < im.Width-1; x++ {
+			gx := im.At(x+1, y).Luminance() - im.At(x-1, y).Luminance()
+			gy := im.At(x, y+1).Luminance() - im.At(x, y-1).Luminance()
+			grad += math.Hypot(gx, gy)
+			cnt++
+		}
+	}
+	sharpness := 0.0
+	if cnt > 0 {
+		sharpness = grad / cnt / 32
+		if sharpness > 1 {
+			sharpness = 1
+		}
+	}
+	return (exposure + contrast + sharpness) / 3
+}

@@ -1,0 +1,70 @@
+package imagesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func fill(im *Image, p RGB) {
+	for i := range im.Pixels {
+		im.Pixels[i] = p
+	}
+}
+
+func TestQualityScoreRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		m := NewCategoryModel(rng, "q")
+		ph := m.Generate(rng, trial, DefaultGenConfig())
+		q := QualityScore(ph.Image)
+		if q < 0 || q > 1 {
+			t.Fatalf("quality %g outside [0,1]", q)
+		}
+	}
+}
+
+func TestQualityScoreDegenerates(t *testing.T) {
+	black := NewImage(16, 16)
+	if q := QualityScore(black); q > 0.1 {
+		t.Errorf("all-black image quality = %g, want near 0", q)
+	}
+	white := NewImage(16, 16)
+	fill(white, RGB{255, 255, 255})
+	if q := QualityScore(white); q > 0.1 {
+		t.Errorf("blown-out image quality = %g, want near 0", q)
+	}
+}
+
+func TestQualityScoreOrdering(t *testing.T) {
+	// A mid-gray image with strong structure beats a flat mid-gray one.
+	flat := NewImage(16, 16)
+	fill(flat, RGB{128, 128, 128})
+
+	structured := NewImage(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if (x/2+y/2)%2 == 0 {
+				structured.Set(x, y, RGB{64, 64, 64})
+			} else {
+				structured.Set(x, y, RGB{192, 192, 192})
+			}
+		}
+	}
+	qf, qs := QualityScore(flat), QualityScore(structured)
+	if qs <= qf {
+		t.Errorf("structured image (%g) should outscore flat (%g)", qs, qf)
+	}
+	if qs < 0.6 {
+		t.Errorf("well-exposed structured image quality = %g, want high", qs)
+	}
+}
+
+func TestQualityScoreTinyImage(t *testing.T) {
+	// 2×2 images have no interior pixels for the sharpness pass; the score
+	// must still be defined.
+	im := NewImage(2, 2)
+	fill(im, RGB{128, 128, 128})
+	if q := QualityScore(im); q < 0 || q > 1 {
+		t.Errorf("tiny image quality %g outside [0,1]", q)
+	}
+}

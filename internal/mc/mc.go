@@ -1,0 +1,267 @@
+// Package mc implements the Maximum Coverage problem family that PAR's
+// hardness and sparsification analyses lean on:
+//
+//   - classic Maximum Coverage (pick k sets to cover the most elements),
+//     used in Theorem 3.4's reduction proving PAR is NP-hard to approximate
+//     beyond 1−1/e;
+//   - Budgeted Maximum Coverage of Khuller, Moss and Naor (weighted
+//     elements, set costs, knapsack budget), used to compute the α of
+//     Theorem 4.8's data-dependent sparsification bound;
+//   - the reduction itself: every MC instance becomes a PAR instance whose
+//     solutions translate back with identical value.
+package mc
+
+import (
+	"fmt"
+	"sort"
+
+	"phocus/internal/par"
+)
+
+// Instance is a Budgeted Maximum Coverage instance: weighted elements,
+// costed sets, and a budget. Classic MC is the special case of unit weights,
+// unit costs and budget k.
+type Instance struct {
+	// ElementWeights holds one weight per element of the universe.
+	ElementWeights []float64
+	// Sets lists, for each set, the element indices it covers.
+	Sets [][]int
+	// SetCosts holds one cost per set.
+	SetCosts []float64
+	// Budget bounds the total cost of the chosen sets.
+	Budget float64
+}
+
+// NewUniform builds a classic MC instance: ne unit-weight elements,
+// unit-cost sets, and a cardinality budget of k.
+func NewUniform(ne int, sets [][]int, k int) *Instance {
+	in := &Instance{
+		ElementWeights: make([]float64, ne),
+		Sets:           sets,
+		SetCosts:       make([]float64, len(sets)),
+		Budget:         float64(k),
+	}
+	for i := range in.ElementWeights {
+		in.ElementWeights[i] = 1
+	}
+	for i := range in.SetCosts {
+		in.SetCosts[i] = 1
+	}
+	return in
+}
+
+// Validate checks structural consistency.
+func (in *Instance) Validate() error {
+	if len(in.Sets) != len(in.SetCosts) {
+		return fmt.Errorf("mc: %d sets but %d costs", len(in.Sets), len(in.SetCosts))
+	}
+	for si, set := range in.Sets {
+		for _, e := range set {
+			if e < 0 || e >= len(in.ElementWeights) {
+				return fmt.Errorf("mc: set %d covers element %d out of range", si, e)
+			}
+		}
+	}
+	for si, c := range in.SetCosts {
+		if c <= 0 {
+			return fmt.Errorf("mc: set %d has non-positive cost %g", si, c)
+		}
+	}
+	if in.Budget < 0 {
+		return fmt.Errorf("mc: negative budget")
+	}
+	return nil
+}
+
+// Coverage returns the total weight of elements covered by the chosen sets.
+func (in *Instance) Coverage(chosen []int) float64 {
+	covered := make([]bool, len(in.ElementWeights))
+	var total float64
+	for _, si := range chosen {
+		for _, e := range in.Sets[si] {
+			if !covered[e] {
+				covered[e] = true
+				total += in.ElementWeights[e]
+			}
+		}
+	}
+	return total
+}
+
+// TotalWeight returns the weight of the whole universe.
+func (in *Instance) TotalWeight() float64 {
+	var w float64
+	for _, v := range in.ElementWeights {
+		w += v
+	}
+	return w
+}
+
+// Solution is the result of a coverage solver.
+type Solution struct {
+	Sets     []int   // chosen set indices
+	Coverage float64 // total covered weight
+	Cost     float64 // total cost
+}
+
+// GreedyBudgeted runs the Khuller–Moss–Naor heuristic: the better of (a) the
+// density greedy that repeatedly adds the feasible set with the highest
+// marginal-coverage-per-cost, and (b) the best single feasible set. The
+// combination guarantees a (1−1/e)/2-approximation; with uniform costs the
+// density greedy alone is the classic (1−1/e) greedy.
+func GreedyBudgeted(in *Instance) Solution {
+	greedy := densityGreedy(in)
+	single := bestSingle(in)
+	if single.Coverage > greedy.Coverage {
+		return single
+	}
+	return greedy
+}
+
+func densityGreedy(in *Instance) Solution {
+	covered := make([]bool, len(in.ElementWeights))
+	chosen := make([]bool, len(in.Sets))
+	var sol Solution
+	for {
+		best, bestKey := -1, 0.0
+		for si := range in.Sets {
+			if chosen[si] || sol.Cost+in.SetCosts[si] > in.Budget {
+				continue
+			}
+			var gain float64
+			for _, e := range in.Sets[si] {
+				if !covered[e] {
+					gain += in.ElementWeights[e]
+				}
+			}
+			if gain <= 0 {
+				continue
+			}
+			key := gain / in.SetCosts[si]
+			if best < 0 || key > bestKey {
+				best, bestKey = si, key
+			}
+		}
+		if best < 0 {
+			return sol
+		}
+		chosen[best] = true
+		sol.Sets = append(sol.Sets, best)
+		sol.Cost += in.SetCosts[best]
+		for _, e := range in.Sets[best] {
+			if !covered[e] {
+				covered[e] = true
+				sol.Coverage += in.ElementWeights[e]
+			}
+		}
+	}
+}
+
+func bestSingle(in *Instance) Solution {
+	var sol Solution
+	for si := range in.Sets {
+		if in.SetCosts[si] > in.Budget {
+			continue
+		}
+		if cov := in.Coverage([]int{si}); cov > sol.Coverage {
+			sol = Solution{Sets: []int{si}, Coverage: cov, Cost: in.SetCosts[si]}
+		}
+	}
+	return sol
+}
+
+// Exact solves the instance optimally by enumeration; exponential in the
+// number of sets, intended for tests and for tiny bound computations.
+func Exact(in *Instance) Solution {
+	n := len(in.Sets)
+	if n > 24 {
+		panic(fmt.Sprintf("mc: Exact on %d sets would enumerate 2^%d subsets", n, n))
+	}
+	var best Solution
+	for mask := 0; mask < 1<<n; mask++ {
+		var sets []int
+		var cost float64
+		for si := 0; si < n; si++ {
+			if mask&(1<<si) != 0 {
+				sets = append(sets, si)
+				cost += in.SetCosts[si]
+			}
+		}
+		if cost > in.Budget {
+			continue
+		}
+		if cov := in.Coverage(sets); cov > best.Coverage {
+			best = Solution{Sets: sets, Coverage: cov, Cost: cost}
+		}
+	}
+	return best
+}
+
+// ToPAR applies the reduction of Theorem 3.4: every set s becomes a
+// unit-cost photo p_s; every element e becomes a pre-defined subset q_e of
+// weight 1 containing the photos of the sets covering e, uniform relevance
+// 1/|q_e|, and uniform intra-subset similarity 1. The budget is k. Solving
+// the PAR instance with value v yields an MC cover of exactly v·|E'| where
+// E' is the set of coverable elements — PhotosToSets translates solutions
+// back. Elements covered by no set are dropped (they are uncoverable in
+// both formulations). Element weights and set costs must be uniform (the
+// reduction targets classic MC).
+func ToPAR(in *Instance) (*par.Instance, error) {
+	for _, w := range in.ElementWeights {
+		if w != 1 {
+			return nil, fmt.Errorf("mc: ToPAR requires unit element weights")
+		}
+	}
+	for _, c := range in.SetCosts {
+		if c != 1 {
+			return nil, fmt.Errorf("mc: ToPAR requires unit set costs")
+		}
+	}
+	// Invert: element -> sets covering it.
+	coveredBy := make([][]par.PhotoID, len(in.ElementWeights))
+	for si, set := range in.Sets {
+		for _, e := range set {
+			coveredBy[e] = append(coveredBy[e], par.PhotoID(si))
+		}
+	}
+	inst := &par.Instance{
+		Cost:   make([]float64, len(in.Sets)),
+		Budget: in.Budget,
+	}
+	for i := range inst.Cost {
+		inst.Cost[i] = 1
+	}
+	for e, photos := range coveredBy {
+		if len(photos) == 0 {
+			continue
+		}
+		members := make([]par.PhotoID, len(photos))
+		copy(members, photos)
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		rel := make([]float64, len(members))
+		for i := range rel {
+			rel[i] = 1 / float64(len(members))
+		}
+		inst.Subsets = append(inst.Subsets, par.Subset{
+			Name:      fmt.Sprintf("e%d", e),
+			Weight:    1,
+			Members:   members,
+			Relevance: rel,
+			Sim:       par.UniformSim{N: len(members)},
+		})
+	}
+	if err := inst.Finalize(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// PhotosToSets translates a PAR solution of a ToPAR instance back to the MC
+// instance's chosen sets (the identity on indices).
+func PhotosToSets(photos []par.PhotoID) []int {
+	sets := make([]int, len(photos))
+	for i, p := range photos {
+		sets[i] = int(p)
+	}
+	return sets
+}

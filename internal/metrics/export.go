@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"html/template"
+	"io"
+	"strings"
+)
+
+// WriteCSV emits the table as CSV (header row first) for downstream
+// plotting tools.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the figure as CSV: one row per x tick, one column per
+// series.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{f.XLabel}, seriesNames(f)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for xi, tick := range f.XTicks {
+		row := []string{tick}
+		for _, s := range f.Series {
+			if xi < len(s.Values) {
+				row = append(row, FormatValue(s.Values[xi]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func seriesNames(f *Figure) []string {
+	names := make([]string, len(f.Series))
+	for i, s := range f.Series {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Section is one experiment's report in an HTML document.
+type Section struct {
+	ID    string // anchor id ("fig5a")
+	Title string // human title
+	Body  string // the experiment's plain-text report
+}
+
+// reportTemplate renders the standalone HTML report: a table of contents
+// over monospace sections, with shape verdicts highlighted.
+var reportTemplate = template.Must(template.New("report").Funcs(template.FuncMap{
+	"verdictClass": func(body string) string {
+		switch {
+		case strings.Contains(body, "VIOLATION"):
+			return "bad"
+		case strings.Contains(body, "shape: OK"):
+			return "ok"
+		default:
+			return ""
+		}
+	},
+}).Parse(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; max-width: 72rem; margin: 2rem auto; padding: 0 1rem; }
+pre { background: #f6f8fa; padding: 1rem; overflow-x: auto; border-radius: 6px; }
+nav li { margin: .15rem 0; }
+h2 span.ok  { color: #116329; font-size: .8em; }
+h2 span.bad { color: #a40e26; font-size: .8em; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+<nav><ul>
+{{- range .Sections}}
+<li><a href="#{{.ID}}">{{.Title}}</a></li>
+{{- end}}
+</ul></nav>
+{{- range .Sections}}
+<h2 id="{{.ID}}">{{.Title}} {{if verdictClass .Body}}<span class="{{verdictClass .Body}}">[shape {{verdictClass .Body}}]</span>{{end}}</h2>
+<pre>{{.Body}}</pre>
+{{- end}}
+</body></html>
+`))
+
+// WriteHTMLReport renders a standalone HTML document from experiment
+// sections.
+func WriteHTMLReport(w io.Writer, title string, sections []Section) error {
+	if title == "" {
+		return fmt.Errorf("metrics: empty report title")
+	}
+	return reportTemplate.Execute(w, struct {
+		Title    string
+		Sections []Section
+	}{Title: title, Sections: sections})
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := Table{Header: []string{"name", "value"}}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("with,comma", "2")
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "name,value" {
+		t.Errorf("header %q", lines[0])
+	}
+	if lines[2] != `"with,comma",2` {
+		t.Errorf("quoting wrong: %q", lines[2])
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	f := Figure{XLabel: "budget", XTicks: []string{"5MB", "10MB"}}
+	f.AddSeries("RAND", []float64{1, 2})
+	f.AddSeries("PHOcus", []float64{3}) // short → empty cell
+	var sb strings.Builder
+	if err := f.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	want := []string{"budget,RAND,PHOcus", "5MB,1,3", "10MB,2,"}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestWriteHTMLReport(t *testing.T) {
+	sections := []Section{
+		{ID: "fig5a", Title: "Figure 5a", Body: "rows...\nshape: OK"},
+		{ID: "fig5x", Title: "Figure 5x", Body: "rows...\nshape: VIOLATION — nope"},
+		{ID: "plain", Title: "Plain", Body: "no verdict <script>"},
+	}
+	var sb strings.Builder
+	if err := WriteHTMLReport(&sb, "PHOcus results", sections); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`<h1>PHOcus results</h1>`,
+		`href="#fig5a"`,
+		`<span class="ok">`,
+		`<span class="bad">`,
+		`&lt;script&gt;`, // bodies are escaped
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "<script>") {
+		t.Error("unescaped body content")
+	}
+	if err := WriteHTMLReport(&sb, "", nil); err == nil {
+		t.Error("empty title accepted")
+	}
+}

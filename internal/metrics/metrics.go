@@ -1,0 +1,162 @@
+// Package metrics provides the plain-text table and figure renderers the
+// benchmark harness uses to print paper-style results (rows of Table 2,
+// series of Figures 5a–5h).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			parts[i] = pad(c, width)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// Figure is a set of named series over shared x ticks, rendered as a table
+// (one row per tick, one column per series) — the textual equivalent of the
+// paper's bar charts.
+type Figure struct {
+	Title  string
+	XLabel string
+	XTicks []string
+	Series []Series
+}
+
+// Series is one named line/bar group of a figure.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// AddSeries appends a series; its values must align with XTicks.
+func (f *Figure) AddSeries(name string, values []float64) {
+	f.Series = append(f.Series, Series{Name: name, Values: values})
+}
+
+// Fprint renders the figure as an aligned table.
+func (f *Figure) Fprint(w io.Writer) {
+	t := Table{Title: f.Title, Header: []string{f.XLabel}}
+	for _, s := range f.Series {
+		t.Header = append(t.Header, s.Name)
+	}
+	for xi, tick := range f.XTicks {
+		row := []string{tick}
+		for _, s := range f.Series {
+			if xi < len(s.Values) {
+				row = append(row, FormatValue(s.Values[xi]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(w)
+}
+
+// FormatValue renders a float compactly: integers without decimals, small
+// values with enough precision to compare.
+func FormatValue(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == float64(int64(v)) && av < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// FormatBytes renders a byte count the way the paper labels budgets
+// ("5MB", "1GB").
+func FormatBytes(b float64) string {
+	switch {
+	case b >= 1e9:
+		return trimZero(fmt.Sprintf("%.1f", b/1e9)) + "GB"
+	case b >= 1e6:
+		return trimZero(fmt.Sprintf("%.1f", b/1e6)) + "MB"
+	case b >= 1e3:
+		return trimZero(fmt.Sprintf("%.1f", b/1e3)) + "KB"
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+func trimZero(s string) string {
+	return strings.TrimSuffix(s, ".0")
+}
+
+// FormatDuration renders durations at human scale (minutes for the user
+// study, milliseconds for solver runs).
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Title: "Demo", Header: []string{"name", "value"}}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("a-much-longer-name", "22")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: 'value' column starts at the same offset everywhere.
+	head := strings.Index(lines[1], "value")
+	row := strings.Index(lines[3], "1")
+	if head != row {
+		t.Errorf("columns misaligned: header@%d, row@%d\n%s", head, row, out)
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := Figure{Title: "Fig", XLabel: "budget", XTicks: []string{"5MB", "10MB"}}
+	f.AddSeries("RAND", []float64{1, 2})
+	f.AddSeries("PHOcus", []float64{3}) // short series → "-" filler
+	var sb strings.Builder
+	f.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"budget", "RAND", "PHOcus", "5MB", "10MB", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		1234:    "1234",
+		123.456: "123.5",
+		12.3456: "12.35",
+		0.12345: "0.1235",
+		-5:      "-5",
+	}
+	for in, want := range cases {
+		if got := FormatValue(in); got != want {
+			t.Errorf("FormatValue(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[float64]string{
+		500:     "500B",
+		2_500:   "2.5KB",
+		5e6:     "5MB",
+		2.5e7:   "25MB",
+		1e9:     "1GB",
+		1.5e9:   "1.5GB",
+		1.0e6:   "1MB",
+		999_999: "1000KB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		10 * time.Hour:          "10.0h",
+		90 * time.Minute:        "1.5h",
+		10 * time.Minute:        "10.0m",
+		1500 * time.Millisecond: "1.50s",
+		20 * time.Millisecond:   "20ms",
+	}
+	for in, want := range cases {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package par
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	inst := Figure1Instance()
+	inst.Retained = []PhotoID{5}
+	if err := inst.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, inst); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if got.NumPhotos() != 7 || len(got.Subsets) != 4 || got.Budget != inst.Budget {
+		t.Fatalf("shape changed: %d photos, %d subsets, budget %g",
+			got.NumPhotos(), len(got.Subsets), got.Budget)
+	}
+	if got.Subsets[0].Name != "Bikes" {
+		t.Errorf("subset name %q", got.Subsets[0].Name)
+	}
+	for _, s := range [][]PhotoID{{0}, {0, 5}, {1, 2, 3}, {0, 1, 2, 3, 4, 5, 6}} {
+		if math.Abs(Score(inst, s)-Score(got, s)) > 1e-12 {
+			t.Errorf("Score(%v) changed through round trip", s)
+		}
+	}
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := Random(rng, RandomConfig{Photos: 40, Subsets: 20, RetainFrac: 0.1})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		s := randomSolution(rng, 40)
+		if math.Abs(Score(inst, s)-Score(got, s)) > 1e-9 {
+			t.Fatalf("score mismatch for %v", s)
+		}
+	}
+	if len(got.Retained) != len(inst.Retained) {
+		t.Errorf("retained count %d, want %d", len(got.Retained), len(inst.Retained))
+	}
+}
+
+func TestBinarySmallerThanJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	inst := Random(rng, RandomConfig{Photos: 200, Subsets: 100})
+	var jbuf, bbuf bytes.Buffer
+	if err := WriteJSON(&jbuf, inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bbuf, inst); err != nil {
+		t.Fatal(err)
+	}
+	if bbuf.Len() >= jbuf.Len() {
+		t.Errorf("binary (%d B) not smaller than JSON (%d B)", bbuf.Len(), jbuf.Len())
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, Figure1Instance()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	cases := []struct {
+		name    string
+		data    []byte
+		wantSub string
+	}{
+		{"empty", nil, "magic"},
+		{"bad magic", []byte("NOPE1234"), "bad magic"},
+		{"truncated header", valid[:6], "truncated"},
+		{"truncated body", valid[:len(valid)/2], "truncated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadBinary(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("ReadBinary succeeded, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestReadBinaryRejectsCorruptCounts(t *testing.T) {
+	// Header with an implausible photo count must fail fast instead of
+	// allocating gigabytes.
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 240, 63}) // budget 1.0
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})    // numPhotos max u32
+	if _, err := ReadBinary(&buf); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("err = %v, want implausible count rejection", err)
+	}
+}
+
+// FuzzReadBinary ensures arbitrary bytes never panic or over-allocate.
+func FuzzReadBinary(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteBinary(&valid, Figure1Instance()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("PAR1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Loaded instances must be usable.
+		var sol []PhotoID
+		for p := 0; p < inst.NumPhotos() && p < 4; p++ {
+			sol = append(sol, PhotoID(p))
+		}
+		if s := Score(inst, sol); s < 0 || math.IsNaN(s) {
+			t.Fatalf("invalid score %g from loaded instance", s)
+		}
+	})
+}

@@ -1,0 +1,30 @@
+// Package par defines the Photo Archive Reduction (PAR) problem model from
+// "Efficiently Archiving Photos under Storage Constraints" (EDBT 2023).
+//
+// A PAR instance is the tuple ⟨P, S0, Q, C, W, R, SIM, B⟩:
+//
+//   - P is a set of photos, identified here by dense integer IDs 0..n-1.
+//   - S0 ⊆ P is the set of photos that must be retained (policy requirements).
+//   - Q is a collection of pre-defined subsets of P (landing pages, albums,
+//     query results, ...), each with a positive importance weight W(q) and a
+//     relevance score R(q,p) for every member p ∈ q, normalized so that the
+//     relevance scores within each subset sum to 1.
+//   - C(p) is the storage cost of photo p in bytes.
+//   - SIM(q, p, p') ∈ [0,1] is a contextualized similarity: the similarity of
+//     two photos with respect to subset q. SIM(q,p,p) = 1, and SIM is 0 when
+//     either photo is outside q.
+//   - B is the storage budget in bytes.
+//
+// The objective of a solution S with S0 ⊆ S ⊆ P and C(S) ≤ B is
+//
+//	G(S) = Σ_{q∈Q} W(q) · Σ_{p∈q} R(q,p) · SIM(q, p, NN(q,p,S))
+//
+// where NN(q,p,S) is the member of S ∩ q most similar to p in context q (the
+// contribution is 0 when S ∩ q is empty). G is nonnegative, monotone and
+// submodular (Lemma 4.5 of the paper), which the solver packages rely on.
+//
+// The package provides the instance representation, validation, exact
+// objective evaluation, and an incremental Evaluator used by every solver in
+// this repository to compute marginal gains in time proportional to the
+// neighbourhood of the added photo.
+package par

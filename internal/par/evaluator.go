@@ -1,0 +1,226 @@
+package par
+
+// Evaluator incrementally maintains the objective value of a growing
+// solution. It is the workhorse shared by every solver: computing the
+// marginal gain of a candidate photo touches only the subsets containing it,
+// and within each subset only the members with positive similarity to it
+// when the subset's Similarity implements NeighborLister.
+//
+// The evaluator tracks, for every (subset, member) pair, the similarity of
+// the member's current nearest neighbour in the solution ("best" value,
+// 0 while the solution contains no member of the subset). Adding photo p
+// raises the best value of every member whose similarity to p exceeds it.
+type Evaluator struct {
+	inst  *Instance
+	best  [][]float64 // per subset, per member: SIM(q, p, NN(q,p,S))
+	inSol []bool
+	sol   []PhotoID
+	cost  float64
+	score float64
+
+	// gainEvals counts Gain/Add calls, the unit of work the paper uses to
+	// compare algorithm efficiency (Ω(B·n⁴) vs O(B·n)).
+	gainEvals int64
+}
+
+// NewEvaluator returns an evaluator for the empty solution. The instance
+// must be finalized. Retained photos (S0) are NOT pre-added; solvers add
+// them explicitly so the gain accounting stays uniform — use Seed for that.
+func NewEvaluator(inst *Instance) *Evaluator {
+	e := &Evaluator{
+		inst:  inst,
+		best:  make([][]float64, len(inst.Subsets)),
+		inSol: make([]bool, inst.NumPhotos()),
+	}
+	for qi := range inst.Subsets {
+		e.best[qi] = make([]float64, len(inst.Subsets[qi].Members))
+	}
+	return e
+}
+
+// Seed adds all retained photos S0 to the solution and returns the score
+// they contribute. Budget is not checked here: Instance.Finalize already
+// guarantees C(S0) ≤ B.
+func (e *Evaluator) Seed() float64 {
+	var gained float64
+	for _, p := range e.inst.Retained {
+		if !e.inSol[p] {
+			gained += e.Add(p)
+		}
+	}
+	return gained
+}
+
+// Gain returns the marginal gain G(S ∪ {p}) − G(S) of adding p to the
+// current solution, without modifying it. Adding a photo already in the
+// solution gains 0.
+func (e *Evaluator) Gain(p PhotoID) float64 {
+	e.gainEvals++
+	if e.inSol[p] {
+		return 0
+	}
+	var gain float64
+	for _, oc := range e.inst.Occurrences(p) {
+		q := &e.inst.Subsets[oc.Subset]
+		best := e.best[oc.Subset]
+		if nl, ok := q.Sim.(NeighborLister); ok {
+			for _, nb := range nl.Neighbors(oc.Index) {
+				if d := nb.Sim - best[nb.Index]; d > 0 {
+					gain += q.Weight * q.Relevance[nb.Index] * d
+				}
+			}
+			continue
+		}
+		for mi := range q.Members {
+			if d := q.Sim.Sim(mi, oc.Index) - best[mi]; d > 0 {
+				gain += q.Weight * q.Relevance[mi] * d
+			}
+		}
+	}
+	return gain
+}
+
+// Add inserts p into the solution and returns the realized marginal gain.
+// The caller is responsible for budget checks.
+func (e *Evaluator) Add(p PhotoID) float64 {
+	e.gainEvals++
+	if e.inSol[p] {
+		return 0
+	}
+	var gain float64
+	for _, oc := range e.inst.Occurrences(p) {
+		q := &e.inst.Subsets[oc.Subset]
+		best := e.best[oc.Subset]
+		if nl, ok := q.Sim.(NeighborLister); ok {
+			for _, nb := range nl.Neighbors(oc.Index) {
+				if d := nb.Sim - best[nb.Index]; d > 0 {
+					gain += q.Weight * q.Relevance[nb.Index] * d
+					best[nb.Index] = nb.Sim
+				}
+			}
+			continue
+		}
+		for mi := range q.Members {
+			if s := q.Sim.Sim(mi, oc.Index); s > best[mi] {
+				gain += q.Weight * q.Relevance[mi] * (s - best[mi])
+				best[mi] = s
+			}
+		}
+	}
+	e.inSol[p] = true
+	e.sol = append(e.sol, p)
+	e.cost += e.inst.Cost[p]
+	e.score += gain
+	return gain
+}
+
+// Contains reports whether p is in the current solution.
+func (e *Evaluator) Contains(p PhotoID) bool { return e.inSol[p] }
+
+// Score returns G(S) for the current solution.
+func (e *Evaluator) Score() float64 { return e.score }
+
+// Cost returns C(S) for the current solution.
+func (e *Evaluator) Cost() float64 { return e.cost }
+
+// Remaining returns the unused budget B − C(S).
+func (e *Evaluator) Remaining() float64 { return e.inst.Budget - e.cost }
+
+// Fits reports whether p can be added without exceeding the budget.
+func (e *Evaluator) Fits(p PhotoID) bool {
+	return e.cost+e.inst.Cost[p] <= e.inst.Budget+budgetSlack(e.inst.Budget)
+}
+
+// GainEvals returns the number of marginal-gain evaluations performed so
+// far (Gain and Add calls combined).
+func (e *Evaluator) GainEvals() int64 { return e.gainEvals }
+
+// Solution returns a copy of the current solution as a Solution value.
+func (e *Evaluator) Solution() Solution {
+	photos := make([]PhotoID, len(e.sol))
+	copy(photos, e.sol)
+	return Solution{Photos: photos, Score: e.score, Cost: e.cost}
+}
+
+// Clone returns an independent copy of the evaluator sharing the instance.
+// Branch-and-bound and enumeration solvers use it to explore alternatives.
+func (e *Evaluator) Clone() *Evaluator {
+	c := &Evaluator{
+		inst:      e.inst,
+		best:      make([][]float64, len(e.best)),
+		inSol:     make([]bool, len(e.inSol)),
+		sol:       make([]PhotoID, len(e.sol)),
+		cost:      e.cost,
+		score:     e.score,
+		gainEvals: e.gainEvals,
+	}
+	for qi := range e.best {
+		c.best[qi] = make([]float64, len(e.best[qi]))
+		copy(c.best[qi], e.best[qi])
+	}
+	copy(c.inSol, e.inSol)
+	copy(c.sol, e.sol)
+	return c
+}
+
+// ScoreFast computes G(S) through the incremental evaluator: cost
+// proportional to the solution's subset-row touches instead of Score's
+// all-pairs scan, which matters on instances with large subsets. Score
+// remains the independent reference implementation the evaluator (and
+// therefore this function) is tested against.
+func ScoreFast(inst *Instance, s []PhotoID) float64 {
+	e := NewEvaluator(inst)
+	for _, p := range s {
+		e.Add(p)
+	}
+	return e.Score()
+}
+
+// CoverageVector computes, for every (subset, member) pair, the similarity
+// of the member's nearest neighbour within the given photo set:
+// out[qi][mi] = SIM(q, p_mi, NN(q, p_mi, S)), 0 where S covers nothing.
+// It is the per-item decomposition of Score, used by serving simulations
+// to value individual accesses.
+func CoverageVector(inst *Instance, s []PhotoID) [][]float64 {
+	e := NewEvaluator(inst)
+	for _, p := range s {
+		e.Add(p)
+	}
+	out := make([][]float64, len(e.best))
+	for qi := range e.best {
+		out[qi] = make([]float64, len(e.best[qi]))
+		copy(out[qi], e.best[qi])
+	}
+	return out
+}
+
+// Score computes G(S) for an arbitrary solution from first principles: for
+// every subset member it scans the whole subset for the nearest neighbour in
+// S. It is the reference implementation the incremental evaluator is tested
+// against, and the scorer used to evaluate baseline selections under the
+// true objective.
+func Score(inst *Instance, s []PhotoID) float64 {
+	inSol := make([]bool, inst.NumPhotos())
+	for _, p := range s {
+		inSol[p] = true
+	}
+	var total float64
+	for qi := range inst.Subsets {
+		q := &inst.Subsets[qi]
+		var qScore float64
+		for mi := range q.Members {
+			var best float64
+			for mj, pj := range q.Members {
+				if !inSol[pj] {
+					continue
+				}
+				if sim := q.Sim.Sim(mi, mj); sim > best {
+					best = sim
+				}
+			}
+			qScore += q.Relevance[mi] * best
+		}
+		total += q.Weight * qScore
+	}
+	return total
+}

@@ -1,0 +1,369 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const floatTol = 1e-9
+
+// Figure 3's initial marginal gains (recomputed from Figure 1's inputs; see
+// Figure1Instance doc for the two third-decimal discrepancies in the paper's
+// rendering).
+var figure3InitialGains = []float64{7.83, 6.75, 6.75, 0.70, 0.82, 4.61, 0.79}
+
+func TestFigure3InitialGains(t *testing.T) {
+	inst := Figure1Instance()
+	e := NewEvaluator(inst)
+	for p, want := range figure3InitialGains {
+		got := e.Gain(PhotoID(p))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("initial gain of p%d = %.4f, want %.4f", p+1, got, want)
+		}
+	}
+}
+
+func TestFigure3RecomputedGains(t *testing.T) {
+	inst := Figure1Instance()
+	e := NewEvaluator(inst)
+
+	// Step 1: p1 is selected (highest initial gain).
+	if gain := e.Add(0); math.Abs(gain-7.83) > floatTol {
+		t.Fatalf("Add(p1) gain = %.4f, want 7.83", gain)
+	}
+
+	// Step 2 recomputations from Figure 3: δ_{p3} = 0.36, δ_{p2} = 0.81,
+	// δ_{p6} unchanged at 4.61; p6 is selected.
+	if got := e.Gain(2); math.Abs(got-0.36) > floatTol {
+		t.Errorf("gain of p3 after {p1} = %.4f, want 0.36", got)
+	}
+	if got := e.Gain(1); math.Abs(got-0.81) > floatTol {
+		t.Errorf("gain of p2 after {p1} = %.4f, want 0.81", got)
+	}
+	if got := e.Gain(5); math.Abs(got-4.61) > floatTol {
+		t.Errorf("gain of p6 after {p1} = %.4f, want 4.61", got)
+	}
+	if gain := e.Add(5); math.Abs(gain-4.61) > floatTol {
+		t.Fatalf("Add(p6) gain = %.4f, want 4.61", gain)
+	}
+
+	// Step 3: δ_{p5} recomputes. Figure 3 prints 0.12 = R(q2,p5)·(1−0.7),
+	// which neglects that p5 also improves p4's nearest neighbour from 0.4
+	// to 0.7 (worth R(q2,p4)·0.3 = 0.09). The model's value is 0.21; either
+	// way p2 at 0.81 remains the best and is selected.
+	if got := e.Gain(4); math.Abs(got-0.21) > floatTol {
+		t.Errorf("gain of p5 after {p1,p6} = %.4f, want 0.21", got)
+	}
+	if got := e.Gain(1); math.Abs(got-0.81) > floatTol {
+		t.Errorf("gain of p2 after {p1,p6} = %.4f, want 0.81", got)
+	}
+	if gain := e.Add(1); math.Abs(gain-0.81) > floatTol {
+		t.Fatalf("Add(p2) gain = %.4f, want 0.81", gain)
+	}
+
+	wantScore := 7.83 + 4.61 + 0.81
+	if got := e.Score(); math.Abs(got-wantScore) > floatTol {
+		t.Errorf("Score() = %.4f, want %.4f", got, wantScore)
+	}
+	if got := Score(inst, []PhotoID{0, 5, 1}); math.Abs(got-wantScore) > floatTol {
+		t.Errorf("reference Score = %.4f, want %.4f", got, wantScore)
+	}
+	if got := e.Cost(); math.Abs(got-(1.2+1.1+0.7)) > floatTol {
+		t.Errorf("Cost() = %.4f, want 3.0", got)
+	}
+}
+
+func TestEvaluatorAddIdempotent(t *testing.T) {
+	inst := Figure1Instance()
+	e := NewEvaluator(inst)
+	e.Add(0)
+	if gain := e.Add(0); gain != 0 {
+		t.Errorf("second Add of same photo gained %g, want 0", gain)
+	}
+	if gain := e.Gain(0); gain != 0 {
+		t.Errorf("Gain of photo already in solution = %g, want 0", gain)
+	}
+	if got := len(e.Solution().Photos); got != 1 {
+		t.Errorf("solution has %d photos, want 1", got)
+	}
+}
+
+func TestEvaluatorSeed(t *testing.T) {
+	inst := Figure1Instance()
+	inst.Retained = []PhotoID{5, 6}
+	if err := inst.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(inst)
+	gained := e.Seed()
+	want := Score(inst, []PhotoID{5, 6})
+	if math.Abs(gained-want) > floatTol {
+		t.Errorf("Seed() = %.4f, want %.4f", gained, want)
+	}
+	if !e.Contains(5) || !e.Contains(6) {
+		t.Error("Seed did not add retained photos")
+	}
+	if math.Abs(e.Cost()-(1.1+1.3)) > floatTol {
+		t.Errorf("Cost after Seed = %g, want 2.4", e.Cost())
+	}
+}
+
+func TestEvaluatorFitsAndRemaining(t *testing.T) {
+	inst := Figure1Instance()
+	inst.Budget = 2.0
+	if err := inst.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEvaluator(inst)
+	if !e.Fits(0) { // 1.2 ≤ 2.0
+		t.Error("p1 should fit in empty solution")
+	}
+	e.Add(0)
+	if e.Fits(2) { // 1.2 + 2.1 > 2.0
+		t.Error("p3 should not fit after p1")
+	}
+	if !e.Fits(1) { // 1.2 + 0.7 ≤ 2.0
+		t.Error("p2 should fit after p1")
+	}
+	if got := e.Remaining(); math.Abs(got-0.8) > floatTol {
+		t.Errorf("Remaining() = %g, want 0.8", got)
+	}
+}
+
+func TestEvaluatorClone(t *testing.T) {
+	inst := Figure1Instance()
+	e := NewEvaluator(inst)
+	e.Add(0)
+	c := e.Clone()
+	c.Add(5)
+	if e.Contains(5) {
+		t.Error("mutating clone affected original")
+	}
+	if math.Abs(c.Score()-(7.83+4.61)) > floatTol {
+		t.Errorf("clone score = %g, want 12.44", c.Score())
+	}
+	if math.Abs(e.Score()-7.83) > floatTol {
+		t.Errorf("original score = %g, want 7.83", e.Score())
+	}
+}
+
+func TestGainEvalsCounter(t *testing.T) {
+	inst := Figure1Instance()
+	e := NewEvaluator(inst)
+	e.Gain(0)
+	e.Gain(1)
+	e.Add(0)
+	if got := e.GainEvals(); got != 3 {
+		t.Errorf("GainEvals() = %d, want 3", got)
+	}
+}
+
+// randomSolution draws a random subset of photos (ignoring budget; Score and
+// the evaluator are defined for any subset).
+func randomSolution(rng *rand.Rand, n int) []PhotoID {
+	var s []PhotoID
+	for p := 0; p < n; p++ {
+		if rng.Intn(2) == 0 {
+			s = append(s, PhotoID(p))
+		}
+	}
+	return s
+}
+
+// Property: the incremental evaluator agrees with the from-scratch Score for
+// random instances and random insertion orders.
+func TestEvaluatorMatchesReferenceQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := Random(rng, RandomConfig{Photos: 12, Subsets: 6})
+		sol := randomSolution(rng, 12)
+		e := NewEvaluator(inst)
+		var incr float64
+		for _, p := range sol {
+			incr += e.Add(p)
+		}
+		ref := Score(inst, sol)
+		return math.Abs(incr-ref) < 1e-9 && math.Abs(e.Score()-ref) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: G is monotone — adding any photo never decreases the score
+// (Lemma 4.5).
+func TestMonotonicityQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := Random(rng, RandomConfig{Photos: 10, Subsets: 5})
+		e := NewEvaluator(inst)
+		for _, p := range randomSolution(rng, 10) {
+			e.Add(p)
+		}
+		for p := 0; p < 10; p++ {
+			if e.Gain(PhotoID(p)) < -floatTol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: G is submodular — the marginal gain of a photo with respect to a
+// set S is at least its gain with respect to any superset T ⊇ S (Lemma 4.5).
+func TestSubmodularityQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := Random(rng, RandomConfig{Photos: 10, Subsets: 5})
+		small := NewEvaluator(inst)
+		large := NewEvaluator(inst)
+		s := randomSolution(rng, 10)
+		for _, p := range s {
+			small.Add(p)
+			large.Add(p)
+		}
+		// Extend T beyond S with extra random photos.
+		for p := 0; p < 10; p++ {
+			if rng.Intn(3) == 0 {
+				large.Add(PhotoID(p))
+			}
+		}
+		for p := 0; p < 10; p++ {
+			if large.Contains(PhotoID(p)) {
+				continue
+			}
+			if small.Gain(PhotoID(p)) < large.Gain(PhotoID(p))-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the score only depends on the set, not the insertion order.
+func TestOrderInvarianceQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := Random(rng, RandomConfig{Photos: 12, Subsets: 6})
+		sol := randomSolution(rng, 12)
+		e1 := NewEvaluator(inst)
+		for _, p := range sol {
+			e1.Add(p)
+		}
+		e2 := NewEvaluator(inst)
+		for i := len(sol) - 1; i >= 0; i-- {
+			e2.Add(sol[i])
+		}
+		return math.Abs(e1.Score()-e2.Score()) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: evaluators honour NeighborLister-based sparse similarities the
+// same way they honour dense ones.
+func TestEvaluatorSparseVsDenseQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := Random(rng, RandomConfig{Photos: 10, Subsets: 4})
+		// Build a twin instance with SparseSim copies of every DenseSim.
+		twin := &Instance{Cost: inst.Cost, Budget: inst.Budget}
+		for _, q := range inst.Subsets {
+			k := len(q.Members)
+			sp := NewSparseSim(k)
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					if v := q.Sim.Sim(i, j); v > 0 {
+						sp.Add(i, j, v)
+					}
+				}
+			}
+			twin.Subsets = append(twin.Subsets, Subset{
+				Name: q.Name, Weight: q.Weight, Members: q.Members,
+				Relevance: q.Relevance, Sim: sp,
+			})
+		}
+		if err := twin.Finalize(); err != nil {
+			return false
+		}
+		sol := randomSolution(rng, 10)
+		e1, e2 := NewEvaluator(inst), NewEvaluator(twin)
+		for _, p := range sol {
+			e1.Add(p)
+			e2.Add(p)
+		}
+		if math.Abs(e1.Score()-e2.Score()) > 1e-9 {
+			return false
+		}
+		for p := 0; p < 10; p++ {
+			if math.Abs(e1.Gain(PhotoID(p))-e2.Gain(PhotoID(p))) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverageVector(t *testing.T) {
+	inst := Figure1Instance()
+	cov := CoverageVector(inst, []PhotoID{0, 5}) // p1, p6
+	// Bikes: p1 covers itself 1, p2 at 0.7, p3 at 0.8.
+	want0 := []float64{1, 0.7, 0.8}
+	for i, w := range want0 {
+		if math.Abs(cov[0][i]-w) > 1e-12 {
+			t.Errorf("coverage[Bikes][%d] = %g, want %g", i, cov[0][i], w)
+		}
+	}
+	// Cats: p4 via p6 0.4, p5 via p6 0.7, p6 itself 1.
+	want1 := []float64{0.4, 0.7, 1}
+	for i, w := range want1 {
+		if math.Abs(cov[1][i]-w) > 1e-12 {
+			t.Errorf("coverage[Cats][%d] = %g, want %g", i, cov[1][i], w)
+		}
+	}
+	// Empty solution: all zeros.
+	empty := CoverageVector(inst, nil)
+	for qi := range empty {
+		for mi := range empty[qi] {
+			if empty[qi][mi] != 0 {
+				t.Fatalf("empty coverage[%d][%d] = %g", qi, mi, empty[qi][mi])
+			}
+		}
+	}
+	// Consistency with Score: Σ W·R·coverage == Score.
+	var sum float64
+	for qi := range inst.Subsets {
+		q := &inst.Subsets[qi]
+		for mi := range q.Members {
+			sum += q.Weight * q.Relevance[mi] * cov[qi][mi]
+		}
+	}
+	if ref := Score(inst, []PhotoID{0, 5}); math.Abs(sum-ref) > 1e-9 {
+		t.Errorf("coverage sum %g != Score %g", sum, ref)
+	}
+}
+
+// Property: ScoreFast agrees with the reference Score everywhere.
+func TestScoreFastMatchesReferenceQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := Random(rng, RandomConfig{Photos: 14, Subsets: 7})
+		s := randomSolution(rng, 14)
+		return math.Abs(Score(inst, s)-ScoreFast(inst, s)) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

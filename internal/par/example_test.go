@@ -1,0 +1,30 @@
+package par_test
+
+import (
+	"fmt"
+
+	"phocus/internal/par"
+)
+
+// ExampleScore evaluates the paper's worked example: keeping p1, p6 and p2
+// of the Figure 1 archive scores 13.25 of the attainable 14.
+func ExampleScore() {
+	inst := par.Figure1Instance()
+	kept := []par.PhotoID{0, 5, 1} // p1, p6, p2
+	fmt.Printf("G(S) = %.2f of %.0f\n", par.Score(inst, kept), inst.TotalWeight())
+	// Output:
+	// G(S) = 13.25 of 14
+}
+
+// ExampleEvaluator shows incremental marginal gains — the δ_p values of
+// Figure 3.
+func ExampleEvaluator() {
+	inst := par.Figure1Instance()
+	e := par.NewEvaluator(inst)
+	fmt.Printf("δ_p1 = %.2f\n", e.Gain(0))
+	e.Add(0)
+	fmt.Printf("δ_p2 after selecting p1 = %.2f\n", e.Gain(1))
+	// Output:
+	// δ_p1 = 7.83
+	// δ_p2 after selecting p1 = 0.81
+}

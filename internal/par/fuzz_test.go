@@ -1,0 +1,46 @@
+package par
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON checks the JSON loader never panics and only ever returns
+// finalized, internally consistent instances.
+func FuzzReadJSON(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteJSON(&valid, Figure1Instance()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add(`{}`)
+	f.Add(`{"costs":[1],"budget":1,"subsets":[{"name":"q","weight":1,"members":[0],"relevance":[1],"sim":[]}]}`)
+	f.Add(`{"costs":[1,2],"budget":-5,"subsets":[]}`)
+	f.Add(`{"costs":[1,1],"budget":2,"subsets":[{"name":"q","weight":1,"members":[0,1],"relevance":[0.5,0.5],"sim":[{"i":0,"j":1,"s":2}]}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		inst, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully loaded instance must behave: scoring any prefix
+		// solution must not panic and must be within the objective's range.
+		n := inst.NumPhotos()
+		sol := make([]PhotoID, 0, n)
+		for p := 0; p < n && p < 8; p++ {
+			sol = append(sol, PhotoID(p))
+		}
+		score := Score(inst, sol)
+		if score < 0 || score > inst.TotalWeight()+1e-9 {
+			t.Fatalf("score %g outside [0, %g]", score, inst.TotalWeight())
+		}
+		// Round-trip must stay loadable.
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, inst); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadJSON(&buf); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package par
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON wire format is how instances travel between the data generator,
+// the CLI and the HTTP server. Similarities are serialized sparsely as
+// (i, j, sim) triples over member indices, with the diagonal implied.
+
+type instanceJSON struct {
+	Costs    []float64    `json:"costs"`
+	Retained []PhotoID    `json:"retained,omitempty"`
+	Budget   float64      `json:"budget"`
+	Subsets  []subsetJSON `json:"subsets"`
+}
+
+type subsetJSON struct {
+	Name      string     `json:"name"`
+	Weight    float64    `json:"weight"`
+	Members   []PhotoID  `json:"members"`
+	Relevance []float64  `json:"relevance"`
+	Sim       []pairJSON `json:"sim"`
+}
+
+type pairJSON struct {
+	I   int     `json:"i"`
+	J   int     `json:"j"`
+	Sim float64 `json:"s"`
+}
+
+// WriteJSON serializes the instance. Subset similarities are enumerated
+// pairwise, so this is intended for instances of CLI scale, not for the
+// largest benchmark datasets.
+func WriteJSON(w io.Writer, inst *Instance) error {
+	out := instanceJSON{
+		Costs:    inst.Cost,
+		Retained: inst.Retained,
+		Budget:   inst.Budget,
+		Subsets:  make([]subsetJSON, len(inst.Subsets)),
+	}
+	for qi := range inst.Subsets {
+		q := &inst.Subsets[qi]
+		sj := subsetJSON{
+			Name:      q.Name,
+			Weight:    q.Weight,
+			Members:   q.Members,
+			Relevance: q.Relevance,
+		}
+		k := len(q.Members)
+		if nl, ok := q.Sim.(NeighborLister); ok {
+			for i := 0; i < k; i++ {
+				for _, nb := range nl.Neighbors(i) {
+					if nb.Index > i { // emit each pair once
+						sj.Sim = append(sj.Sim, pairJSON{I: i, J: nb.Index, Sim: nb.Sim})
+					}
+				}
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					if s := q.Sim.Sim(i, j); s > 0 {
+						sj.Sim = append(sj.Sim, pairJSON{I: i, J: j, Sim: s})
+					}
+				}
+			}
+		}
+		out.Subsets[qi] = sj
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}
+
+// ReadJSON parses an instance previously produced by WriteJSON (or written
+// by hand) and finalizes it. Sparse similarities are loaded into SparseSim.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var in instanceJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("par: decoding instance: %w", err)
+	}
+	inst := &Instance{
+		Cost:     in.Costs,
+		Retained: in.Retained,
+		Budget:   in.Budget,
+		Subsets:  make([]Subset, len(in.Subsets)),
+	}
+	for qi, sj := range in.Subsets {
+		k := len(sj.Members)
+		sim := NewSparseSim(k)
+		for _, p := range sj.Sim {
+			if p.I < 0 || p.I >= k || p.J < 0 || p.J >= k {
+				return nil, fmt.Errorf("par: subset %d similarity pair (%d,%d) out of range", qi, p.I, p.J)
+			}
+			if p.I == p.J {
+				continue // diagonal is implicit
+			}
+			if p.Sim <= 0 || p.Sim > 1 {
+				return nil, fmt.Errorf("par: subset %d similarity %g out of (0,1]", qi, p.Sim)
+			}
+			sim.Add(p.I, p.J, p.Sim)
+		}
+		inst.Subsets[qi] = Subset{
+			Name:      sj.Name,
+			Weight:    sj.Weight,
+			Members:   sj.Members,
+			Relevance: sj.Relevance,
+			Sim:       sim,
+		}
+	}
+	if err := inst.Finalize(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}

@@ -1,0 +1,97 @@
+package par
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	inst := Figure1Instance()
+	inst.Retained = []PhotoID{5}
+	if err := inst.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, inst); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.NumPhotos() != inst.NumPhotos() || len(got.Subsets) != len(inst.Subsets) {
+		t.Fatalf("round trip changed shape: %d photos / %d subsets", got.NumPhotos(), len(got.Subsets))
+	}
+	if got.Budget != inst.Budget {
+		t.Errorf("budget = %g, want %g", got.Budget, inst.Budget)
+	}
+	if len(got.Retained) != 1 || got.Retained[0] != 5 {
+		t.Errorf("retained = %v, want [5]", got.Retained)
+	}
+	// Objective values of arbitrary solutions must be preserved exactly.
+	sols := [][]PhotoID{{0}, {0, 5}, {1, 2, 3}, {0, 1, 2, 3, 4, 5, 6}}
+	for _, s := range sols {
+		a, b := Score(inst, s), Score(got, s)
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("Score(%v): original %g, round-tripped %g", s, a, b)
+		}
+	}
+}
+
+func TestJSONRoundTripRandomSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := Random(rng, RandomConfig{Photos: 20, Subsets: 10})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, inst); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		s := randomSolution(rng, 20)
+		if math.Abs(Score(inst, s)-Score(got, s)) > 1e-9 {
+			t.Fatalf("score mismatch for %v", s)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"garbage", "{", "decoding"},
+		{"pair out of range", `{"costs":[1,1],"budget":2,"subsets":[{"name":"q","weight":1,"members":[0,1],"relevance":[0.5,0.5],"sim":[{"i":0,"j":9,"s":0.5}]}]}`, "out of range"},
+		{"bad sim value", `{"costs":[1,1],"budget":2,"subsets":[{"name":"q","weight":1,"members":[0,1],"relevance":[0.5,0.5],"sim":[{"i":0,"j":1,"s":1.5}]}]}`, "out of (0,1]"},
+		{"invalid instance", `{"costs":[1,1],"budget":2,"subsets":[{"name":"q","weight":-1,"members":[0],"relevance":[1],"sim":[]}]}`, "invalid weight"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJSON(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ReadJSON succeeded, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestReadJSONSkipsDiagonal(t *testing.T) {
+	in := `{"costs":[1,1],"budget":2,"subsets":[{"name":"q","weight":1,"members":[0,1],"relevance":[0.5,0.5],"sim":[{"i":1,"j":1,"s":0.4},{"i":0,"j":1,"s":0.6}]}]}`
+	inst, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.Subsets[0].Sim.Sim(1, 1); got != 1 {
+		t.Errorf("diagonal sim = %g, want 1 (explicit diagonal entries ignored)", got)
+	}
+	if got := inst.Subsets[0].Sim.Sim(0, 1); got != 0.6 {
+		t.Errorf("Sim(0,1) = %g, want 0.6", got)
+	}
+}

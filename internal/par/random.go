@@ -1,0 +1,123 @@
+package par
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomConfig controls Random, the lightweight synthetic-instance generator
+// used by property tests and micro-benchmarks throughout the repository.
+// (The full dataset generators that mirror the paper's Table 2 live in
+// internal/dataset; this one trades realism for speed and coverage of edge
+// shapes.)
+type RandomConfig struct {
+	Photos      int     // number of photos n (required, > 0)
+	Subsets     int     // number of pre-defined subsets (required, > 0)
+	MaxSubset   int     // maximum subset size (default 8)
+	MinCost     float64 // minimum photo cost (default 0.5)
+	MaxCost     float64 // maximum photo cost (default 2.5)
+	BudgetFrac  float64 // budget as a fraction of total cost (default 0.3)
+	RetainFrac  float64 // fraction of photos forced into S0 (default 0)
+	SimDensity  float64 // probability an off-diagonal pair has positive sim (default 0.5)
+	UniformCost bool    // if set, every photo costs 1
+}
+
+func (c *RandomConfig) fill() {
+	if c.MaxSubset == 0 {
+		c.MaxSubset = 8
+	}
+	if c.MinCost == 0 {
+		c.MinCost = 0.5
+	}
+	if c.MaxCost == 0 {
+		c.MaxCost = 2.5
+	}
+	if c.BudgetFrac == 0 {
+		c.BudgetFrac = 0.3
+	}
+	if c.SimDensity == 0 {
+		c.SimDensity = 0.5
+	}
+}
+
+// Random generates a valid, finalized instance from the config using the
+// given source of randomness. It panics on a config that cannot produce a
+// valid instance, since it is only called with literal configs.
+func Random(rng *rand.Rand, cfg RandomConfig) *Instance {
+	cfg.fill()
+	if cfg.Photos <= 0 || cfg.Subsets <= 0 {
+		panic("par: Random requires Photos > 0 and Subsets > 0")
+	}
+	inst := &Instance{Cost: make([]float64, cfg.Photos)}
+	for p := range inst.Cost {
+		if cfg.UniformCost {
+			inst.Cost[p] = 1
+		} else {
+			inst.Cost[p] = cfg.MinCost + rng.Float64()*(cfg.MaxCost-cfg.MinCost)
+		}
+	}
+	inst.Budget = cfg.BudgetFrac * inst.TotalCost()
+
+	for qi := 0; qi < cfg.Subsets; qi++ {
+		size := 1 + rng.Intn(cfg.MaxSubset)
+		if size > cfg.Photos {
+			size = cfg.Photos
+		}
+		members := randomSample(rng, cfg.Photos, size)
+		rel := make([]float64, size)
+		var sum float64
+		for i := range rel {
+			rel[i] = 0.05 + rng.Float64()
+			sum += rel[i]
+		}
+		for i := range rel {
+			rel[i] /= sum
+		}
+		sim := NewDenseSim(size)
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if rng.Float64() < cfg.SimDensity {
+					sim.Set(i, j, rng.Float64())
+				}
+			}
+		}
+		inst.Subsets = append(inst.Subsets, Subset{
+			Name:      fmt.Sprintf("q%d", qi),
+			Weight:    0.1 + 10*rng.Float64(),
+			Members:   members,
+			Relevance: rel,
+			Sim:       sim,
+		})
+	}
+
+	if cfg.RetainFrac > 0 {
+		var retained []PhotoID
+		var cost float64
+		for p := 0; p < cfg.Photos; p++ {
+			if rng.Float64() < cfg.RetainFrac {
+				c := inst.Cost[p]
+				if cost+c > inst.Budget {
+					continue // keep S0 feasible
+				}
+				cost += c
+				retained = append(retained, PhotoID(p))
+			}
+		}
+		inst.Retained = retained
+	}
+
+	if err := inst.Finalize(); err != nil {
+		panic("par: Random produced invalid instance: " + err.Error())
+	}
+	return inst
+}
+
+// randomSample returns k distinct values from [0, n) in random order.
+func randomSample(rng *rand.Rand, n, k int) []PhotoID {
+	perm := rng.Perm(n)
+	out := make([]PhotoID, k)
+	for i := 0; i < k; i++ {
+		out[i] = PhotoID(perm[i])
+	}
+	return out
+}

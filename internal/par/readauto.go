@@ -1,0 +1,18 @@
+package par
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+)
+
+// ReadAuto loads an instance in either supported format, sniffing the
+// binary magic ("PAR1") and falling back to JSON.
+func ReadAuto(r io.Reader) (*Instance, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err == nil && bytes.Equal(head, binaryMagic[:]) {
+		return ReadBinary(br)
+	}
+	return ReadJSON(br)
+}

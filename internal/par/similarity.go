@@ -1,0 +1,182 @@
+package par
+
+// Similarity is the contextualized similarity function of a single
+// pre-defined subset. Indices are positions within the subset's Members
+// slice, not global photo IDs: Sim(i, j) is the similarity between the i-th
+// and j-th members of the subset in this subset's context.
+//
+// Implementations must be symmetric, return values in [0,1], and return 1
+// for i == j.
+type Similarity interface {
+	// Sim returns the contextual similarity of members i and j.
+	Sim(i, j int) float64
+	// Len returns the number of members the similarity is defined over.
+	Len() int
+}
+
+// NeighborLister is an optional extension of Similarity. Implementations
+// expose, for each member, the list of members with strictly positive
+// similarity to it. Solvers use it to restrict marginal-gain computations to
+// actual neighbours, which is what makes τ-sparsification pay off.
+//
+// Neighbors(i) must include i itself (with similarity 1) and must be
+// consistent with Sim: every pair absent from the list has Sim == 0.
+type NeighborLister interface {
+	Similarity
+	Neighbors(i int) []Neighbor
+}
+
+// Neighbor is one entry of a sparse similarity row.
+type Neighbor struct {
+	Index int     // member index within the subset
+	Sim   float64 // similarity, in (0, 1]
+}
+
+// DenseSim is a dense symmetric similarity matrix over k members. The zero
+// value is unusable; construct with NewDenseSim. Only the upper triangle is
+// stored.
+type DenseSim struct {
+	n    int
+	vals []float64 // upper triangle, row-major, excluding diagonal
+}
+
+// NewDenseSim returns a DenseSim over n members with all off-diagonal
+// similarities 0.
+func NewDenseSim(n int) *DenseSim {
+	if n < 0 {
+		panic("par: NewDenseSim with negative size")
+	}
+	return &DenseSim{n: n, vals: make([]float64, n*(n-1)/2)}
+}
+
+func (d *DenseSim) idx(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Offset of row i in the packed upper triangle, plus column offset.
+	return i*(2*d.n-i-1)/2 + (j - i - 1)
+}
+
+// Len returns the number of members.
+func (d *DenseSim) Len() int { return d.n }
+
+// Sim returns the stored similarity (1 on the diagonal).
+func (d *DenseSim) Sim(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	return d.vals[d.idx(i, j)]
+}
+
+// Set stores the similarity for the (unordered) pair {i, j}. Setting the
+// diagonal or a value outside [0,1] panics: both indicate a bug in the
+// caller's construction code, not a recoverable condition.
+func (d *DenseSim) Set(i, j int, sim float64) {
+	if i == j {
+		panic("par: DenseSim.Set on diagonal")
+	}
+	if sim < 0 || sim > 1 {
+		panic("par: similarity out of [0,1]")
+	}
+	d.vals[d.idx(i, j)] = sim
+}
+
+// SparseSim stores, for each member, only the neighbours with positive
+// similarity. It is the natural representation after τ-sparsification.
+type SparseSim struct {
+	rows [][]Neighbor
+}
+
+// NewSparseSim returns a SparseSim over n members where every member's only
+// neighbour is itself.
+func NewSparseSim(n int) *SparseSim {
+	rows := make([][]Neighbor, n)
+	for i := range rows {
+		rows[i] = []Neighbor{{Index: i, Sim: 1}}
+	}
+	return &SparseSim{rows: rows}
+}
+
+// Len returns the number of members.
+func (s *SparseSim) Len() int { return len(s.rows) }
+
+// Sim returns the similarity of members i and j (0 if not neighbours).
+func (s *SparseSim) Sim(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	for _, nb := range s.rows[i] {
+		if nb.Index == j {
+			return nb.Sim
+		}
+	}
+	return 0
+}
+
+// Neighbors returns the positive-similarity row of member i. The returned
+// slice is owned by the SparseSim and must not be modified.
+func (s *SparseSim) Neighbors(i int) []Neighbor { return s.rows[i] }
+
+// Add records similarity sim for the unordered pair {i, j} in both rows.
+// Pairs must be added at most once; re-adding a pair duplicates the entry.
+func (s *SparseSim) Add(i, j int, sim float64) {
+	if i == j {
+		panic("par: SparseSim.Add on diagonal")
+	}
+	if sim <= 0 || sim > 1 {
+		panic("par: similarity out of (0,1]")
+	}
+	s.rows[i] = append(s.rows[i], Neighbor{Index: j, Sim: sim})
+	s.rows[j] = append(s.rows[j], Neighbor{Index: i, Sim: sim})
+}
+
+// FuncSim adapts an arbitrary function to the Similarity interface. It is
+// convenient in tests and for instances whose similarity is computed on the
+// fly (for example from embeddings).
+type FuncSim struct {
+	N int
+	F func(i, j int) float64
+}
+
+// Len returns the number of members.
+func (f FuncSim) Len() int { return f.N }
+
+// Sim evaluates the wrapped function, short-circuiting the diagonal.
+func (f FuncSim) Sim(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	return f.F(i, j)
+}
+
+// UniformSim is the degenerate similarity in which every pair of members of
+// the subset has similarity 1. It is the surrogate used by the Greedy-NR
+// baseline and by the Maximum Coverage reduction of Theorem 3.4.
+type UniformSim struct{ N int }
+
+// Len returns the number of members.
+func (u UniformSim) Len() int { return u.N }
+
+// Sim returns 1 for every pair.
+func (u UniformSim) Sim(i, j int) float64 { return 1 }
+
+// IdentitySim is the degenerate similarity in which distinct members have
+// similarity 0: a photo only ever covers itself. Together with UniformSim it
+// brackets every real similarity structure, which several property tests use.
+type IdentitySim struct{ N int }
+
+// Len returns the number of members.
+func (d IdentitySim) Len() int { return d.N }
+
+// Sim returns 1 on the diagonal and 0 elsewhere.
+func (d IdentitySim) Sim(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	return 0
+}
+
+// Neighbors returns the single self-neighbour of i.
+func (d IdentitySim) Neighbors(i int) []Neighbor {
+	return []Neighbor{{Index: i, Sim: 1}}
+}

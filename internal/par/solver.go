@@ -1,0 +1,12 @@
+package par
+
+// Solver is implemented by every algorithm in this repository that produces
+// a feasible PAR solution: the CELF lazy-greedy solver, the Sviridenko
+// partial-enumeration solver, the exact branch-and-bound solver, and the
+// four baselines. The instance must be finalized.
+type Solver interface {
+	// Solve returns a feasible solution for the instance.
+	Solve(inst *Instance) (Solution, error)
+	// Name identifies the algorithm in reports ("PHOcus", "RAND-A", ...).
+	Name() string
+}

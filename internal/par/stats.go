@@ -1,0 +1,83 @@
+package par
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// InstanceStats summarizes an instance's shape — the numbers an operator
+// wants to see before solving (and the ones Table 2 reports).
+type InstanceStats struct {
+	Photos       int
+	Subsets      int
+	Retained     int
+	TotalBytes   float64
+	Budget       float64
+	BudgetFrac   float64 // Budget / TotalBytes
+	MeanCost     float64
+	MedianCost   float64
+	MinSubset    int // smallest subset size
+	MedianSubset int
+	MaxSubset    int
+	// MeanMemberships is the average number of subsets containing a photo
+	// that appears in at least one subset.
+	MeanMemberships float64
+	// OrphanPhotos counts photos in no subset (they can never add value).
+	OrphanPhotos int
+}
+
+// Stats computes the summary. The instance must be finalized.
+func Stats(inst *Instance) InstanceStats {
+	s := InstanceStats{
+		Photos:     inst.NumPhotos(),
+		Subsets:    len(inst.Subsets),
+		Retained:   len(inst.Retained),
+		TotalBytes: inst.TotalCost(),
+		Budget:     inst.Budget,
+	}
+	if s.TotalBytes > 0 {
+		s.BudgetFrac = s.Budget / s.TotalBytes
+	}
+	costs := append([]float64(nil), inst.Cost...)
+	sort.Float64s(costs)
+	s.MeanCost = s.TotalBytes / float64(len(costs))
+	s.MedianCost = costs[len(costs)/2]
+
+	sizes := make([]int, 0, len(inst.Subsets))
+	for qi := range inst.Subsets {
+		sizes = append(sizes, len(inst.Subsets[qi].Members))
+	}
+	sort.Ints(sizes)
+	if len(sizes) > 0 {
+		s.MinSubset = sizes[0]
+		s.MedianSubset = sizes[len(sizes)/2]
+		s.MaxSubset = sizes[len(sizes)-1]
+	}
+
+	var memberships, covered int
+	for p := 0; p < inst.NumPhotos(); p++ {
+		if n := len(inst.Occurrences(PhotoID(p))); n > 0 {
+			covered++
+			memberships += n
+		} else {
+			s.OrphanPhotos++
+		}
+	}
+	if covered > 0 {
+		s.MeanMemberships = float64(memberships) / float64(covered)
+	}
+	return s
+}
+
+// String renders the stats as an aligned multi-line block.
+func (s InstanceStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "photos:       %d (%d retained, %d in no subset)\n", s.Photos, s.Retained, s.OrphanPhotos)
+	fmt.Fprintf(&sb, "subsets:      %d (sizes min/median/max %d/%d/%d, %.1f per photo)\n",
+		s.Subsets, s.MinSubset, s.MedianSubset, s.MaxSubset, s.MeanMemberships)
+	fmt.Fprintf(&sb, "total size:   %.1f MB (mean %.2f MB, median %.2f MB per photo)\n",
+		s.TotalBytes/1e6, s.MeanCost/1e6, s.MedianCost/1e6)
+	fmt.Fprintf(&sb, "budget:       %.1f MB (%.1f%% of total)", s.Budget/1e6, 100*s.BudgetFrac)
+	return sb.String()
+}

@@ -1,0 +1,59 @@
+package par
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStatsFigure1(t *testing.T) {
+	inst := Figure1Instance()
+	inst.Retained = []PhotoID{5}
+	if err := inst.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	s := Stats(inst)
+	if s.Photos != 7 || s.Subsets != 4 || s.Retained != 1 {
+		t.Errorf("shape: %+v", s)
+	}
+	if math.Abs(s.TotalBytes-8.1) > 1e-9 {
+		t.Errorf("total %g", s.TotalBytes)
+	}
+	if s.MinSubset != 1 || s.MaxSubset != 3 || s.MedianSubset != 3 {
+		t.Errorf("subset sizes %d/%d/%d", s.MinSubset, s.MedianSubset, s.MaxSubset)
+	}
+	// Memberships: p1..p5,p7 in 1 subset; p6 in 3 → (6·1+3)/7.
+	if math.Abs(s.MeanMemberships-9.0/7) > 1e-9 {
+		t.Errorf("mean memberships %g, want %g", s.MeanMemberships, 9.0/7)
+	}
+	if s.OrphanPhotos != 0 {
+		t.Errorf("orphans %d", s.OrphanPhotos)
+	}
+	if out := s.String(); !strings.Contains(out, "photos:       7") {
+		t.Errorf("String():\n%s", out)
+	}
+}
+
+func TestStatsOrphans(t *testing.T) {
+	sim := NewDenseSim(1)
+	inst := &Instance{
+		Cost:   []float64{1, 2, 4},
+		Budget: 7,
+		Subsets: []Subset{
+			{Name: "q", Weight: 1, Members: []PhotoID{1}, Relevance: []float64{1}, Sim: sim},
+		},
+	}
+	if err := inst.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	s := Stats(inst)
+	if s.OrphanPhotos != 2 {
+		t.Errorf("orphans %d, want 2", s.OrphanPhotos)
+	}
+	if s.MedianCost != 2 || s.MeanCost != 7.0/3 {
+		t.Errorf("costs mean %g median %g", s.MeanCost, s.MedianCost)
+	}
+	if s.BudgetFrac != 1 {
+		t.Errorf("budget frac %g", s.BudgetFrac)
+	}
+}

@@ -1,0 +1,241 @@
+// Package phocus is the end-to-end system of the paper (Figure 4): the
+// Data Representation Module, which turns photos plus one of three subset
+// sources into a PAR instance, and the Solver pipeline, which optionally
+// sparsifies the instance and runs the selected optimization algorithm,
+// reporting the solution together with its a-posteriori quality
+// certificate.
+//
+// The three input modes mirror Section 5.1:
+//
+//  1. Direct — each photo is tagged with the subsets that include it
+//     (BuildDirect);
+//  2. Queries — users provide queries; the internal search engine computes
+//     the subsets and converts retrieval scores into relevance
+//     (BuildFromQueries);
+//  3. Automatic tagging — subsets are derived by the tagging substrate
+//     (BuildFromTags).
+package phocus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"phocus/internal/dataset"
+	"phocus/internal/embed"
+	"phocus/internal/imagesim"
+	"phocus/internal/par"
+	"phocus/internal/search"
+	"phocus/internal/tagging"
+)
+
+// Photo is one input photo: the rendered image (with EXIF and size) plus
+// optional textual metadata used by the query input mode.
+type Photo struct {
+	Image *imagesim.Photo
+	Text  string
+}
+
+// SubsetSpec declares one pre-defined subset in direct mode. Relevance may
+// be nil for uniform relevance; it is normalized automatically.
+type SubsetSpec struct {
+	Name      string
+	Weight    float64
+	Members   []int // indices into the photo slice
+	Relevance []float64
+}
+
+// Query is one retrieval-defined subset: the query text and its importance
+// (e.g. its frequency in a query log).
+type Query struct {
+	Text   string
+	Weight float64
+}
+
+// BuildOptions tunes the Data Representation Module.
+type BuildOptions struct {
+	// Seed drives context randomization.
+	Seed int64
+	// Embedding selects the feature layout (zero value → default config).
+	Embedding imagesim.EmbeddingConfig
+	// ContextFrac and ContextStrength shape per-subset contextualization
+	// (defaults 0.25 and 4). ContextStrength 1 disables contextualization.
+	ContextFrac, ContextStrength float64
+	// NormalizeDistances enables per-context distance normalization.
+	NormalizeDistances bool
+	// TopK bounds retrieval results per query in query mode (default 100).
+	TopK int
+	// MinTagConfidence and MaxTagsPerPhoto control tagging mode
+	// (defaults 0.5 and 5).
+	MinTagConfidence float64
+	MaxTagsPerPhoto  int
+}
+
+func (o *BuildOptions) fill() {
+	if o.Embedding == (imagesim.EmbeddingConfig{}) {
+		o.Embedding = imagesim.DefaultEmbeddingConfig()
+	}
+	if o.ContextFrac == 0 {
+		o.ContextFrac = 0.25
+	}
+	if o.ContextStrength == 0 {
+		o.ContextStrength = 4
+	}
+	if o.TopK == 0 {
+		o.TopK = 100
+	}
+	if o.MinTagConfidence == 0 {
+		o.MinTagConfidence = 0.5
+	}
+	if o.MaxTagsPerPhoto == 0 {
+		o.MaxTagsPerPhoto = 5
+	}
+}
+
+// draft is the mode-independent intermediate subset representation.
+type draft struct {
+	name      string
+	weight    float64
+	members   []int
+	relevance []float64
+}
+
+// BuildDirect assembles a dataset from explicitly declared subsets.
+func BuildDirect(photos []Photo, subsets []SubsetSpec, opts BuildOptions) (*dataset.Dataset, error) {
+	drafts := make([]draft, 0, len(subsets))
+	for _, s := range subsets {
+		rel := s.Relevance
+		if rel == nil {
+			rel = make([]float64, len(s.Members))
+			for i := range rel {
+				rel[i] = 1
+			}
+		}
+		if len(rel) != len(s.Members) {
+			return nil, fmt.Errorf("phocus: subset %q: %d members, %d relevance scores", s.Name, len(s.Members), len(rel))
+		}
+		drafts = append(drafts, draft{name: s.Name, weight: s.Weight, members: s.Members, relevance: rel})
+	}
+	return assemble(photos, drafts, opts)
+}
+
+// BuildFromQueries assembles a dataset by running each query through a
+// TF-IDF index over the photos' texts; retrieval scores become relevance.
+// Queries with no results are dropped.
+func BuildFromQueries(photos []Photo, queries []Query, opts BuildOptions) (*dataset.Dataset, error) {
+	opts.fill()
+	docs := make([]search.Document, len(photos))
+	for i, p := range photos {
+		docs[i] = search.Document{ID: i, Text: p.Text}
+	}
+	index := search.NewIndex(docs)
+	var drafts []draft
+	for _, q := range queries {
+		hits := index.Search(q.Text, opts.TopK)
+		if len(hits) == 0 {
+			continue
+		}
+		d := draft{name: q.Text, weight: q.Weight}
+		for _, h := range hits {
+			d.members = append(d.members, h.ID)
+			d.relevance = append(d.relevance, h.Score)
+		}
+		drafts = append(drafts, d)
+	}
+	return assemble(photos, drafts, opts)
+}
+
+// BuildFromTags assembles a dataset from a trained tagger: each tag that
+// matches at least two photos becomes a subset; confidences become
+// relevance; tag importance is proportional to tag frequency.
+func BuildFromTags(photos []Photo, tagger *tagging.Tagger, opts BuildOptions) (*dataset.Dataset, error) {
+	opts.fill()
+	byTag := map[string]*draft{}
+	for i, p := range photos {
+		for _, tag := range tagger.Tag(p.Image, opts.MinTagConfidence, opts.MaxTagsPerPhoto) {
+			d, ok := byTag[tag.Name]
+			if !ok {
+				d = &draft{name: tag.Name}
+				byTag[tag.Name] = d
+			}
+			d.members = append(d.members, i)
+			d.relevance = append(d.relevance, tag.Confidence)
+		}
+	}
+	var drafts []draft
+	for _, name := range tagger.Names() { // deterministic order
+		d, ok := byTag[name]
+		if !ok || len(d.members) < 2 {
+			continue
+		}
+		d.weight = float64(len(d.members))
+		drafts = append(drafts, *d)
+	}
+	return assemble(photos, drafts, opts)
+}
+
+// assemble turns drafts into a finalized dataset: embeddings, per-subset
+// contexts, contextual similarities, costs from the photos' size model.
+func assemble(photos []Photo, drafts []draft, opts BuildOptions) (*dataset.Dataset, error) {
+	opts.fill()
+	if len(photos) == 0 {
+		return nil, fmt.Errorf("phocus: no photos")
+	}
+	if len(drafts) == 0 {
+		return nil, fmt.Errorf("phocus: no non-empty subsets")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	global := make([]embed.Vector, len(photos))
+	cost := make([]float64, len(photos))
+	imgs := make([]*imagesim.Photo, len(photos))
+	for i, p := range photos {
+		if p.Image == nil {
+			return nil, fmt.Errorf("phocus: photo %d has no image", i)
+		}
+		global[i] = imagesim.Embedding(p.Image.Image, opts.Embedding)
+		cost[i] = p.Image.SizeBytes
+		imgs[i] = p.Image
+	}
+
+	inst := &par.Instance{Cost: cost}
+	ds := &dataset.Dataset{Instance: inst, Global: global, Photos: imgs}
+	dim := opts.Embedding.Dim()
+	for _, d := range drafts {
+		if d.weight <= 0 {
+			return nil, fmt.Errorf("phocus: subset %q has non-positive weight", d.name)
+		}
+		ctx := embed.RandomContext(rng, dim, opts.ContextFrac, opts.ContextStrength)
+		ctx.NormalizeDistances = opts.NormalizeDistances
+		members := make([]par.PhotoID, len(d.members))
+		ctxVecs := make([]embed.Vector, len(d.members))
+		for i, m := range d.members {
+			if m < 0 || m >= len(photos) {
+				return nil, fmt.Errorf("phocus: subset %q member %d out of range", d.name, m)
+			}
+			members[i] = par.PhotoID(m)
+			ctxVecs[i] = ctx.Apply(embed.Clone(global[m]))
+		}
+		inst.Subsets = append(inst.Subsets, par.Subset{
+			Name:      d.name,
+			Weight:    d.weight,
+			Members:   members,
+			Relevance: append([]float64(nil), d.relevance...),
+			Sim:       embed.ContextualSim(vectorsOf(global, d.members), ctx),
+		})
+		ds.CtxVectors = append(ds.CtxVectors, ctxVecs)
+	}
+	inst.NormalizeRelevance()
+	inst.Budget = inst.TotalCost()
+	if err := inst.Finalize(); err != nil {
+		return nil, fmt.Errorf("phocus: %w", err)
+	}
+	return ds, nil
+}
+
+func vectorsOf(global []embed.Vector, members []int) []embed.Vector {
+	out := make([]embed.Vector, len(members))
+	for i, m := range members {
+		out[i] = global[m]
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package phocus
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"phocus/internal/celf"
+	"phocus/internal/dataset"
+	"phocus/internal/exact"
+	"phocus/internal/par"
+	"phocus/internal/sparsify"
+	"phocus/internal/sviridenko"
+)
+
+// Algorithm selects the optimization algorithm of the Solver stage.
+type Algorithm string
+
+const (
+	// AlgoCELF is the production solver (Algorithm 1): lazy greedy, best of
+	// UC and CB, (1−1/e)/2 guarantee.
+	AlgoCELF Algorithm = "celf"
+	// AlgoSviridenko is the (1−1/e) partial-enumeration solver; Ω(n⁴), use
+	// on small instances only.
+	AlgoSviridenko Algorithm = "sviridenko"
+	// AlgoExact is the branch-and-bound optimum; exponential worst case.
+	AlgoExact Algorithm = "exact"
+)
+
+// SolveOptions configures a Solver run.
+type SolveOptions struct {
+	// Budget is B in bytes. Zero means "keep everything" (budget = total
+	// cost).
+	Budget float64
+	// Retained is S0 (photo IDs that must be kept).
+	Retained []par.PhotoID
+	// Algorithm defaults to AlgoCELF.
+	Algorithm Algorithm
+	// Tau enables τ-sparsification when positive.
+	Tau float64
+	// UseLSH selects SimHash candidate generation for the sparsification
+	// (requires the dataset to carry CtxVectors, which all builders and
+	// generators populate).
+	UseLSH bool
+	// Seed drives LSH randomness.
+	Seed int64
+	// SkipBound disables the a-posteriori online-bound computation (it
+	// costs one marginal-gain pass over all photos).
+	SkipBound bool
+}
+
+// Result is the outcome of a Solver run.
+type Result struct {
+	// Solution is the retained photo set with its score under the TRUE
+	// (unsparsified) objective and its byte cost.
+	Solution par.Solution
+	// Archived lists the photos NOT retained, i.e. the disposal/archival
+	// set.
+	Archived []par.PhotoID
+	// OnlineBound is the upper bound on OPT (0 when skipped).
+	OnlineBound float64
+	// CertifiedRatio = Score/OnlineBound, a lower bound on the true
+	// performance ratio (0 when skipped).
+	CertifiedRatio float64
+	// SparsifiedPairs / OriginalPairs report how much τ-sparsification
+	// shrank the similarity structure (OriginalPairs is 0 for the LSH path,
+	// which never counts the full pair set).
+	OriginalPairs, SparsifiedPairs int
+	// PrepTime covers sparsification, SolveTime the optimization.
+	PrepTime, SolveTime time.Duration
+}
+
+// Solve runs the Solver stage of Figure 4 on a prepared dataset.
+func Solve(ds *dataset.Dataset, opts SolveOptions) (*Result, error) {
+	inst := ds.Instance
+	budget := opts.Budget
+	if budget == 0 {
+		budget = inst.TotalCost()
+	}
+	// Work on a shallow copy so concurrent/solver-comparing callers can
+	// reuse the dataset with different budgets.
+	work := &par.Instance{
+		Cost:     inst.Cost,
+		Retained: opts.Retained,
+		Budget:   budget,
+		Subsets:  inst.Subsets,
+	}
+	if err := work.Finalize(); err != nil {
+		return nil, fmt.Errorf("phocus: %w", err)
+	}
+
+	res := &Result{}
+	solveInst := work
+	if opts.Tau > 0 {
+		t0 := time.Now()
+		var sres sparsify.Result
+		var err error
+		if opts.UseLSH {
+			rng := rand.New(rand.NewSource(opts.Seed))
+			sres, err = sparsify.WithLSH(rng, work, ds.CtxVectors, opts.Tau)
+		} else {
+			sres, err = sparsify.Exact(work, opts.Tau)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.PrepTime = time.Since(t0)
+		res.OriginalPairs = sres.PairsBefore
+		res.SparsifiedPairs = sres.PairsAfter
+		solveInst = sres.Instance
+	}
+
+	t0 := time.Now()
+	var sol par.Solution
+	var err error
+	switch opts.Algorithm {
+	case "", AlgoCELF:
+		var s celf.Solver
+		sol, err = s.Solve(solveInst)
+	case AlgoSviridenko:
+		var s sviridenko.Solver
+		sol, err = s.Solve(solveInst)
+	case AlgoExact:
+		var s exact.Solver
+		sol, err = s.Solve(solveInst)
+	default:
+		return nil, fmt.Errorf("phocus: unknown algorithm %q", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.SolveTime = time.Since(t0)
+
+	// Rescore under the true objective (the solver may have optimized the
+	// sparsified surrogate).
+	sol.Score = par.ScoreFast(work, sol.Photos)
+	res.Solution = sol
+
+	retained := make([]bool, work.NumPhotos())
+	for _, p := range sol.Photos {
+		retained[p] = true
+	}
+	for p := 0; p < work.NumPhotos(); p++ {
+		if !retained[p] {
+			res.Archived = append(res.Archived, par.PhotoID(p))
+		}
+	}
+
+	if !opts.SkipBound {
+		res.OnlineBound = celf.OnlineBound(work, sol.Photos)
+		if res.OnlineBound > 0 {
+			res.CertifiedRatio = sol.Score / res.OnlineBound
+		} else {
+			res.CertifiedRatio = 1
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,63 @@
+package search
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize checks tokenization never panics, never emits empty or
+// non-lowercase tokens, and is idempotent under re-tokenization.
+func FuzzTokenize(f *testing.F) {
+	f.Add("black Adidas sports shirt")
+	f.Add("ÉTÉ 2021 — Paris!")
+	f.Add("")
+	f.Add("日本語 query ultra-42")
+	f.Fuzz(func(t *testing.T, text string) {
+		toks := Tokenize(text)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if unicode.IsUpper(r) {
+					t.Fatalf("token %q not lowercased", tok)
+				}
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q contains separator rune %q", tok, r)
+				}
+			}
+		}
+		again := Tokenize(strings.Join(toks, " "))
+		if len(again) != len(toks) {
+			t.Fatalf("re-tokenization changed count: %v vs %v", toks, again)
+		}
+	})
+}
+
+// FuzzSearch checks querying an index with arbitrary text never panics and
+// always returns scores in (0, 1+ε] in sorted order.
+func FuzzSearch(f *testing.F) {
+	ix := NewIndex([]Document{
+		{ID: 0, Text: "black Adidas sports shirt"},
+		{ID: 1, Text: "red Nike running shoes"},
+		{ID: 2, Text: "wooden garden chair"},
+	})
+	f.Add("black shirt", 5)
+	f.Add("", 0)
+	f.Add("ZZZ unknown", -3)
+	f.Fuzz(func(t *testing.T, query string, k int) {
+		hits := ix.Search(query, k)
+		if k > 0 && len(hits) > k {
+			t.Fatalf("returned %d hits for k=%d", len(hits), k)
+		}
+		for i, h := range hits {
+			if h.Score <= 0 || h.Score > 1+1e-9 {
+				t.Fatalf("score out of range: %+v", h)
+			}
+			if i > 0 && h.Score > hits[i-1].Score {
+				t.Fatal("hits not sorted")
+			}
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+
+	"phocus/internal/par"
+)
+
+// LRUCache is the classical reactive alternative to PHOcus' pinned
+// selection: photos enter the fast tier on access and the least recently
+// used ones are evicted to fit the capacity. The paper's related work
+// (Section 2) argues frequency/recency caching cannot exploit similarity
+// redundancy; the pinnedVsLRU experiment quantifies that on PAR's own
+// access model.
+type LRUCache struct {
+	capacity float64
+	used     float64
+	sizes    map[par.PhotoID]float64
+	order    *list.List // front = most recently used
+	elems    map[par.PhotoID]*list.Element
+	stats    Stats
+	cfg      Config
+}
+
+// NewLRU returns an empty LRU cache with the config's capacity and
+// simulated latencies.
+func NewLRU(cfg Config) *LRUCache {
+	return &LRUCache{
+		capacity: cfg.CacheCapacity,
+		sizes:    make(map[par.PhotoID]float64),
+		order:    list.New(),
+		elems:    make(map[par.PhotoID]*list.Element),
+		cfg:      cfg,
+	}
+}
+
+// Ingest registers a photo in the archive tier.
+func (c *LRUCache) Ingest(id par.PhotoID, size float64) error {
+	if size <= 0 {
+		return fmt.Errorf("storage: photo %d has non-positive size", id)
+	}
+	if _, ok := c.sizes[id]; ok {
+		return fmt.Errorf("storage: photo %d already ingested", id)
+	}
+	c.sizes[id] = size
+	return nil
+}
+
+// IngestInstance registers every photo of a PAR instance.
+func (c *LRUCache) IngestInstance(inst *par.Instance) error {
+	for p := 0; p < inst.NumPhotos(); p++ {
+		if err := c.Ingest(par.PhotoID(p), inst.Cost[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get accesses a photo: a hit refreshes its recency; a miss fetches it from
+// the archive and inserts it, evicting least-recently-used photos until it
+// fits. Photos larger than the whole capacity are served from the archive
+// without insertion.
+func (c *LRUCache) Get(id par.PhotoID) (fromCache bool, err error) {
+	size, ok := c.sizes[id]
+	if !ok {
+		return false, fmt.Errorf("storage: photo %d not ingested", id)
+	}
+	if el, ok := c.elems[id]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		c.stats.SimulatedLatency += c.cfg.CacheLatency
+		return true, nil
+	}
+	c.stats.Misses++
+	c.stats.SimulatedLatency += c.cfg.ArchiveLatency
+	if size > c.capacity {
+		return false, nil
+	}
+	for c.used+size > c.capacity {
+		back := c.order.Back()
+		evicted := back.Value.(par.PhotoID)
+		c.order.Remove(back)
+		delete(c.elems, evicted)
+		c.used -= c.sizes[evicted]
+	}
+	c.elems[id] = c.order.PushFront(id)
+	c.used += size
+	return false, nil
+}
+
+// Cached reports whether a photo currently sits in the fast tier.
+func (c *LRUCache) Cached(id par.PhotoID) bool {
+	_, ok := c.elems[id]
+	return ok
+}
+
+// Usage returns the bytes currently cached.
+func (c *LRUCache) Usage() float64 { return c.used }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *LRUCache) Stats() Stats { return c.stats }
+
+// ResetStats clears the access accounting without touching cache contents
+// (useful for measuring steady-state behaviour after a warm-up phase).
+func (c *LRUCache) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,199 @@
+// Package storage is the two-tier store that a PAR solution drives: the
+// photos PHOcus retains live in a fast, size-bounded cache (the paper's
+// landing-page image cache / local phone storage) and everything else sits
+// in slow archival storage (cloud, cold store). The package simulates
+// access latencies so examples and benchmarks can quantify what a selection
+// is worth in serving terms, and provides a workload sampler that converts
+// a PAR instance's subsets, weights and relevances into an access stream.
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"phocus/internal/par"
+)
+
+// Config sets tier capacities and simulated access latencies.
+type Config struct {
+	// CacheCapacity is the fast tier's size in bytes (the PAR budget).
+	CacheCapacity float64
+	// CacheLatency and ArchiveLatency are the simulated per-access costs.
+	CacheLatency, ArchiveLatency time.Duration
+}
+
+// DefaultConfig uses latencies in the regime the paper motivates (cache
+// loads contribute to a 100 ms page budget; archive access is ~50× slower).
+func DefaultConfig(capacity float64) Config {
+	return Config{
+		CacheCapacity:  capacity,
+		CacheLatency:   2 * time.Millisecond,
+		ArchiveLatency: 100 * time.Millisecond,
+	}
+}
+
+// Stats accumulates access accounting.
+type Stats struct {
+	Hits, Misses     int64
+	SimulatedLatency time.Duration
+}
+
+// HitRatio returns hits/(hits+misses), 0 when no accesses happened.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Store is the two-tier photo store. It is not safe for concurrent use.
+type Store struct {
+	cfg     Config
+	sizes   map[par.PhotoID]float64
+	inCache map[par.PhotoID]bool
+	used    float64
+	stats   Stats
+}
+
+// New returns an empty store.
+func New(cfg Config) *Store {
+	return &Store{
+		cfg:     cfg,
+		sizes:   make(map[par.PhotoID]float64),
+		inCache: make(map[par.PhotoID]bool),
+	}
+}
+
+// Ingest registers a photo in the archive tier.
+func (s *Store) Ingest(id par.PhotoID, size float64) error {
+	if size <= 0 {
+		return fmt.Errorf("storage: photo %d has non-positive size", id)
+	}
+	if _, ok := s.sizes[id]; ok {
+		return fmt.Errorf("storage: photo %d already ingested", id)
+	}
+	s.sizes[id] = size
+	return nil
+}
+
+// IngestInstance registers every photo of a PAR instance.
+func (s *Store) IngestInstance(inst *par.Instance) error {
+	for p := 0; p < inst.NumPhotos(); p++ {
+		if err := s.Ingest(par.PhotoID(p), inst.Cost[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply pins exactly the given solution into the cache, evicting everything
+// else. It fails without changing the cache if the solution exceeds the
+// cache capacity or references unknown photos.
+func (s *Store) Apply(solution []par.PhotoID) error {
+	var total float64
+	for _, p := range solution {
+		size, ok := s.sizes[p]
+		if !ok {
+			return fmt.Errorf("storage: photo %d not ingested", p)
+		}
+		total += size
+	}
+	if total > s.cfg.CacheCapacity*(1+1e-12) {
+		return fmt.Errorf("storage: solution needs %.0f bytes, cache holds %.0f", total, s.cfg.CacheCapacity)
+	}
+	s.inCache = make(map[par.PhotoID]bool, len(solution))
+	for _, p := range solution {
+		s.inCache[p] = true
+	}
+	s.used = total
+	return nil
+}
+
+// CacheUsage returns the bytes currently pinned.
+func (s *Store) CacheUsage() float64 { return s.used }
+
+// Cached reports whether a photo is in the fast tier.
+func (s *Store) Cached(id par.PhotoID) bool { return s.inCache[id] }
+
+// Get accesses a photo, updating the hit/miss statistics and the simulated
+// latency accumulator, and reports which tier served it.
+func (s *Store) Get(id par.PhotoID) (fromCache bool, err error) {
+	if _, ok := s.sizes[id]; !ok {
+		return false, fmt.Errorf("storage: photo %d not ingested", id)
+	}
+	if s.inCache[id] {
+		s.stats.Hits++
+		s.stats.SimulatedLatency += s.cfg.CacheLatency
+		return true, nil
+	}
+	s.stats.Misses++
+	s.stats.SimulatedLatency += s.cfg.ArchiveLatency
+	return false, nil
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (s *Store) Stats() Stats { return s.stats }
+
+// ResetStats clears the access accounting.
+func (s *Store) ResetStats() { s.stats = Stats{} }
+
+// Access is one usage-model event: the Member-th photo of subset Subset
+// was requested (e.g. a landing-page impression needing that photo).
+type Access struct {
+	Subset, Member int
+}
+
+// AccessPatternDetailed samples n accesses like AccessPattern but keeps
+// the (subset, member) provenance, which serving simulations need to value
+// substitute photos by in-context similarity.
+func AccessPatternDetailed(rng *rand.Rand, inst *par.Instance, n int) []Access {
+	if len(inst.Subsets) == 0 || n <= 0 {
+		return nil
+	}
+	wcum := make([]float64, len(inst.Subsets))
+	var wsum float64
+	for i := range inst.Subsets {
+		wsum += inst.Subsets[i].Weight
+		wcum[i] = wsum
+	}
+	out := make([]Access, n)
+	for k := 0; k < n; k++ {
+		qr := rng.Float64() * wsum
+		qi := 0
+		for qi < len(wcum)-1 && wcum[qi] < qr {
+			qi++
+		}
+		q := &inst.Subsets[qi]
+		pr := rng.Float64()
+		var acc float64
+		mi := len(q.Members) - 1
+		for i, r := range q.Relevance {
+			acc += r
+			if pr <= acc {
+				mi = i
+				break
+			}
+		}
+		out[k] = Access{Subset: qi, Member: mi}
+	}
+	return out
+}
+
+// AccessPattern samples n photo accesses from a PAR instance's usage model:
+// a subset is drawn proportionally to its weight, then a member
+// proportionally to its relevance — the access distribution under which the
+// PAR objective is exactly the expected best-match similarity served per
+// access.
+func AccessPattern(rng *rand.Rand, inst *par.Instance, n int) []par.PhotoID {
+	det := AccessPatternDetailed(rng, inst, n)
+	if det == nil {
+		return nil
+	}
+	out := make([]par.PhotoID, len(det))
+	for i, a := range det {
+		out[i] = inst.Subsets[a.Subset].Members[a.Member]
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+// Package tagging is the automatic-tagging substrate of PHOcus' Data
+// Representation Module (input mode 3 of Section 5.1): pre-defined subsets
+// are derived from tags assigned automatically. Two tag sources are
+// implemented, matching the paper's examples:
+//
+//   - visual tags: nearest-prototype classification over image embeddings
+//     (the stand-in for "image tagging software" / label models);
+//   - metadata groups: clustering photos by EXIF capture time and location
+//     ("organized by features such as date, location").
+package tagging
+
+import (
+	"math"
+	"sort"
+
+	"phocus/internal/embed"
+	"phocus/internal/imagesim"
+)
+
+// Tag is one automatic label with a confidence in (0, 1].
+type Tag struct {
+	Name       string
+	Confidence float64
+}
+
+// Tagger classifies photos against learned tag prototypes.
+type Tagger struct {
+	cfg    imagesim.EmbeddingConfig
+	names  []string
+	protos []embed.Vector
+}
+
+// New returns an empty tagger using the given embedding layout.
+func New(cfg imagesim.EmbeddingConfig) *Tagger {
+	return &Tagger{cfg: cfg}
+}
+
+// Learn adds (or, for a repeated name, replaces) a tag prototype as the
+// normalized mean embedding of the example photos. Empty example lists are
+// ignored.
+func (t *Tagger) Learn(name string, examples []*imagesim.Photo) {
+	if len(examples) == 0 {
+		return
+	}
+	mean := make(embed.Vector, t.cfg.Dim())
+	for _, p := range examples {
+		v := imagesim.Embedding(p.Image, t.cfg)
+		for i := range mean {
+			mean[i] += v[i]
+		}
+	}
+	embed.Normalize(mean)
+	for i, n := range t.names {
+		if n == name {
+			t.protos[i] = mean
+			return
+		}
+	}
+	t.names = append(t.names, name)
+	t.protos = append(t.protos, mean)
+}
+
+// Names returns the learned tag names in learning order.
+func (t *Tagger) Names() []string { return t.names }
+
+// Tag returns the tags whose prototype cosine similarity to the photo is at
+// least minConf, strongest first, capped at maxTags (0 = no cap).
+func (t *Tagger) Tag(p *imagesim.Photo, minConf float64, maxTags int) []Tag {
+	v := imagesim.Embedding(p.Image, t.cfg)
+	var tags []Tag
+	for i, proto := range t.protos {
+		if c := embed.CosineSim01(v, proto); c >= minConf {
+			tags = append(tags, Tag{Name: t.names[i], Confidence: c})
+		}
+	}
+	sort.Slice(tags, func(i, j int) bool {
+		if tags[i].Confidence != tags[j].Confidence {
+			return tags[i].Confidence > tags[j].Confidence
+		}
+		return tags[i].Name < tags[j].Name
+	})
+	if maxTags > 0 && len(tags) > maxTags {
+		tags = tags[:maxTags]
+	}
+	return tags
+}
+
+// Group is a metadata-derived photo cluster.
+type Group struct {
+	Name   string
+	Photos []*imagesim.Photo
+}
+
+// GroupByTime buckets photos into windows of the given length (seconds),
+// producing one group per non-empty window ordered by time. It mirrors
+// "albums by date" organization of personal archives.
+func GroupByTime(photos []*imagesim.Photo, windowSeconds int64) []Group {
+	if windowSeconds <= 0 || len(photos) == 0 {
+		return nil
+	}
+	buckets := map[int64][]*imagesim.Photo{}
+	for _, p := range photos {
+		buckets[p.EXIF.UnixTime/windowSeconds] = append(buckets[p.EXIF.UnixTime/windowSeconds], p)
+	}
+	keys := make([]int64, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	groups := make([]Group, 0, len(keys))
+	for _, k := range keys {
+		groups = append(groups, Group{
+			Name:   timeGroupName(k, windowSeconds),
+			Photos: buckets[k],
+		})
+	}
+	return groups
+}
+
+func timeGroupName(bucket, window int64) string {
+	return "time:" + itoa(bucket*window)
+}
+
+// GroupByLocation clusters photos by greedy leader clustering on great-
+// circle-free Euclidean lat/lon distance: each photo joins the first
+// existing cluster whose leader is within radius degrees, else founds a new
+// cluster. Deterministic given photo order.
+func GroupByLocation(photos []*imagesim.Photo, radiusDegrees float64) []Group {
+	if radiusDegrees <= 0 || len(photos) == 0 {
+		return nil
+	}
+	type cluster struct {
+		lat, lon float64
+		photos   []*imagesim.Photo
+	}
+	var clusters []*cluster
+	for _, p := range photos {
+		placed := false
+		for _, c := range clusters {
+			dlat := p.EXIF.Latitude - c.lat
+			dlon := p.EXIF.Longitude - c.lon
+			if math.Hypot(dlat, dlon) <= radiusDegrees {
+				c.photos = append(c.photos, p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, &cluster{lat: p.EXIF.Latitude, lon: p.EXIF.Longitude, photos: []*imagesim.Photo{p}})
+		}
+	}
+	groups := make([]Group, len(clusters))
+	for i, c := range clusters {
+		groups[i] = Group{Name: "loc:" + itoa(int64(i)), Photos: c.photos}
+	}
+	return groups
+}
+
+// GroupBySimilarity clusters photos by visual similarity with greedy leader
+// clustering over feature embeddings: each photo joins the first cluster
+// whose leader's cosine similarity is at least minSim, else founds a new
+// cluster. It is the stand-in for "organized by facial recognition" style
+// automatic albums the paper mentions — same person/scene photos embed
+// close together. Deterministic given photo order.
+func GroupBySimilarity(photos []*imagesim.Photo, cfg imagesim.EmbeddingConfig, minSim float64) []Group {
+	if len(photos) == 0 || minSim <= 0 || minSim > 1 {
+		return nil
+	}
+	type cluster struct {
+		leader embed.Vector
+		photos []*imagesim.Photo
+	}
+	var clusters []*cluster
+	for _, p := range photos {
+		v := imagesim.Embedding(p.Image, cfg)
+		placed := false
+		for _, c := range clusters {
+			if embed.CosineSim01(v, c.leader) >= minSim {
+				c.photos = append(c.photos, p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, &cluster{leader: v, photos: []*imagesim.Photo{p}})
+		}
+	}
+	groups := make([]Group, len(clusters))
+	for i, c := range clusters {
+		groups[i] = Group{Name: "visual:" + itoa(int64(i)), Photos: c.photos}
+	}
+	return groups
+}
+
+// itoa is a minimal integer formatter (avoids pulling fmt into the hot
+// grouping path for large archives).
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [21]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,193 @@
+package tagging
+
+import (
+	"math/rand"
+	"testing"
+
+	"phocus/internal/imagesim"
+)
+
+func trainedTagger(t *testing.T, rng *rand.Rand, cats []*imagesim.CategoryModel) (*Tagger, imagesim.GenConfig) {
+	t.Helper()
+	cfg := imagesim.DefaultGenConfig()
+	tagger := New(imagesim.DefaultEmbeddingConfig())
+	for _, cat := range cats {
+		var examples []*imagesim.Photo
+		for k := 0; k < 8; k++ {
+			examples = append(examples, cat.Generate(rng, k, cfg))
+		}
+		tagger.Learn(cat.Name, examples)
+	}
+	return tagger, cfg
+}
+
+func TestTaggerClassifiesHeldOutPhotos(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cats := []*imagesim.CategoryModel{
+		imagesim.NewCategoryModel(rng, "bikes"),
+		imagesim.NewCategoryModel(rng, "cats"),
+		imagesim.NewCategoryModel(rng, "books"),
+	}
+	tagger, cfg := trainedTagger(t, rng, cats)
+	correct, total := 0, 0
+	for ci, cat := range cats {
+		for k := 0; k < 10; k++ {
+			p := cat.Generate(rng, 100+k, cfg)
+			tags := tagger.Tag(p, 0, 1)
+			if len(tags) != 1 {
+				t.Fatalf("expected exactly one top tag, got %v", tags)
+			}
+			total++
+			if tags[0].Name == cats[ci].Name {
+				correct++
+			}
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.8 {
+		t.Errorf("held-out tagging accuracy %.2f, want ≥ 0.8", acc)
+	}
+}
+
+func TestTagConfidenceThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cats := []*imagesim.CategoryModel{
+		imagesim.NewCategoryModel(rng, "a"),
+		imagesim.NewCategoryModel(rng, "b"),
+	}
+	tagger, cfg := trainedTagger(t, rng, cats)
+	p := cats[0].Generate(rng, 50, cfg)
+	// An impossible threshold yields no tags.
+	if tags := tagger.Tag(p, 1.01, 0); len(tags) != 0 {
+		t.Errorf("threshold 1.01 returned %v", tags)
+	}
+	// Threshold 0 returns every learned tag, sorted by confidence.
+	tags := tagger.Tag(p, 0, 0)
+	if len(tags) != 2 {
+		t.Fatalf("got %d tags, want 2", len(tags))
+	}
+	if tags[0].Confidence < tags[1].Confidence {
+		t.Error("tags not sorted by confidence")
+	}
+}
+
+func TestLearnReplacesPrototype(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	catA := imagesim.NewCategoryModel(rng, "x")
+	catB := imagesim.NewCategoryModel(rng, "x") // same name, different look
+	cfg := imagesim.DefaultGenConfig()
+	tagger := New(imagesim.DefaultEmbeddingConfig())
+	tagger.Learn("x", []*imagesim.Photo{catA.Generate(rng, 0, cfg)})
+	tagger.Learn("x", []*imagesim.Photo{catB.Generate(rng, 1, cfg)})
+	if got := len(tagger.Names()); got != 1 {
+		t.Fatalf("tagger has %d names after relearning, want 1", got)
+	}
+	tagger.Learn("x", nil) // no-op
+	if got := len(tagger.Names()); got != 1 {
+		t.Fatalf("empty Learn changed tagger: %d names", got)
+	}
+}
+
+func photoAt(id int, unix int64, lat, lon float64) *imagesim.Photo {
+	return &imagesim.Photo{
+		ID:    id,
+		Image: imagesim.NewImage(2, 2),
+		EXIF:  imagesim.EXIF{UnixTime: unix, Latitude: lat, Longitude: lon},
+	}
+}
+
+func TestGroupByTime(t *testing.T) {
+	photos := []*imagesim.Photo{
+		photoAt(0, 1000, 0, 0),
+		photoAt(1, 1500, 0, 0),
+		photoAt(2, 5000, 0, 0),
+	}
+	groups := GroupByTime(photos, 2000)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	if len(groups[0].Photos) != 2 || len(groups[1].Photos) != 1 {
+		t.Errorf("group sizes %d/%d, want 2/1", len(groups[0].Photos), len(groups[1].Photos))
+	}
+	if groups[0].Name != "time:0" || groups[1].Name != "time:4000" {
+		t.Errorf("group names %q/%q", groups[0].Name, groups[1].Name)
+	}
+	if GroupByTime(photos, 0) != nil {
+		t.Error("zero window should return nil")
+	}
+	if GroupByTime(nil, 100) != nil {
+		t.Error("no photos should return nil")
+	}
+}
+
+func TestGroupByLocation(t *testing.T) {
+	photos := []*imagesim.Photo{
+		photoAt(0, 0, 48.85, 2.35),  // Paris
+		photoAt(1, 0, 48.86, 2.36),  // Paris
+		photoAt(2, 0, 35.68, 139.7), // Tokyo
+	}
+	groups := GroupByLocation(photos, 1.0)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	if len(groups[0].Photos) != 2 {
+		t.Errorf("first cluster has %d photos, want 2", len(groups[0].Photos))
+	}
+	if GroupByLocation(photos, 0) != nil {
+		t.Error("zero radius should return nil")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int64]string{0: "0", 7: "7", -42: "-42", 123456789: "123456789"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestGroupBySimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := imagesim.DefaultGenConfig()
+	ecfg := imagesim.DefaultEmbeddingConfig()
+	catA := imagesim.NewCategoryModel(rng, "a")
+	catB := imagesim.NewCategoryModel(rng, "b")
+	var photos []*imagesim.Photo
+	for k := 0; k < 5; k++ {
+		ph := catA.Generate(rng, k, cfg)
+		ph.Category = 0
+		photos = append(photos, ph)
+	}
+	for k := 0; k < 5; k++ {
+		ph := catB.Generate(rng, 10+k, cfg)
+		ph.Category = 1
+		photos = append(photos, ph)
+	}
+	groups := GroupBySimilarity(photos, ecfg, 0.5)
+	if len(groups) < 2 {
+		t.Fatalf("two visual categories collapsed into %d groups", len(groups))
+	}
+	// The two dominant groups must be category-pure.
+	for _, g := range groups {
+		if len(g.Photos) < 2 {
+			continue
+		}
+		first := g.Photos[0].Category
+		for _, p := range g.Photos {
+			if p.Category != first {
+				t.Errorf("group %s mixes categories", g.Name)
+			}
+		}
+	}
+	// Every photo lands in exactly one group.
+	total := 0
+	for _, g := range groups {
+		total += len(g.Photos)
+	}
+	if total != len(photos) {
+		t.Errorf("groups cover %d of %d photos", total, len(photos))
+	}
+	if GroupBySimilarity(photos, ecfg, 0) != nil || GroupBySimilarity(nil, ecfg, 0.5) != nil {
+		t.Error("degenerate arguments should return nil")
+	}
+}
