@@ -22,19 +22,21 @@ import (
 
 	"phocus/internal/experiments"
 	"phocus/internal/metrics"
+	"phocus/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		scale   = flag.Float64("scale", 0.2, "dataset scale in (0, 1]; 1 = paper-sized datasets")
-		seed    = flag.Int64("seed", 0, "seed offset for all generators")
-		tau     = flag.Float64("tau", 0.75, "sparsification threshold used by PHOcus runs")
-		verbose = flag.Bool("v", false, "log per-run progress to stderr")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		html    = flag.String("html", "", "also write a standalone HTML report to this file")
-		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp        = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale      = flag.Float64("scale", 0.2, "dataset scale in (0, 1]; 1 = paper-sized datasets")
+		seed       = flag.Int64("seed", 0, "seed offset for all generators")
+		tau        = flag.Float64("tau", 0.75, "sparsification threshold used by PHOcus runs")
+		verbose    = flag.Bool("v", false, "log per-run progress to stderr")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		html       = flag.String("html", "", "also write a standalone HTML report to this file")
+		metricsOut = flag.Bool("metrics", true, "print the metrics-registry snapshot (Prometheus text) after the run")
+		cpuprof    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -72,7 +74,8 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Tau: *tau}
+	reg := obs.NewRegistry()
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Tau: *tau, Metrics: reg}
 	if *verbose {
 		cfg.Log = os.Stderr
 	}
@@ -88,7 +91,10 @@ func main() {
 		if err := r(cfg, out); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		reg.Histogram("phocus_bench_experiment_seconds", nil, "exp", name).Observe(elapsed.Seconds())
+		reg.Counter("phocus_bench_experiments_total").Inc()
+		fmt.Printf("[%s done in %v]\n\n", name, elapsed.Round(time.Millisecond))
 		if *html != "" {
 			sections = append(sections, metrics.Section{ID: name, Title: desc, Body: body.String()})
 		}
@@ -114,6 +120,16 @@ func main() {
 		if err := run(*exp, *exp, r); err != nil {
 			fail(err)
 		}
+	}
+
+	if *metricsOut {
+		// The same exposition phocus-server serves on /metrics, so paper
+		// runs and live traffic share one vocabulary.
+		fmt.Println("== metrics registry ==")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fail(err)
+		}
+		fmt.Println()
 	}
 
 	if *html != "" {

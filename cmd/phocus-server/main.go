@@ -3,9 +3,15 @@
 //
 //	POST /solve?algo=celf&tau=0.75&budget=5e6   body: instance JSON
 //	GET  /healthz
+//	GET  /metrics        Prometheus text exposition
+//	GET  /debug/vars     JSON metrics snapshot (p50/p95/p99 summaries)
+//	GET  /debug/pprof/   runtime profiles (only with -pprof)
 //
-// The response is a JSON document listing the photos to retain and archive
-// with the achieved score and the online optimality certificate.
+// The /solve response is a JSON document listing the photos to retain and
+// archive with the achieved score, the online optimality certificate, the
+// request ID (also echoed in the X-Request-ID header and on every span log
+// line), and the solver's work stats. Every request stage (decode →
+// sparsify → solve → encode) is traced as a span in the structured log.
 package main
 
 import (
@@ -16,14 +22,17 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"phocus/internal/celf"
 	"phocus/internal/exact"
+	"phocus/internal/obs"
 	"phocus/internal/par"
 	"phocus/internal/sparsify"
 	"phocus/internal/sviridenko"
@@ -31,12 +40,16 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	maxBody := flag.Int64("max-body", 256<<20, "maximum /solve request body size in bytes")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
+	s := newServer(logger, *maxBody)
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logging(logger, newMux()),
+		Handler:           s.telemetry(s.mux(*pprofOn)),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       2 * time.Minute, // large instances upload slowly
 		WriteTimeout:      10 * time.Minute,
@@ -57,7 +70,7 @@ func main() {
 		}
 	}()
 
-	logger.Info("phocus-server listening", "addr", *addr)
+	logger.Info("phocus-server listening", "addr", *addr, "max_body", *maxBody, "pprof", *pprofOn)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("serve", "err", err)
 		os.Exit(1)
@@ -65,19 +78,96 @@ func main() {
 	<-done
 }
 
-// logging wraps the mux with per-request structured logs.
-func logging(logger *slog.Logger, next http.Handler) http.Handler {
+// server bundles the handler dependencies: logger, metrics registry, and
+// request limits.
+type server struct {
+	logger  *slog.Logger
+	reg     *obs.Registry
+	maxBody int64
+}
+
+func newServer(logger *slog.Logger, maxBody int64) *server {
+	return &server{logger: logger, reg: obs.NewRegistry(), maxBody: maxBody}
+}
+
+// mux builds the HTTP API.
+func (s *server) mux(pprofOn bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := s.reg.WritePrometheus(w); err != nil {
+			s.logger.Error("write metrics", "err", err)
+		}
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.reg.WriteJSON(w); err != nil {
+			s.logger.Error("write vars", "err", err)
+		}
+	})
+	if pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// telemetry wraps the mux with request IDs, per-route metrics, and the
+// per-request structured log line. The request ID comes from the client's
+// X-Request-ID header when present (so IDs propagate across services) and
+// is always echoed back on the response.
+func (s *server) telemetry(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		ctx = obs.WithLogger(ctx, s.logger.With("req_id", reqID))
+
 		lw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(lw, r)
-		logger.Info("request",
-			"method", r.Method, "path", r.URL.Path,
-			"status", lw.status, "duration", time.Since(start).Round(time.Millisecond))
+		next.ServeHTTP(lw, r.WithContext(ctx))
+
+		route := routeLabel(r.URL.Path)
+		elapsed := time.Since(start)
+		s.reg.Counter("phocus_http_requests_total",
+			"route", route, "class", statusClass(lw.status)).Inc()
+		s.reg.Histogram("phocus_http_request_seconds", nil, "route", route).
+			Observe(elapsed.Seconds())
+		s.logger.Info("request",
+			"method", r.Method, "path", r.URL.Path, "status", lw.status,
+			"req_id", reqID, "duration", elapsed.Round(time.Millisecond))
 	})
 }
 
-// statusWriter captures the response status for the request log.
+// routeLabel maps a request path to a bounded metric label (unknown paths
+// collapse into one series so clients cannot explode label cardinality).
+func routeLabel(path string) string {
+	switch path {
+	case "/solve", "/healthz", "/metrics", "/debug/vars":
+		return path
+	}
+	if strings.HasPrefix(path, "/debug/pprof/") {
+		return "/debug/pprof/"
+	}
+	return "other"
+}
+
+// statusClass buckets an HTTP status ("2xx", "4xx", ...).
+func statusClass(status int) string {
+	return fmt.Sprintf("%dxx", status/100)
+}
+
+// statusWriter captures the response status for the request log and metrics.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -89,18 +179,26 @@ func (s *statusWriter) WriteHeader(code int) {
 	s.ResponseWriter.WriteHeader(code)
 }
 
-// newMux builds the HTTP API.
-func newMux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("POST /solve", handleSolve)
-	return mux
+// Flush passes streaming flushes through to the underlying writer so
+// wrapping does not silently disable http.Flusher.
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// solveStats is the per-request solver work report in the wire format.
+type solveStats struct {
+	GainEvals int64   `json:"gain_evals,omitempty"`
+	PQPops    int64   `json:"pq_pops,omitempty"`
+	Winner    string  `json:"winner,omitempty"`
+	Seeds     int64   `json:"seeds,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // solveResponse is the wire format of a solver result.
 type solveResponse struct {
+	RequestID   string        `json:"request_id"`
 	Algorithm   string        `json:"algorithm"`
 	Retain      []par.PhotoID `json:"retain"`
 	Archive     []par.PhotoID `json:"archive"`
@@ -108,14 +206,29 @@ type solveResponse struct {
 	Cost        float64       `json:"cost"`
 	Budget      float64       `json:"budget"`
 	OnlineBound float64       `json:"online_bound"`
+	Stats       *solveStats   `json:"stats,omitempty"`
 }
 
-func handleSolve(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	logger := obs.Logger(ctx)
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	ctx, decodeSpan := obs.StartSpan(ctx, "decode")
 	inst, err := par.ReadJSON(r.Body)
 	if err != nil {
+		decodeSpan.End("err", err.Error())
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	decodeSpan.End("photos", inst.NumPhotos(), "subsets", len(inst.Subsets))
+
 	q := r.URL.Query()
 	if b := q.Get("budget"); b != "" {
 		v, err := strconv.ParseFloat(b, 64)
@@ -138,21 +251,43 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if tau > 0 {
+			_, span := obs.StartSpan(ctx, "sparsify")
 			res, err := sparsify.Exact(inst, tau)
 			if err != nil {
+				span.End("err", err.Error())
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
+			}
+			span.End("tau", tau, "pairs_before", res.PairsBefore, "pairs_after", res.PairsAfter)
+			if res.PairsBefore > 0 {
+				s.reg.Gauge("phocus_sparsify_keep_ratio").
+					Set(float64(res.PairsAfter) / float64(res.PairsBefore))
 			}
 			solveInst = res.Instance
 		}
 	}
 
+	// The solve is the expensive stage: if the client already hung up,
+	// stop here instead of burning CPU on an unwanted answer.
+	if err := ctx.Err(); err != nil {
+		s.reg.Counter("phocus_http_canceled_total", "route", "/solve").Inc()
+		logger.Warn("client canceled before solve", "err", err)
+		return
+	}
+
 	var solver par.Solver
+	stats := &solveStats{}
 	switch algo := q.Get("algo"); algo {
 	case "", "celf":
-		solver = &celf.Solver{}
+		solver = &celf.Solver{OnStats: func(st celf.Stats) {
+			stats.GainEvals = st.GainEvals
+			stats.PQPops = st.PQPops
+			stats.Winner = st.Winner.String()
+		}}
 	case "sviridenko":
-		solver = &sviridenko.Solver{}
+		solver = &sviridenko.Solver{OnStats: func(st sviridenko.Stats) {
+			stats.Seeds = st.Seeds
+		}}
 	case "exact":
 		solver = &exact.Solver{MaxNodes: 50_000_000}
 	default:
@@ -160,12 +295,29 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx, solveSpan := obs.StartSpan(ctx, "solve")
 	sol, err := solver.Solve(solveInst)
 	if err != nil {
+		solveSpan.End("algo", solver.Name(), "err", err.Error())
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	elapsed := solveSpan.End("algo", solver.Name(), "score", sol.Score)
+	stats.ElapsedMS = float64(elapsed.Microseconds()) / 1000
 	sol.Score = par.ScoreFast(inst, sol.Photos)
+
+	obs.RecordSolve(s.reg, solver.Name(), inst.NumPhotos(),
+		stats.GainEvals, stats.PQPops, elapsed)
+	bound := celf.OnlineBound(inst, sol.Photos)
+	if inst.Budget > 0 {
+		s.reg.Histogram("phocus_solve_budget_utilization", obs.RatioBuckets).
+			Observe(sol.Cost / inst.Budget)
+	}
+	s.reg.Gauge("phocus_last_solve_score").Set(sol.Score)
+	if bound > 0 {
+		s.reg.Histogram("phocus_solve_bound_ratio", obs.RatioBuckets).
+			Observe(sol.Score / bound)
+	}
 
 	kept := make([]bool, inst.NumPhotos())
 	for _, p := range sol.Photos {
@@ -178,14 +330,21 @@ func handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	_, encodeSpan := obs.StartSpan(ctx, "encode")
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(solveResponse{
+	if err := json.NewEncoder(w).Encode(solveResponse{
+		RequestID:   obs.RequestID(ctx),
 		Algorithm:   solver.Name(),
 		Retain:      sol.Photos,
 		Archive:     archive,
 		Score:       sol.Score,
 		Cost:        sol.Cost,
 		Budget:      inst.Budget,
-		OnlineBound: celf.OnlineBound(inst, sol.Photos),
-	})
+		OnlineBound: bound,
+		Stats:       stats,
+	}); err != nil {
+		s.reg.Counter("phocus_http_encode_errors_total").Inc()
+		logger.Error("encode response", "err", err)
+	}
+	encodeSpan.End()
 }

@@ -2,15 +2,28 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
 
 	"phocus/internal/par"
 )
+
+// newTestServer builds a server with the default body limit logging to
+// logs (io.Discard when nil) and returns it with its full handler chain.
+func newTestServer(logs io.Writer) (*server, http.Handler) {
+	if logs == nil {
+		logs = io.Discard
+	}
+	s := newServer(slog.New(slog.NewTextHandler(logs, nil)), 256<<20)
+	return s, s.telemetry(s.mux(false))
+}
 
 func instanceBody(t *testing.T, budget float64) *bytes.Buffer {
 	t.Helper()
@@ -27,7 +40,8 @@ func instanceBody(t *testing.T, budget float64) *bytes.Buffer {
 }
 
 func TestHealthz(t *testing.T) {
-	srv := httptest.NewServer(newMux())
+	_, h := newTestServer(nil)
+	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -40,7 +54,8 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestSolveEndpoint(t *testing.T) {
-	srv := httptest.NewServer(newMux())
+	_, h := newTestServer(nil)
+	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Post(srv.URL+"/solve?algo=celf", "application/json", instanceBody(t, 3.0))
 	if err != nil {
@@ -67,10 +82,18 @@ func TestSolveEndpoint(t *testing.T) {
 	if out.OnlineBound < out.Score {
 		t.Errorf("bound %.4f below score %.4f", out.OnlineBound, out.Score)
 	}
+	// The solver work stats ride along.
+	if out.Stats == nil || out.Stats.GainEvals <= 0 || out.Stats.PQPops <= 0 {
+		t.Errorf("stats missing or empty: %+v", out.Stats)
+	}
+	if out.Stats != nil && out.Stats.Winner != "UC" && out.Stats.Winner != "CB" {
+		t.Errorf("winner %q, want UC or CB", out.Stats.Winner)
+	}
 }
 
 func TestSolveBudgetOverrideAndTau(t *testing.T) {
-	srv := httptest.NewServer(newMux())
+	_, h := newTestServer(nil)
+	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Post(srv.URL+"/solve?budget=1.3&tau=0.6&algo=exact", "application/json", instanceBody(t, 8.2))
 	if err != nil {
@@ -96,7 +119,8 @@ func TestSolveBudgetOverrideAndTau(t *testing.T) {
 }
 
 func TestSolveErrors(t *testing.T) {
-	srv := httptest.NewServer(newMux())
+	_, h := newTestServer(nil)
+	srv := httptest.NewServer(h)
 	defer srv.Close()
 	cases := []struct {
 		name, url, body string
@@ -124,7 +148,8 @@ func TestSolveErrors(t *testing.T) {
 }
 
 func TestMethodRouting(t *testing.T) {
-	srv := httptest.NewServer(newMux())
+	_, h := newTestServer(nil)
+	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/solve")
 	if err != nil {
@@ -138,8 +163,8 @@ func TestMethodRouting(t *testing.T) {
 
 func TestLoggingMiddleware(t *testing.T) {
 	var buf bytes.Buffer
-	logger := slog.New(slog.NewTextHandler(&buf, nil))
-	srv := httptest.NewServer(logging(logger, newMux()))
+	_, h := newTestServer(&buf)
+	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -157,5 +182,274 @@ func TestLoggingMiddleware(t *testing.T) {
 	}
 	if !strings.Contains(logs, "path=/solve") || !strings.Contains(logs, "status=400") {
 		t.Errorf("missing solve error log line:\n%s", logs)
+	}
+}
+
+// TestRequestIDPropagation checks the acceptance criterion: the /solve
+// response carries a request ID that matches the X-Request-ID header and
+// appears on every span log line emitted for that request.
+func TestRequestIDPropagation(t *testing.T) {
+	var buf bytes.Buffer
+	_, h := newTestServer(&buf)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/solve?tau=0.6", "application/json", instanceBody(t, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.RequestID == "" {
+		t.Fatal("response has no request_id")
+	}
+	if hdr := resp.Header.Get("X-Request-ID"); hdr != out.RequestID {
+		t.Errorf("header ID %q != body ID %q", hdr, out.RequestID)
+	}
+
+	spanLines := 0
+	spans := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.Contains(line, "msg=span") {
+			continue
+		}
+		spanLines++
+		if !strings.Contains(line, "req_id="+out.RequestID) {
+			t.Errorf("span line missing request ID %q: %s", out.RequestID, line)
+		}
+		if m := regexp.MustCompile(`span=(\w+)`).FindStringSubmatch(line); m != nil {
+			spans[m[1]] = true
+		}
+	}
+	for _, stage := range []string{"decode", "sparsify", "solve", "encode"} {
+		if !spans[stage] {
+			t.Errorf("no span logged for stage %q (got %v)", stage, spans)
+		}
+	}
+	if spanLines < 4 {
+		t.Errorf("only %d span lines:\n%s", spanLines, buf.String())
+	}
+}
+
+// TestRequestIDFromClientHeader: a client-supplied ID is reused, not
+// replaced.
+func TestRequestIDFromClientHeader(t *testing.T) {
+	_, h := newTestServer(nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	req, err := http.NewRequest("GET", srv.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "client-id-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-id-1" {
+		t.Errorf("X-Request-ID = %q, want client-id-1", got)
+	}
+}
+
+// TestMetricsEndpoint checks the acceptance criterion: after one POST
+// /solve, GET /metrics exposes request-latency histogram buckets, a
+// per-algorithm solve counter, and gain-eval totals.
+func TestMetricsEndpoint(t *testing.T) {
+	_, h := newTestServer(nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/solve", "application/json", instanceBody(t, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`phocus_http_request_seconds_bucket{route="/solve",le="`,
+		`phocus_http_requests_total{class="2xx",route="/solve"} 1`,
+		`phocus_solve_total{algo="PHOcus"} 1`,
+		`phocus_solver_gain_evals_total{algo="PHOcus"}`,
+		`phocus_solve_seconds_count{algo="PHOcus"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDebugVarsEndpoint(t *testing.T) {
+	_, h := newTestServer(nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/solve", "application/json", instanceBody(t, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap[`phocus_solve_total{algo="PHOcus"}`]; !ok {
+		t.Errorf("vars missing solve counter; keys: %d", len(snap))
+	}
+}
+
+// TestMaxBodyLimit: an oversized body gets 413, not a decode error.
+func TestMaxBodyLimit(t *testing.T) {
+	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), 64)
+	srv := httptest.NewServer(s.telemetry(s.mux(false)))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/solve", "application/json", instanceBody(t, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestCancelBeforeSolve: an already-canceled request stops between the
+// sparsify and solve stages and bumps the canceled counter.
+func TestCancelBeforeSolve(t *testing.T) {
+	s, _ := newTestServer(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/solve?tau=0.6", instanceBody(t, 3.0)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.handleSolve(rec, req)
+	if got := s.reg.Counter("phocus_http_canceled_total", "route", "/solve").Value(); got != 1 {
+		t.Errorf("canceled counter = %d, want 1", got)
+	}
+	if rec.Body.Len() != 0 {
+		t.Errorf("canceled request still produced a body: %q", rec.Body.String())
+	}
+	if got := s.reg.Counter("phocus_solve_total", "algo", "PHOcus").Value(); got != 0 {
+		t.Errorf("solve ran despite cancellation (count %d)", got)
+	}
+}
+
+// TestStatusWriter covers the satellite checklist: implicit 200, explicit
+// WriteHeader capture, and http.Flusher passthrough.
+func TestStatusWriter(t *testing.T) {
+	t.Run("implicit 200", func(t *testing.T) {
+		rec := httptest.NewRecorder()
+		sw := &statusWriter{ResponseWriter: rec, status: http.StatusOK}
+		if _, err := sw.Write([]byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		if sw.status != http.StatusOK || rec.Code != http.StatusOK {
+			t.Errorf("status = %d/%d, want 200", sw.status, rec.Code)
+		}
+	})
+	t.Run("explicit WriteHeader", func(t *testing.T) {
+		rec := httptest.NewRecorder()
+		sw := &statusWriter{ResponseWriter: rec, status: http.StatusOK}
+		sw.WriteHeader(http.StatusTeapot)
+		if sw.status != http.StatusTeapot || rec.Code != http.StatusTeapot {
+			t.Errorf("status = %d/%d, want 418", sw.status, rec.Code)
+		}
+	})
+	t.Run("flusher passthrough", func(t *testing.T) {
+		rec := httptest.NewRecorder()
+		sw := &statusWriter{ResponseWriter: rec, status: http.StatusOK}
+		var flusher http.Flusher = sw // statusWriter must implement Flusher
+		flusher.Flush()
+		if !rec.Flushed {
+			t.Error("Flush did not reach the underlying writer")
+		}
+	})
+	t.Run("flusher on non-flushing writer", func(t *testing.T) {
+		sw := &statusWriter{ResponseWriter: nopResponseWriter{}, status: http.StatusOK}
+		sw.Flush() // must not panic
+	})
+}
+
+// nopResponseWriter is a ResponseWriter without Flusher support.
+type nopResponseWriter struct{}
+
+func (nopResponseWriter) Header() http.Header         { return http.Header{} }
+func (nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (nopResponseWriter) WriteHeader(int)             {}
+
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/solve":                "/solve",
+		"/metrics":              "/metrics",
+		"/debug/pprof/profile":  "/debug/pprof/",
+		"/totally/unknown/path": "other",
+	}
+	for in, want := range cases {
+		if got := routeLabel(in); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestMiddlewareStatusClasses: the per-route counter buckets by status
+// class.
+func TestMiddlewareStatusClasses(t *testing.T) {
+	s, h := newTestServer(nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	if _, err := http.Get(srv.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/solve", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := s.reg.Counter("phocus_http_requests_total", "route", "/healthz", "class", "2xx").Value(); got != 1 {
+		t.Errorf("healthz 2xx counter = %d, want 1", got)
+	}
+	if got := s.reg.Counter("phocus_http_requests_total", "route", "/solve", "class", "4xx").Value(); got != 1 {
+		t.Errorf("solve 4xx counter = %d, want 1", got)
+	}
+}
+
+// TestPprofGated: /debug/pprof/ is 404 unless the flag enables it.
+func TestPprofGated(t *testing.T) {
+	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), 1<<20)
+	off := httptest.NewServer(s.telemetry(s.mux(false)))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(s.telemetry(s.mux(true)))
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: status %d, want 200", resp.StatusCode)
 	}
 }

@@ -68,6 +68,13 @@ type Stats struct {
 
 // Solver runs Algorithm 1 (best of UC and CB). It implements par.Solver.
 type Solver struct {
+	// Observer, when non-nil, receives the lazy-greedy events of both
+	// sub-procedure runs (all UC events, then all CB events).
+	Observer Observer
+	// OnStats, when non-nil, is called with the run's Stats at the end of
+	// every successful Solve — the instrumentation hook phocus-server uses
+	// to feed its metrics registry without global state.
+	OnStats func(Stats)
 	// LastStats is populated by each Solve call.
 	LastStats Stats
 }
@@ -78,11 +85,11 @@ func (s *Solver) Name() string { return "PHOcus" }
 // Solve runs both lazy-greedy variants and returns the better solution.
 func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
 	start := time.Now()
-	solUC, statsUC, err := LazyGreedy(inst, UC)
+	solUC, statsUC, err := LazyGreedyObserved(inst, UC, s.Observer)
 	if err != nil {
 		return par.Solution{}, err
 	}
-	solCB, statsCB, err := LazyGreedy(inst, CB)
+	solCB, statsCB, err := LazyGreedyObserved(inst, CB, s.Observer)
 	if err != nil {
 		return par.Solution{}, err
 	}
@@ -91,14 +98,19 @@ func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
 		PQPops:    statsUC.PQPops + statsCB.PQPops,
 		Elapsed:   time.Since(start),
 	}
+	best := solUC
 	if solCB.Score >= solUC.Score {
 		s.LastStats.Winner = CB
 		s.LastStats.Selected = statsCB.Selected
-		return solCB, nil
+		best = solCB
+	} else {
+		s.LastStats.Winner = UC
+		s.LastStats.Selected = statsUC.Selected
 	}
-	s.LastStats.Winner = UC
-	s.LastStats.Selected = statsUC.Selected
-	return solUC, nil
+	if s.OnStats != nil {
+		s.OnStats(s.LastStats)
+	}
+	return best, nil
 }
 
 // Observer receives the lazy-greedy events of one LazyGreedyObserved run,

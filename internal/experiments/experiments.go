@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"phocus/internal/baselines"
 	"phocus/internal/celf"
 	"phocus/internal/dataset"
 	"phocus/internal/metrics"
+	"phocus/internal/obs"
 	"phocus/internal/par"
 )
 
@@ -32,6 +34,22 @@ type Config struct {
 	Tau float64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Metrics, when non-nil, accumulates solver runs under the same metric
+	// vocabulary phocus-server exposes on /metrics (obs.RecordSolve), so
+	// paper experiments and live traffic share dashboards.
+	Metrics *obs.Registry
+}
+
+// recordSolve reports one solver run to the metrics registry, if any.
+func (c *Config) recordSolve(s par.Solver, photos int, elapsed time.Duration) {
+	if c.Metrics == nil {
+		return
+	}
+	var gainEvals, pqPops int64
+	if cs, ok := s.(*celf.Solver); ok {
+		gainEvals, pqPops = cs.LastStats.GainEvals, cs.LastStats.PQPops
+	}
+	obs.RecordSolve(c.Metrics, s.Name(), photos, gainEvals, pqPops, elapsed)
 }
 
 func (c *Config) fill() {
@@ -123,10 +141,12 @@ func qualityFigure(cfg Config, ds *dataset.Dataset, title string) (*metrics.Figu
 			return nil, err
 		}
 		for _, s := range solvers {
+			start := time.Now()
 			sol, err := s.Solve(inst)
 			if err != nil {
 				return nil, fmt.Errorf("%s at %.0f%%: %w", s.Name(), 100*frac, err)
 			}
+			cfg.recordSolve(s, inst.NumPhotos(), time.Since(start))
 			name := displayName(s.Name())
 			if _, seen := series[name]; !seen {
 				order = append(order, name)

@@ -66,9 +66,23 @@ func (h *SimHash) Signature(v embed.Vector) []uint64 {
 // Pair is an unordered candidate pair of vector indices with I < J.
 type Pair struct{ I, J int }
 
+// Observer receives per-band candidate-generation events, in band order —
+// the instrumentation hook mirroring celf.Observer. buckets is the number
+// of distinct band signatures and pairs the number of previously unseen
+// candidate pairs the band contributed.
+type Observer interface {
+	BandDone(band, buckets, pairs int)
+}
+
 // CandidatePairs hashes all vectors and returns the deduplicated pairs that
 // collide in at least one band, in deterministic (sorted) order.
 func (h *SimHash) CandidatePairs(vectors []embed.Vector) []Pair {
+	return h.CandidatePairsObserved(vectors, nil)
+}
+
+// CandidatePairsObserved is CandidatePairs with an optional per-band event
+// observer.
+func (h *SimHash) CandidatePairsObserved(vectors []embed.Vector, obs Observer) []Pair {
 	sigs := make([][]uint64, len(vectors))
 	for i, v := range vectors {
 		sigs[i] = h.Signature(v)
@@ -80,13 +94,20 @@ func (h *SimHash) CandidatePairs(vectors []embed.Vector) []Pair {
 		for i := range vectors {
 			buckets[sigs[i][b]] = append(buckets[sigs[i][b]], i)
 		}
+		fresh := 0
 		for _, members := range buckets {
 			for x := 0; x < len(members); x++ {
 				for y := x + 1; y < len(members); y++ {
 					p := Pair{I: members[x], J: members[y]}
-					seen[p] = struct{}{}
+					if _, dup := seen[p]; !dup {
+						seen[p] = struct{}{}
+						fresh++
+					}
 				}
 			}
+		}
+		if obs != nil {
+			obs.BandDone(b, len(buckets), fresh)
 		}
 	}
 	pairs := make([]Pair, 0, len(seen))

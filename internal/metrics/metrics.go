@@ -8,6 +8,7 @@ import (
 	"io"
 	"strings"
 	"time"
+	"unicode/utf8"
 )
 
 // Table is a titled grid with a header row.
@@ -26,12 +27,12 @@ func (t *Table) AddRow(cells ...string) {
 func (t *Table) Fprint(w io.Writer) {
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
-		widths[i] = len(h)
+		widths[i] = displayWidth(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if i < len(widths) && displayWidth(c) > widths[i] {
+				widths[i] = displayWidth(c)
 			}
 		}
 	}
@@ -60,11 +61,15 @@ func (t *Table) Fprint(w io.Writer) {
 	}
 }
 
+// displayWidth is the column width a cell occupies: runes, not bytes, so
+// multi-byte labels such as "τ" or "δ_p" don't skew the alignment.
+func displayWidth(s string) int { return utf8.RuneCountInString(s) }
+
 func pad(s string, width int) string {
-	if len(s) >= width {
-		return s
+	if w := displayWidth(s); w < width {
+		return s + strings.Repeat(" ", width-w)
 	}
-	return s + strings.Repeat(" ", width-len(s))
+	return s
 }
 
 // Figure is a set of named series over shared x ticks, rendered as a table

@@ -28,6 +28,32 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestTableNonASCIIAlignment is the regression test for byte-length column
+// math: Greek/symbol labels ("τ", "δ_p") are multi-byte UTF-8, so widths and
+// padding must count runes or every following column drifts.
+func TestTableNonASCIIAlignment(t *testing.T) {
+	tab := Table{Header: []string{"τ", "score"}}
+	tab.AddRow("0.75", "13.25")
+	tab.AddRow("τ→0", "12.00")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	// The "score" column must start at the same rune offset on every line.
+	offset := func(line, col string) int {
+		idx := strings.Index(line, col)
+		if idx < 0 {
+			t.Fatalf("line %q missing %q", line, col)
+		}
+		return len([]rune(line[:idx]))
+	}
+	head := offset(lines[0], "score")
+	for i, col := range map[int]string{2: "13.25", 3: "12.00"} {
+		if got := offset(lines[i], col); got != head {
+			t.Errorf("row %d misaligned: %q at rune %d, header at %d\n%s", i, col, got, head, sb.String())
+		}
+	}
+}
+
 func TestFigureRendering(t *testing.T) {
 	f := Figure{Title: "Fig", XLabel: "budget", XTicks: []string{"5MB", "10MB"}}
 	f.AddSeries("RAND", []float64{1, 2})

@@ -1,0 +1,11 @@
+// Package obs is the stdlib-only observability layer shared by
+// phocus-server and phocus-bench: a concurrent metrics Registry (counters,
+// gauges, and fixed-bucket latency histograms with p50/p95/p99 summaries)
+// with Prometheus-text and JSON exposition, plus lightweight span-style
+// stage tracing (Span) that emits structured slog events carrying a
+// per-request ID and parent/child nesting.
+//
+// The package deliberately holds no global state: callers construct a
+// Registry and thread it (and the request ID, via context) through the code
+// they instrument, mirroring the observer-hook style of celf.Observer.
+package obs

@@ -1,0 +1,419 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Registry holds named metrics. All methods are safe for concurrent use;
+// metric handles returned by Counter/Gauge/Histogram are stable, so hot
+// paths can look them up once and update lock-free afterwards.
+//
+// Metric names should follow Prometheus conventions (snake_case, counters
+// ending in _total, durations in seconds). Labels are passed as alternating
+// key/value pairs and become part of the metric identity.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name   string
+	labels string
+	v      atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d, which must be non-negative.
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("obs: negative Add(%d) on counter %s", d, c.name))
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	name   string
+	labels string
+	bits   atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets (cumulative-style on
+// export, like Prometheus) and tracks sum and count for averages.
+type Histogram struct {
+	name   string
+	labels string
+
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; the +Inf bucket is implicit
+	counts []int64   // len(bounds)+1; counts[i] observations in (bounds[i-1], bounds[i]]
+	sum    float64
+	count  int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// within the bucket containing the target rank. Samples landing in the +Inf
+// bucket are reported as the highest finite bound. Returns NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.count)
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.bounds) { // +Inf bucket
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// DefBuckets are latency buckets in seconds, spanning sub-millisecond
+// request overheads to minute-scale exact solves.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// SizeBuckets are decade buckets for instance sizes (photo counts).
+var SizeBuckets = []float64{10, 100, 1_000, 10_000, 100_000, 1_000_000}
+
+// RatioBuckets cover [0, 1] quantities such as budget utilization.
+var RatioBuckets = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at start
+// and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n ≥ 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Counter returns (creating on first use) the counter with the given name
+// and label pairs.
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	labels := renderLabels(labelPairs)
+	key := name + labels
+	r.mu.RLock()
+	c := r.counters[key]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[key]; c == nil {
+		c = &Counter{name: name, labels: labels}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge with the given name and
+// label pairs.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	labels := renderLabels(labelPairs)
+	key := name + labels
+	r.mu.RLock()
+	g := r.gauges[key]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[key]; g == nil {
+		g = &Gauge{name: name, labels: labels}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram with the given
+// name and label pairs. buckets configures the upper bounds on first
+// creation (nil means DefBuckets) and is ignored when the histogram already
+// exists, so every series of one family shares one layout.
+func (r *Registry) Histogram(name string, buckets []float64, labelPairs ...string) *Histogram {
+	labels := renderLabels(labelPairs)
+	key := name + labels
+	r.mu.RLock()
+	h := r.hists[key]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[key]; h == nil {
+		h = &Histogram{
+			name:   name,
+			labels: labels,
+			bounds: bounds,
+			counts: make([]int64, len(bounds)+1),
+		}
+		r.hists[key] = h
+	}
+	return h
+}
+
+// renderLabels turns alternating key/value pairs into the canonical
+// `{k="v",...}` form, sorted by key so label order never splits a series.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label pairs %q", pairs))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", p.k, p.v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WritePrometheus emits every metric in the Prometheus text exposition
+// format (counters, gauges, and histograms with cumulative _bucket series),
+// sorted by name then labels for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(counters, func(i, j int) bool {
+		return counters[i].name+counters[i].labels < counters[j].name+counters[j].labels
+	})
+	sort.Slice(gauges, func(i, j int) bool {
+		return gauges[i].name+gauges[i].labels < gauges[j].name+gauges[j].labels
+	})
+	sort.Slice(hists, func(i, j int) bool {
+		return hists[i].name+hists[i].labels < hists[j].name+hists[j].labels
+	})
+
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	lastType := ""
+	typeLine := func(name, typ string) {
+		if name != lastType {
+			pr("# TYPE %s %s\n", name, typ)
+			lastType = name
+		}
+	}
+	for _, c := range counters {
+		typeLine(c.name, "counter")
+		pr("%s%s %d\n", c.name, c.labels, c.Value())
+	}
+	for _, g := range gauges {
+		typeLine(g.name, "gauge")
+		pr("%s%s %v\n", g.name, g.labels, g.Value())
+	}
+	for _, h := range hists {
+		typeLine(h.name, "histogram")
+		h.mu.Lock()
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			pr("%s_bucket%s %d\n", h.name, mergeLabel(h.labels, "le", formatBound(b)), cum)
+		}
+		pr("%s_bucket%s %d\n", h.name, mergeLabel(h.labels, "le", "+Inf"), h.count)
+		pr("%s_sum%s %v\n", h.name, h.labels, h.sum)
+		pr("%s_count%s %d\n", h.name, h.labels, h.count)
+		h.mu.Unlock()
+	}
+	return err
+}
+
+// mergeLabel splices an extra label into an already-rendered label block.
+func mergeLabel(labels, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// decimal, no exponent, no trailing zeros.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'f', -1, 64)
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot returns all metrics as a flat map keyed by `name{labels}`:
+// counters as int64, gauges as float64, histograms as HistogramSnapshot.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k, c := range r.counters {
+		out[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		out[k] = g.Value()
+	}
+	for k, h := range r.hists {
+		h.mu.Lock()
+		s := HistogramSnapshot{
+			Count: h.count,
+			Sum:   h.sum,
+			P50:   sanitize(h.quantileLocked(0.50)),
+			P95:   sanitize(h.quantileLocked(0.95)),
+			P99:   sanitize(h.quantileLocked(0.99)),
+		}
+		h.mu.Unlock()
+		out[k] = s
+	}
+	return out
+}
+
+// sanitize maps NaN (empty histogram) to 0 so snapshots stay JSON-encodable.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// WriteJSON emits the Snapshot as indented JSON — the /debug/vars payload.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

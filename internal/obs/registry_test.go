@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "route", "/solve")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same handle, regardless of pair order.
+	c2 := r.Counter("requests_total", "route", "/solve")
+	if c2 != c {
+		t.Error("second lookup returned a different counter")
+	}
+	m := r.Counter("multi_total", "a", "1", "b", "2")
+	m2 := r.Counter("multi_total", "b", "2", "a", "1")
+	if m != m2 {
+		t.Error("label order split the series")
+	}
+	// Different labels are different series.
+	if r.Counter("requests_total", "route", "/healthz") == c {
+		t.Error("different labels returned the same counter")
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add(-1) did not panic")
+		}
+	}()
+	NewRegistry().Counter("x_total").Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("utilization")
+	g.Set(0.5)
+	g.Add(0.25)
+	g.Add(-0.5)
+	if got := g.Value(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("gauge = %g, want 0.25", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", []float64{0.1, 0.2, 0.5, 1})
+	// 100 samples uniform in (0, 1]: quantiles should land near their rank.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if s := h.Sum(); math.Abs(s-50.5) > 1e-9 {
+		t.Errorf("sum = %g, want 50.5", s)
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.50, 0.5, 0.05},
+		{0.95, 0.95, 0.05},
+		{0.99, 0.99, 0.05},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("p%.0f = %g, want ≈%g", tc.q*100, got, tc.want)
+		}
+	}
+	// Overflow samples clamp to the highest finite bound.
+	h2 := r.Histogram("big_seconds", []float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Errorf("overflow quantile = %g, want highest bound 2", got)
+	}
+	// Empty histogram: NaN.
+	h3 := r.Histogram("empty_seconds", nil)
+	if got := h3.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %g, want NaN", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("solve_total", "algo", "PHOcus").Add(3)
+	r.Counter("solve_total", "algo", "exact").Inc()
+	r.Gauge("score").Set(13.25)
+	h := r.Histogram("latency_seconds", []float64{0.5, 1})
+	h.Observe(0.3)
+	h.Observe(0.7)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE solve_total counter",
+		`solve_total{algo="PHOcus"} 3`,
+		`solve_total{algo="exact"} 1`,
+		"# TYPE score gauge",
+		"score 13.25",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.5"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The counter TYPE line must appear exactly once for the family.
+	if strings.Count(out, "# TYPE solve_total counter") != 1 {
+		t.Errorf("duplicated TYPE line:\n%s", out)
+	}
+	// Deterministic: a second render is byte-identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("exposition is not deterministic")
+	}
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total").Add(7)
+	r.Gauge("ratio").Set(0.9)
+	h := r.Histogram("lat_seconds", []float64{1, 2})
+	h.Observe(0.5)
+
+	snap := r.Snapshot()
+	if got := snap["runs_total"]; got != int64(7) {
+		t.Errorf("snapshot counter = %v", got)
+	}
+	if got := snap["ratio"]; got != 0.9 {
+		t.Errorf("snapshot gauge = %v", got)
+	}
+	hs, ok := snap["lat_seconds"].(HistogramSnapshot)
+	if !ok || hs.Count != 1 {
+		t.Errorf("snapshot histogram = %#v", snap["lat_seconds"])
+	}
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"runs_total": 7`, `"ratio": 0.9`, `"p50"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("JSON missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestConcurrentHammer drives the registry from 12 goroutines — creations,
+// updates, and expositions interleaved — and checks the totals. Run under
+// -race this is the registry's thread-safety gate.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 12
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("hammer_total", "worker", string(rune('a'+g%4))).Inc()
+				r.Gauge("hammer_gauge").Set(float64(i))
+				r.Histogram("hammer_seconds", DefBuckets).Observe(float64(i%100) / 100)
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, w := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("hammer_total", "worker", w).Value()
+	}
+	if total != goroutines*perG {
+		t.Errorf("counter total = %d, want %d", total, goroutines*perG)
+	}
+	if got := r.Histogram("hammer_seconds", nil).Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestRecordSolve(t *testing.T) {
+	r := NewRegistry()
+	RecordSolve(r, "PHOcus", 5000, 1234, 5678, 250*time.Millisecond)
+	RecordSolve(r, "PHOcus", 5000, 1000, 2000, 100*time.Millisecond)
+	RecordSolve(r, "Brute-Force", 10, 0, 0, time.Second)
+	if got := r.Counter("phocus_solve_total", "algo", "PHOcus").Value(); got != 2 {
+		t.Errorf("solve_total{PHOcus} = %d, want 2", got)
+	}
+	if got := r.Counter("phocus_solver_gain_evals_total", "algo", "PHOcus").Value(); got != 2234 {
+		t.Errorf("gain_evals_total = %d, want 2234", got)
+	}
+	if got := r.Histogram("phocus_solve_instance_photos", nil).Count(); got != 3 {
+		t.Errorf("instance_photos count = %d, want 3", got)
+	}
+	// Brute-Force reported no gain evals: no zero-valued series created.
+	if _, ok := r.Snapshot()[`phocus_solver_gain_evals_total{algo="Brute-Force"}`]; ok {
+		t.Error("zero-valued gain-eval series should not exist")
+	}
+}

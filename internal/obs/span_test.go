@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Errorf("empty context request ID = %q", got)
+	}
+	ctx = WithRequestID(ctx, "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Errorf("request ID = %q, want abc123", got)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 {
+		t.Errorf("request ID %q has length %d, want 16", a, len(a))
+	}
+	if a == b {
+		t.Errorf("two request IDs collided: %q", a)
+	}
+}
+
+func TestLoggerContext(t *testing.T) {
+	if Logger(context.Background()) != slog.Default() {
+		t.Error("bare context should yield slog.Default()")
+	}
+	l := slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil))
+	if Logger(WithLogger(context.Background(), l)) != l {
+		t.Error("attached logger not returned")
+	}
+}
+
+func TestSpanNestingAndLogs(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	ctx := WithLogger(WithRequestID(context.Background(), "req42"), logger)
+
+	ctx, outer := StartSpan(ctx, "solve")
+	_, inner := StartSpan(ctx, "sparsify")
+	time.Sleep(time.Millisecond)
+	if d := inner.End("pairs", 7); d <= 0 {
+		t.Errorf("inner duration = %v", d)
+	}
+	if d := outer.End(); d <= 0 {
+		t.Errorf("outer duration = %v", d)
+	}
+
+	logs := buf.String()
+	lines := strings.Split(strings.TrimSpace(logs), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d span lines:\n%s", len(lines), logs)
+	}
+	// Every span line carries the request ID.
+	for _, line := range lines {
+		if !strings.Contains(line, "req_id=req42") {
+			t.Errorf("span line missing request ID: %s", line)
+		}
+	}
+	// The inner span logs first and names the outer as parent.
+	if !strings.Contains(lines[0], "span=sparsify") || !strings.Contains(lines[0], "parent_id="+outer.ID()) {
+		t.Errorf("inner span line wrong: %s", lines[0])
+	}
+	if !strings.Contains(lines[0], "pairs=7") {
+		t.Errorf("extra attrs dropped: %s", lines[0])
+	}
+	// The outer span has no parent (slog renders the empty string as "").
+	if !strings.Contains(lines[1], "span=solve") || !strings.Contains(lines[1], `parent_id=""`) {
+		t.Errorf("outer span line wrong: %s", lines[1])
+	}
+}
+
+func TestSpanWithoutRequestContext(t *testing.T) {
+	// Spans must be usable on a bare context (background jobs, tests).
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	_, s := StartSpan(WithLogger(context.Background(), logger), "standalone")
+	s.End()
+	if !strings.Contains(buf.String(), "span=standalone") {
+		t.Errorf("missing span log: %s", buf.String())
+	}
+}

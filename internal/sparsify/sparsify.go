@@ -28,11 +28,24 @@ type Result struct {
 	Elapsed     time.Duration
 }
 
+// Observer receives per-subset sparsification events, in subset order — the
+// instrumentation hook mirroring celf.Observer. examined is the number of
+// pairs whose true similarity was checked against τ (all positive pairs for
+// Exact, LSH candidate pairs for WithLSH); kept is how many survived.
+type Observer interface {
+	SubsetSparsified(name string, examined, kept int)
+}
+
 // Exact builds the τ-sparsified instance by enumerating every pair of every
 // subset. Costs, retained set, budget, weights and relevances are shared
 // with the input instance; only similarities are replaced (by SparseSim, so
 // solvers automatically benefit from neighbour iteration).
 func Exact(inst *par.Instance, tau float64) (Result, error) {
+	return ExactObserved(inst, tau, nil)
+}
+
+// ExactObserved is Exact with an optional per-subset event observer.
+func ExactObserved(inst *par.Instance, tau float64, obs Observer) (Result, error) {
 	start := time.Now()
 	res := Result{}
 	out := &par.Instance{
@@ -45,17 +58,23 @@ func Exact(inst *par.Instance, tau float64) (Result, error) {
 		q := &inst.Subsets[qi]
 		k := len(q.Members)
 		sparse := par.NewSparseSim(k)
+		examined, kept := 0, 0
 		for i := 0; i < k; i++ {
 			for j := i + 1; j < k; j++ {
 				s := q.Sim.Sim(i, j)
 				if s > 0 {
 					res.PairsBefore++
+					examined++
 				}
 				if s >= tau && s > 0 {
 					sparse.Add(i, j, s)
 					res.PairsAfter++
+					kept++
 				}
 			}
+		}
+		if obs != nil {
+			obs.SubsetSparsified(q.Name, examined, kept)
 		}
 		out.Subsets[qi] = par.Subset{
 			Name: q.Name, Weight: q.Weight, Members: q.Members,
@@ -79,6 +98,11 @@ func Exact(inst *par.Instance, tau float64) (Result, error) {
 // missed pairs only lower similarities (never raise them), so the result is
 // a valid — slightly more aggressive — sparsification.
 func WithLSH(rng *rand.Rand, inst *par.Instance, ctxVectors [][]embed.Vector, tau float64) (Result, error) {
+	return WithLSHObserved(rng, inst, ctxVectors, tau, nil)
+}
+
+// WithLSHObserved is WithLSH with an optional per-subset event observer.
+func WithLSHObserved(rng *rand.Rand, inst *par.Instance, ctxVectors [][]embed.Vector, tau float64, obs Observer) (Result, error) {
 	start := time.Now()
 	if len(ctxVectors) != len(inst.Subsets) {
 		return Result{}, fmt.Errorf("sparsify: %d vector groups for %d subsets", len(ctxVectors), len(inst.Subsets))
@@ -100,6 +124,7 @@ func WithLSH(rng *rand.Rand, inst *par.Instance, ctxVectors [][]embed.Vector, ta
 			return Result{}, fmt.Errorf("sparsify: subset %d has %d members but %d vectors", qi, k, len(ctxVectors[qi]))
 		}
 		sparse := par.NewSparseSim(k)
+		examined, kept := 0, 0
 		if k > 1 {
 			dim := len(ctxVectors[qi][0])
 			if hasher == nil || dim != hashDim {
@@ -107,11 +132,16 @@ func WithLSH(rng *rand.Rand, inst *par.Instance, ctxVectors [][]embed.Vector, ta
 				hashDim = dim
 			}
 			for _, pair := range hasher.CandidatePairs(ctxVectors[qi]) {
+				examined++
 				if s := q.Sim.Sim(pair.I, pair.J); s >= tau && s > 0 {
 					sparse.Add(pair.I, pair.J, s)
 					res.PairsAfter++
+					kept++
 				}
 			}
+		}
+		if obs != nil {
+			obs.SubsetSparsified(q.Name, examined, kept)
 		}
 		out.Subsets[qi] = par.Subset{
 			Name: q.Name, Weight: q.Weight, Members: q.Members,

@@ -1,6 +1,7 @@
 package sparsify
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -233,5 +234,104 @@ func TestSparsifiedSolveQuality(t *testing.T) {
 	if sparseScore < 0.85*fullScore {
 		t.Errorf("sparsified solve lost %.0f%% quality (%.3f vs %.3f)",
 			100*(1-sparseScore/fullScore), sparseScore, fullScore)
+	}
+}
+
+// countingObserver records SubsetSparsified events.
+type countingObserver struct {
+	names    []string
+	examined int
+	kept     int
+}
+
+func (c *countingObserver) SubsetSparsified(name string, examined, kept int) {
+	c.names = append(c.names, name)
+	c.examined += examined
+	c.kept += kept
+}
+
+// TestExactObserverEvents checks the instrumentation hook: one event per
+// subset, with totals matching the Result counters.
+func TestExactObserverEvents(t *testing.T) {
+	inst := par.Figure1Instance()
+	var obs countingObserver
+	res, err := ExactObserved(inst, 0.6, &obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.names) != len(inst.Subsets) {
+		t.Fatalf("got %d events for %d subsets", len(obs.names), len(inst.Subsets))
+	}
+	if obs.examined != res.PairsBefore {
+		t.Errorf("examined = %d, want PairsBefore %d", obs.examined, res.PairsBefore)
+	}
+	if obs.kept != res.PairsAfter {
+		t.Errorf("kept = %d, want PairsAfter %d", obs.kept, res.PairsAfter)
+	}
+}
+
+// randomEmbeddedInstance builds an instance whose SIM is contextual cosine
+// over random unit vectors (half clustered), returning the per-subset
+// contextualized vectors WithLSH needs.
+func randomEmbeddedInstance(rng *rand.Rand, n, subsets int) (*par.Instance, [][]embed.Vector) {
+	const dim = 32
+	vectors := make([]embed.Vector, n)
+	for c := 0; c < n/6; c++ {
+		proto := embed.RandomUnit(rng, dim)
+		for k := 0; k < 3; k++ {
+			vectors[c*3+k] = embed.Perturb(rng, proto, 0.03)
+		}
+	}
+	for p := (n / 6) * 3; p < n; p++ {
+		vectors[p] = embed.RandomUnit(rng, dim)
+	}
+	inst := &par.Instance{Cost: make([]float64, n), Budget: float64(n) / 4}
+	for p := range inst.Cost {
+		inst.Cost[p] = 1
+	}
+	ctx := embed.UniformContext(dim)
+	var ctxVectors [][]embed.Vector
+	for qi := 0; qi < subsets; qi++ {
+		size := 8 + rng.Intn(8)
+		perm := rng.Perm(n)[:size]
+		members := make([]par.PhotoID, size)
+		vs := make([]embed.Vector, size)
+		rel := make([]float64, size)
+		for i, p := range perm {
+			members[i] = par.PhotoID(p)
+			vs[i] = vectors[p]
+			rel[i] = 1 / float64(size)
+		}
+		inst.Subsets = append(inst.Subsets, par.Subset{
+			Name: fmt.Sprintf("q%d", qi), Weight: 1, Members: members,
+			Relevance: rel, Sim: embed.ContextualSim(vs, ctx),
+		})
+		ctxVectors = append(ctxVectors, vs)
+	}
+	if err := inst.Finalize(); err != nil {
+		panic(err)
+	}
+	return inst, ctxVectors
+}
+
+// TestWithLSHObserverEvents checks the hook on the LSH path: one event per
+// subset, kept totals matching, and examined counting candidates (which may
+// exceed kept but never the all-pairs count).
+func TestWithLSHObserverEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst, vecs := randomEmbeddedInstance(rng, 40, 4)
+	var obs countingObserver
+	res, err := WithLSHObserved(rng, inst, vecs, 0.7, &obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.names) != len(inst.Subsets) {
+		t.Fatalf("got %d events for %d subsets", len(obs.names), len(inst.Subsets))
+	}
+	if obs.kept != res.PairsAfter {
+		t.Errorf("kept = %d, want PairsAfter %d", obs.kept, res.PairsAfter)
+	}
+	if obs.examined < obs.kept {
+		t.Errorf("examined %d < kept %d", obs.examined, obs.kept)
 	}
 }

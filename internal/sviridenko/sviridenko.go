@@ -24,6 +24,10 @@ type Solver struct {
 	// depths trade the guarantee for speed (D=1 is "greedy with best
 	// singleton backstop", already a (1−1/e)/2-approximation).
 	Depth int
+	// OnStats, when non-nil, is called with the run's Stats at the end of
+	// every Solve — the instrumentation hook phocus-server uses to feed its
+	// metrics registry without global state.
+	OnStats func(Stats)
 	// LastStats is populated by each Solve call.
 	LastStats Stats
 }
@@ -72,6 +76,9 @@ func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
 	}
 
 	s.LastStats.Elapsed = time.Since(start)
+	if s.OnStats != nil {
+		s.OnStats(s.LastStats)
+	}
 	return best, nil
 }
 
