@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -110,6 +111,41 @@ func BenchmarkEagerGreedy(b *testing.B) {
 		if _, _, err := celf.EagerGreedy(ds.Instance, celf.CB); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSolveWorkers runs the full Algorithm 1 solver at increasing
+// worker-pool sizes on the same instance; the sub-benchmark ratios are the
+// parallel speedup of concurrent UC/CB plus batched gain recomputation.
+func BenchmarkSolveWorkers(b *testing.B) {
+	ds := benchInstance(b, 1000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := celf.Solver{Workers: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Solve(ds.Instance); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSparsifyExactWorkers fans the all-pairs sparsifier over the
+// worker pool; per-subset independence makes this close to embarrassingly
+// parallel.
+func BenchmarkSparsifyExactWorkers(b *testing.B) {
+	ds := benchInstance(b, 1000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sparsify.ExactWorkers(ds.Instance, 0.75, workers, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -31,6 +31,7 @@ func main() {
 		scale      = flag.Float64("scale", 0.2, "dataset scale in (0, 1]; 1 = paper-sized datasets")
 		seed       = flag.Int64("seed", 0, "seed offset for all generators")
 		tau        = flag.Float64("tau", 0.75, "sparsification threshold used by PHOcus runs")
+		workers    = flag.Int("workers", 0, "solve pipeline worker-pool size (≤ 0 means one per CPU, 1 forces the sequential path)")
 		verbose    = flag.Bool("v", false, "log per-run progress to stderr")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		html       = flag.String("html", "", "also write a standalone HTML report to this file")
@@ -75,7 +76,7 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Tau: *tau, Metrics: reg}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Tau: *tau, Metrics: reg, Workers: *workers}
 	if *verbose {
 		cfg.Log = os.Stderr
 	}

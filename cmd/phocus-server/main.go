@@ -34,6 +34,7 @@ import (
 	"phocus/internal/exact"
 	"phocus/internal/obs"
 	"phocus/internal/par"
+	"phocus/internal/pool"
 	"phocus/internal/sparsify"
 	"phocus/internal/sviridenko"
 )
@@ -42,10 +43,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxBody := flag.Int64("max-body", 256<<20, "maximum /solve request body size in bytes")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	workers := flag.Int("workers", 0, "solve pipeline worker-pool size per request (≤ 0 means one per CPU, 1 forces the sequential path)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
-	s := newServer(logger, *maxBody)
+	s := newServer(logger, *maxBody, *workers)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -70,7 +72,7 @@ func main() {
 		}
 	}()
 
-	logger.Info("phocus-server listening", "addr", *addr, "max_body", *maxBody, "pprof", *pprofOn)
+	logger.Info("phocus-server listening", "addr", *addr, "max_body", *maxBody, "pprof", *pprofOn, "workers", s.workers)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("serve", "err", err)
 		os.Exit(1)
@@ -84,10 +86,18 @@ type server struct {
 	logger  *slog.Logger
 	reg     *obs.Registry
 	maxBody int64
+	workers int
 }
 
-func newServer(logger *slog.Logger, maxBody int64) *server {
-	return &server{logger: logger, reg: obs.NewRegistry(), maxBody: maxBody}
+func newServer(logger *slog.Logger, maxBody int64, workers int) *server {
+	s := &server{
+		logger:  logger,
+		reg:     obs.NewRegistry(),
+		maxBody: maxBody,
+		workers: pool.Resolve(workers),
+	}
+	s.reg.Gauge("phocus_workers").Set(float64(s.workers))
+	return s
 }
 
 // mux builds the HTTP API.
@@ -252,7 +262,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		if tau > 0 {
 			_, span := obs.StartSpan(ctx, "sparsify")
-			res, err := sparsify.Exact(inst, tau)
+			res, err := sparsify.ExactWorkers(inst, tau, s.workers, nil)
 			if err != nil {
 				span.End("err", err.Error())
 				http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -277,9 +287,11 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	var solver par.Solver
 	stats := &solveStats{}
+	solveWorkers := 1 // only the CELF path is parallel; label others honestly
 	switch algo := q.Get("algo"); algo {
 	case "", "celf":
-		solver = &celf.Solver{OnStats: func(st celf.Stats) {
+		solveWorkers = s.workers
+		solver = &celf.Solver{Workers: s.workers, OnStats: func(st celf.Stats) {
 			stats.GainEvals = st.GainEvals
 			stats.PQPops = st.PQPops
 			stats.Winner = st.Winner.String()
@@ -306,7 +318,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	stats.ElapsedMS = float64(elapsed.Microseconds()) / 1000
 	sol.Score = par.ScoreFast(inst, sol.Photos)
 
-	obs.RecordSolve(s.reg, solver.Name(), inst.NumPhotos(),
+	obs.RecordSolve(s.reg, solver.Name(), solveWorkers, inst.NumPhotos(),
 		stats.GainEvals, stats.PQPops, elapsed)
 	bound := celf.OnlineBound(inst, sol.Photos)
 	if inst.Budget > 0 {

@@ -21,7 +21,7 @@ func newTestServer(logs io.Writer) (*server, http.Handler) {
 	if logs == nil {
 		logs = io.Discard
 	}
-	s := newServer(slog.New(slog.NewTextHandler(logs, nil)), 256<<20)
+	s := newServer(slog.New(slog.NewTextHandler(logs, nil)), 256<<20, 2)
 	return s, s.telemetry(s.mux(false))
 }
 
@@ -281,9 +281,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		`phocus_http_request_seconds_bucket{route="/solve",le="`,
 		`phocus_http_requests_total{class="2xx",route="/solve"} 1`,
-		`phocus_solve_total{algo="PHOcus"} 1`,
+		`phocus_solve_total{algo="PHOcus",workers="2"} 1`,
 		`phocus_solver_gain_evals_total{algo="PHOcus"}`,
-		`phocus_solve_seconds_count{algo="PHOcus"} 1`,
+		`phocus_solve_seconds_count{algo="PHOcus",workers="2"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, out)
@@ -309,14 +309,14 @@ func TestDebugVarsEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := snap[`phocus_solve_total{algo="PHOcus"}`]; !ok {
+	if _, ok := snap[`phocus_solve_total{algo="PHOcus",workers="2"}`]; !ok {
 		t.Errorf("vars missing solve counter; keys: %d", len(snap))
 	}
 }
 
 // TestMaxBodyLimit: an oversized body gets 413, not a decode error.
 func TestMaxBodyLimit(t *testing.T) {
-	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), 64)
+	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), 64, 2)
 	srv := httptest.NewServer(s.telemetry(s.mux(false)))
 	defer srv.Close()
 	resp, err := http.Post(srv.URL+"/solve", "application/json", instanceBody(t, 3.0))
@@ -430,7 +430,7 @@ func TestMiddlewareStatusClasses(t *testing.T) {
 
 // TestPprofGated: /debug/pprof/ is 404 unless the flag enables it.
 func TestPprofGated(t *testing.T) {
-	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), 1<<20)
+	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), 1<<20, 2)
 	off := httptest.NewServer(s.telemetry(s.mux(false)))
 	defer off.Close()
 	resp, err := http.Get(off.URL + "/debug/pprof/")

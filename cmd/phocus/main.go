@@ -4,7 +4,7 @@
 // Usage:
 //
 //	phocus -input instance.json [-budget 5e6] [-algo celf|sviridenko|exact]
-//	       [-tau 0.75] [-retained 0,5,9] [-json]
+//	       [-tau 0.75] [-retained 0,5,9] [-workers 4] [-json]
 //
 // The input may be in either the JSON or the binary format produced by
 // phocus-datagen (auto-detected). A budget of 0 keeps the file's budget;
@@ -42,22 +42,23 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 		stats    = flag.Bool("stats", false, "print instance statistics before solving")
 		compare  = flag.Bool("compare", false, "run every solver and baseline, print a comparison table instead of solving once")
+		workers  = flag.Int("workers", 0, "solve pipeline worker-pool size (≤ 0 means one per CPU, 1 forces the sequential path)")
 	)
 	flag.Parse()
 	if *compare {
-		if err := runCompare(os.Stdout, *input, *budget, *retained); err != nil {
+		if err := runCompare(os.Stdout, *input, *budget, *retained, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "phocus:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(os.Stdout, *input, *budget, *algo, *tau, *retained, *asJSON, *stats); err != nil {
+	if err := run(os.Stdout, *input, *budget, *algo, *tau, *retained, *asJSON, *stats, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "phocus:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, input string, budget float64, algo string, tau float64, retained string, asJSON bool, stats bool) error {
+func run(w io.Writer, input string, budget float64, algo string, tau float64, retained string, asJSON bool, stats bool, workers int) error {
 	inst, err := loadInstance(input, budget, retained)
 	if err != nil {
 		return err
@@ -69,7 +70,7 @@ func run(w io.Writer, input string, budget float64, algo string, tau float64, re
 
 	solveInst := inst
 	if tau > 0 {
-		res, err := sparsify.Exact(inst, tau)
+		res, err := sparsify.ExactWorkers(inst, tau, workers, nil)
 		if err != nil {
 			return err
 		}
@@ -79,7 +80,7 @@ func run(w io.Writer, input string, budget float64, algo string, tau float64, re
 	var solver par.Solver
 	switch algo {
 	case "celf":
-		solver = &celf.Solver{}
+		solver = &celf.Solver{Workers: workers}
 	case "sviridenko":
 		solver = &sviridenko.Solver{}
 	case "exact":
@@ -171,7 +172,7 @@ func loadInstance(input string, budget float64, retained string) (*par.Instance,
 
 // runCompare solves the instance with every algorithm and baseline and
 // prints a quality/time comparison.
-func runCompare(w io.Writer, input string, budget float64, retained string) error {
+func runCompare(w io.Writer, input string, budget float64, retained string, workers int) error {
 	inst, err := loadInstance(input, budget, retained)
 	if err != nil {
 		return err
@@ -180,7 +181,7 @@ func runCompare(w io.Writer, input string, budget float64, retained string) erro
 	fmt.Fprintln(w)
 
 	solvers := []par.Solver{
-		&celf.Solver{},
+		&celf.Solver{Workers: workers},
 		&sviridenko.Solver{},
 		&streaming.Solver{},
 		baselines.NewGreedyNR(),

@@ -35,7 +35,7 @@ func writeFigure1(t *testing.T, budget float64) string {
 func TestRunText(t *testing.T) {
 	path := writeFigure1(t, 3.0)
 	var out bytes.Buffer
-	if err := run(&out, path, 0, "celf", 0, "", false, false); err != nil {
+	if err := run(&out, path, 0, "celf", 0, "", false, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -49,7 +49,7 @@ func TestRunText(t *testing.T) {
 func TestRunJSONAndBudgetOverride(t *testing.T) {
 	path := writeFigure1(t, 8.2)
 	var out bytes.Buffer
-	if err := run(&out, path, 2.0, "exact", 0, "", true, false); err != nil {
+	if err := run(&out, path, 2.0, "exact", 0, "", true, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	var res struct {
@@ -77,7 +77,7 @@ func TestRunJSONAndBudgetOverride(t *testing.T) {
 func TestRunRetainedFlag(t *testing.T) {
 	path := writeFigure1(t, 3.0)
 	var out bytes.Buffer
-	if err := run(&out, path, 0, "celf", 0, "6", true, false); err != nil {
+	if err := run(&out, path, 0, "celf", 0, "6", true, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	var res struct {
@@ -100,7 +100,7 @@ func TestRunRetainedFlag(t *testing.T) {
 func TestRunSparsified(t *testing.T) {
 	path := writeFigure1(t, 3.0)
 	var out bytes.Buffer
-	if err := run(&out, path, 0, "sviridenko", 0.6, "", false, false); err != nil {
+	if err := run(&out, path, 0, "sviridenko", 0.6, "", false, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Sviridenko") {
@@ -115,11 +115,11 @@ func TestRunErrors(t *testing.T) {
 		name string
 		call func() error
 	}{
-		{"missing input", func() error { return run(&out, "", 0, "celf", 0, "", false, false) }},
-		{"no such file", func() error { return run(&out, "/nonexistent.json", 0, "celf", 0, "", false, false) }},
-		{"bad algo", func() error { return run(&out, path, 0, "magic", 0, "", false, false) }},
-		{"bad retained", func() error { return run(&out, path, 0, "celf", 0, "x,y", false, false) }},
-		{"retained out of range", func() error { return run(&out, path, 0, "celf", 0, "99", false, false) }},
+		{"missing input", func() error { return run(&out, "", 0, "celf", 0, "", false, false, 1) }},
+		{"no such file", func() error { return run(&out, "/nonexistent.json", 0, "celf", 0, "", false, false, 1) }},
+		{"bad algo", func() error { return run(&out, path, 0, "magic", 0, "", false, false, 1) }},
+		{"bad retained", func() error { return run(&out, path, 0, "celf", 0, "x,y", false, false, 1) }},
+		{"retained out of range", func() error { return run(&out, path, 0, "celf", 0, "99", false, false, 1) }},
 	}
 	for _, tc := range cases {
 		if err := tc.call(); err == nil {
@@ -131,7 +131,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunStatsFlag(t *testing.T) {
 	path := writeFigure1(t, 3.0)
 	var out bytes.Buffer
-	if err := run(&out, path, 0, "celf", 0, "", false, true); err != nil {
+	if err := run(&out, path, 0, "celf", 0, "", false, true, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "photos:       7") {
@@ -142,7 +142,7 @@ func TestRunStatsFlag(t *testing.T) {
 func TestRunCompare(t *testing.T) {
 	path := writeFigure1(t, 3.0)
 	var out bytes.Buffer
-	if err := runCompare(&out, path, 0, ""); err != nil {
+	if err := runCompare(&out, path, 0, "", 1); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -155,7 +155,7 @@ func TestRunCompare(t *testing.T) {
 	if strings.Index(text, "Brute-Force") > strings.Index(text, "RAND-A") {
 		t.Errorf("rows not sorted by score:\n%s", text)
 	}
-	if err := runCompare(&out, "", 0, ""); err == nil {
+	if err := runCompare(&out, "", 0, "", 1); err == nil {
 		t.Error("missing input accepted")
 	}
 }

@@ -23,9 +23,11 @@ package celf
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 	"time"
 
 	"phocus/internal/par"
+	"phocus/internal/pool"
 )
 
 // Variant selects the candidate-ranking rule of Algorithm 2.
@@ -69,12 +71,21 @@ type Stats struct {
 // Solver runs Algorithm 1 (best of UC and CB). It implements par.Solver.
 type Solver struct {
 	// Observer, when non-nil, receives the lazy-greedy events of both
-	// sub-procedure runs (all UC events, then all CB events).
+	// sub-procedure runs (all UC events, then all CB events; with Workers >
+	// 1 the passes run concurrently and their events are buffered and
+	// replayed in that order after both finish).
 	Observer Observer
 	// OnStats, when non-nil, is called with the run's Stats at the end of
 	// every successful Solve — the instrumentation hook phocus-server uses
 	// to feed its metrics registry without global state.
 	OnStats func(Stats)
+	// Workers bounds the solver's parallelism: the UC and CB sub-procedures
+	// run concurrently, and within each pass stale priority-queue entries
+	// are recomputed in batches of Workers. Values ≤ 0 mean one worker per
+	// CPU (runtime.GOMAXPROCS(0)); 1 forces the fully sequential path. The
+	// selected solution is identical for every worker count — only
+	// wall-clock time and the work counters (GainEvals, PQPops) vary.
+	Workers int
 	// LastStats is populated by each Solve call.
 	LastStats Stats
 }
@@ -85,13 +96,54 @@ func (s *Solver) Name() string { return "PHOcus" }
 // Solve runs both lazy-greedy variants and returns the better solution.
 func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
 	start := time.Now()
-	solUC, statsUC, err := LazyGreedyObserved(inst, UC, s.Observer)
-	if err != nil {
-		return par.Solution{}, err
-	}
-	solCB, statsCB, err := LazyGreedyObserved(inst, CB, s.Observer)
-	if err != nil {
-		return par.Solution{}, err
+	workers := pool.Resolve(s.Workers)
+	var (
+		solUC, solCB     par.Solution
+		statsUC, statsCB Stats
+		err              error
+	)
+	if workers <= 1 {
+		solUC, statsUC, err = LazyGreedyWorkers(inst, UC, 1, s.Observer)
+		if err != nil {
+			return par.Solution{}, err
+		}
+		solCB, statsCB, err = LazyGreedyWorkers(inst, CB, 1, s.Observer)
+		if err != nil {
+			return par.Solution{}, err
+		}
+	} else {
+		// The two sub-procedures of Algorithm 1 are independent — each owns
+		// its own Evaluator over the shared read-only instance — so they run
+		// concurrently. Observer events are buffered per pass and replayed
+		// in UC-then-CB order to preserve the documented event stream.
+		var obsUC, obsCB Observer
+		var recUC, recCB *eventRecorder
+		if s.Observer != nil {
+			recUC, recCB = &eventRecorder{}, &eventRecorder{}
+			obsUC, obsCB = recUC, recCB
+		}
+		var errUC, errCB error
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			solUC, statsUC, errUC = LazyGreedyWorkers(inst, UC, workers, obsUC)
+		}()
+		go func() {
+			defer wg.Done()
+			solCB, statsCB, errCB = LazyGreedyWorkers(inst, CB, workers, obsCB)
+		}()
+		wg.Wait()
+		if errUC != nil {
+			return par.Solution{}, errUC
+		}
+		if errCB != nil {
+			return par.Solution{}, errCB
+		}
+		if s.Observer != nil {
+			recUC.replay(s.Observer)
+			recCB.replay(s.Observer)
+		}
 	}
 	s.LastStats = Stats{
 		GainEvals: statsUC.GainEvals + statsCB.GainEvals,
@@ -132,7 +184,26 @@ func LazyGreedy(inst *par.Instance, variant Variant) (par.Solution, Stats, error
 
 // LazyGreedyObserved is LazyGreedy with an optional event observer.
 func LazyGreedyObserved(inst *par.Instance, variant Variant, obs Observer) (par.Solution, Stats, error) {
+	return LazyGreedyWorkers(inst, variant, 1, obs)
+}
+
+// LazyGreedyWorkers is Algorithm 2 with batched parallel recomputation:
+// instead of recomputing one stale priority-queue entry at a time, it pops
+// up to workers stale entries from the top of the queue and recomputes their
+// gains concurrently through the read-only Evaluator.Gains path (workers ≤ 0
+// means one per CPU; 1 reproduces the classic sequential schedule exactly,
+// pop for pop).
+//
+// Batching is sound and selection-invariant: a photo is only ever selected
+// when a current (exactly recomputed) entry sits at the top of the queue,
+// stale keys upper-bound exact keys by submodularity, and ties are broken
+// deterministically by photo ID — so the selected photo is always the true
+// argmax of the exact marginal-gain key, no matter how many extra entries a
+// batch recomputed first. Extra recomputations only show up in GainEvals and
+// PQPops; the solution is identical for every worker count.
+func LazyGreedyWorkers(inst *par.Instance, variant Variant, workers int, obs Observer) (par.Solution, Stats, error) {
 	start := time.Now()
+	workers = pool.Resolve(workers)
 	e := par.NewEvaluator(inst)
 	e.Seed() // S ← S0
 
@@ -149,6 +220,9 @@ func LazyGreedyObserved(inst *par.Instance, variant Variant, obs Observer) (par.
 	}
 
 	var stats Stats
+	// Scratch buffers for the batched recompute, reused across rounds.
+	var stale []candidate
+	var photos []par.PhotoID
 	for pq.Len() > 0 {
 		top := pq.pop()
 		stats.PQPops++
@@ -169,12 +243,49 @@ func LazyGreedyObserved(inst *par.Instance, variant Variant, obs Observer) (par.
 			}
 			continue
 		}
-		// Recompute δ_p against the current solution and reinsert.
-		top.gain = e.Gain(top.photo)
-		top.current = true
-		pq.push(top)
-		if obs != nil {
-			obs.Recomputed(top.photo, top.gain)
+		// Recompute δ_p against the current solution and reinsert. With
+		// workers > 1, collect up to workers stale entries from the queue
+		// top and recompute them as one parallel batch; stop early at the
+		// first current entry — everything below it is unlikely to be
+		// needed before the next selection.
+		stale = append(stale[:0], top)
+		var parked candidate
+		hasParked := false
+		for len(stale) < workers && pq.Len() > 0 {
+			c := pq.pop()
+			stats.PQPops++
+			if e.Contains(c.photo) || !e.Fits(c.photo) {
+				continue
+			}
+			if c.current {
+				parked, hasParked = c, true
+				break
+			}
+			stale = append(stale, c)
+		}
+		if len(stale) == 1 {
+			stale[0].gain = e.Gain(stale[0].photo)
+		} else {
+			photos = photos[:0]
+			for _, c := range stale {
+				photos = append(photos, c.photo)
+			}
+			gains := e.Gains(photos, workers)
+			for i := range stale {
+				stale[i].gain = gains[i]
+			}
+		}
+		for i := range stale {
+			stale[i].current = true
+			pq.push(stale[i])
+			if obs != nil {
+				obs.Recomputed(stale[i].photo, stale[i].gain)
+			}
+		}
+		if hasParked {
+			// No selection happened since the pop, so the entry is still
+			// current against the present solution.
+			pq.push(parked)
 		}
 	}
 
@@ -185,6 +296,36 @@ func LazyGreedyObserved(inst *par.Instance, variant Variant, obs Observer) (par.
 		return par.Solution{}, stats, fmt.Errorf("celf: produced infeasible solution (cost %.3f, budget %.3f)", sol.Cost, inst.Budget)
 	}
 	return sol, stats, nil
+}
+
+// eventRecorder buffers observer events so concurrent sub-procedure runs can
+// replay them in the documented order after both finish.
+type eventRecorder struct {
+	events []recordedEvent
+}
+
+type recordedEvent struct {
+	selected bool
+	photo    par.PhotoID
+	gain     float64
+}
+
+func (r *eventRecorder) Recomputed(p par.PhotoID, gain float64) {
+	r.events = append(r.events, recordedEvent{photo: p, gain: gain})
+}
+
+func (r *eventRecorder) Selected(p par.PhotoID, gain float64) {
+	r.events = append(r.events, recordedEvent{selected: true, photo: p, gain: gain})
+}
+
+func (r *eventRecorder) replay(obs Observer) {
+	for _, ev := range r.events {
+		if ev.selected {
+			obs.Selected(ev.photo, ev.gain)
+		} else {
+			obs.Recomputed(ev.photo, ev.gain)
+		}
+	}
 }
 
 // inf is the initial "∞" gain of Algorithm 2 line 4. Any real gain is
@@ -228,7 +369,17 @@ func (g *gainQueue) key(c candidate) float64 {
 
 func (g *gainQueue) Len() int { return len(g.items) }
 
-func (g *gainQueue) Less(i, j int) bool { return g.key(g.items[i]) > g.key(g.items[j]) }
+// Less orders by key descending, breaking exact ties by photo ID so the heap
+// maximum is a deterministic function of the queued entries. The tie-break
+// is what keeps batched and sequential recomputation schedules selecting the
+// same photo when two candidates have identical keys.
+func (g *gainQueue) Less(i, j int) bool {
+	ki, kj := g.key(g.items[i]), g.key(g.items[j])
+	if ki != kj {
+		return ki > kj
+	}
+	return g.items[i].photo < g.items[j].photo
+}
 
 func (g *gainQueue) Swap(i, j int) { g.items[i], g.items[j] = g.items[j], g.items[i] }
 

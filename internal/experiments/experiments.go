@@ -20,6 +20,7 @@ import (
 	"phocus/internal/metrics"
 	"phocus/internal/obs"
 	"phocus/internal/par"
+	"phocus/internal/pool"
 )
 
 // Config parameterizes a run of any experiment.
@@ -38,6 +39,10 @@ type Config struct {
 	// vocabulary phocus-server exposes on /metrics (obs.RecordSolve), so
 	// paper experiments and live traffic share dashboards.
 	Metrics *obs.Registry
+	// Workers bounds the solve pipeline's parallelism for PHOcus runs (≤ 0
+	// means one worker per CPU, 1 forces the sequential path). Results are
+	// identical for every worker count; only running times change.
+	Workers int
 }
 
 // recordSolve reports one solver run to the metrics registry, if any.
@@ -45,11 +50,13 @@ func (c *Config) recordSolve(s par.Solver, photos int, elapsed time.Duration) {
 	if c.Metrics == nil {
 		return
 	}
+	workers := 1
 	var gainEvals, pqPops int64
 	if cs, ok := s.(*celf.Solver); ok {
 		gainEvals, pqPops = cs.LastStats.GainEvals, cs.LastStats.PQPops
+		workers = pool.Resolve(cs.Workers)
 	}
-	obs.RecordSolve(c.Metrics, s.Name(), photos, gainEvals, pqPops, elapsed)
+	obs.RecordSolve(c.Metrics, s.Name(), workers, photos, gainEvals, pqPops, elapsed)
 }
 
 func (c *Config) fill() {
@@ -131,7 +138,7 @@ func qualityFigure(cfg Config, ds *dataset.Dataset, title string) (*metrics.Figu
 		&baselines.RandAdd{Seed: cfg.Seed + 1},
 		baselines.NewGreedyNR(),
 		baselines.NewGreedyNCS(ds.GlobalSim),
-		&celf.Solver{},
+		&celf.Solver{Workers: cfg.Workers},
 	}
 	series := make(map[string][]float64)
 	var order []string

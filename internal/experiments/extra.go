@@ -127,7 +127,7 @@ func TauSweep(cfg Config, w io.Writer) error {
 	if err := ds.SetBudget(0.2 * ds.Instance.TotalCost()); err != nil {
 		return err
 	}
-	var base celf.Solver
+	base := celf.Solver{Workers: cfg.Workers}
 	baseSol, err := base.Solve(ds.Instance)
 	if err != nil {
 		return err
@@ -142,12 +142,12 @@ func TauSweep(cfg Config, w io.Writer) error {
 		if tau == 0 {
 			sol = baseSol
 		} else {
-			res, err := sparsify.Exact(ds.Instance, tau)
+			res, err := sparsify.ExactWorkers(ds.Instance, tau, cfg.Workers, nil)
 			if err != nil {
 				return err
 			}
 			pairs = fmt.Sprintf("%d/%d", res.PairsAfter, res.PairsBefore)
-			var s celf.Solver
+			s := celf.Solver{Workers: cfg.Workers}
 			sol, err = s.Solve(res.Instance)
 			if err != nil {
 				return err

@@ -140,11 +140,12 @@ func sparsificationRun(cfg Config, ds *dataset.Dataset, label string) (*metrics.
 
 		sp, err := phocus.Solve(ds, phocus.SolveOptions{
 			Budget: budget, Tau: cfg.Tau, UseLSH: true, Seed: cfg.Seed + 9, SkipBound: true,
+			Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
-		ns, err := phocus.Solve(ds, phocus.SolveOptions{Budget: budget, SkipBound: true})
+		ns, err := phocus.Solve(ds, phocus.SolveOptions{Budget: budget, SkipBound: true, Workers: cfg.Workers})
 		if err != nil {
 			return nil, nil, err
 		}

@@ -38,6 +38,7 @@ func Scaling(cfg Config, w io.Writer) error {
 
 		sp, err := phocus.Solve(ds, phocus.SolveOptions{
 			Budget: budget, Tau: cfg.Tau, UseLSH: true, Seed: cfg.Seed + 61, SkipBound: true,
+			Workers: cfg.Workers,
 		})
 		if err != nil {
 			return err
@@ -50,7 +51,7 @@ func Scaling(cfg Config, w io.Writer) error {
 		// the paper reports for PHOcus-NS on its larger datasets.
 		nsCell, speedupCell := "-", "-"
 		if ds.Instance.NumPhotos() <= 30_000 {
-			ns, err := phocus.Solve(ds, phocus.SolveOptions{Budget: budget, SkipBound: true})
+			ns, err := phocus.Solve(ds, phocus.SolveOptions{Budget: budget, SkipBound: true, Workers: cfg.Workers})
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,59 @@
+package lsh
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"phocus/internal/embed"
+)
+
+// TestSignaturesMatchSequential: the parallel signature fan-out must return
+// exactly what per-vector Signature computes, for every worker count.
+func TestSignaturesMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := New(rng, 24, 8, 10)
+	vectors := make([]embed.Vector, 50)
+	for i := range vectors {
+		vectors[i] = embed.RandomUnit(rng, 24)
+	}
+	want := make([][]uint64, len(vectors))
+	for i, v := range vectors {
+		want[i] = h.Signature(v)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		if got := h.Signatures(vectors, workers); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: signatures diverge from sequential", workers)
+		}
+	}
+}
+
+// bandLog records per-band observer events for comparison across runs.
+type bandLog struct{ rows [][3]int }
+
+func (l *bandLog) BandDone(band, buckets, pairs int) {
+	l.rows = append(l.rows, [3]int{band, buckets, pairs})
+}
+
+// TestCandidatePairsParallelMatches: pair output and observer events are
+// identical to the sequential path for every worker count.
+func TestCandidatePairsParallelMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := New(rng, 16, 12, 6)
+	vectors := make([]embed.Vector, 80)
+	for i := range vectors {
+		vectors[i] = embed.RandomUnit(rng, 16)
+	}
+	var seqLog bandLog
+	want := h.CandidatePairsObserved(vectors, &seqLog)
+	for _, workers := range []int{2, 8} {
+		var log bandLog
+		got := h.CandidatePairsParallel(vectors, workers, &log)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: candidate pairs diverge from sequential", workers)
+		}
+		if !reflect.DeepEqual(log, seqLog) {
+			t.Errorf("workers=%d: band events diverge from sequential", workers)
+		}
+	}
+}

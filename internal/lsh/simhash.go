@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"phocus/internal/embed"
+	"phocus/internal/pool"
 )
 
 // SimHash is a fixed family of random hyperplanes organized in bands.
@@ -74,6 +75,20 @@ type Observer interface {
 	BandDone(band, buckets, pairs int)
 }
 
+// Signatures computes the banded signature of every vector, fanning the
+// per-vector hashing — the dominant cost of candidate generation, bands·rows
+// dot products each — out over up to workers goroutines (≤ 0 means one per
+// CPU). The hyperplane family is read-only, so concurrent hashing is safe,
+// and sigs[i] depends only on vectors[i]: output is identical for every
+// worker count.
+func (h *SimHash) Signatures(vectors []embed.Vector, workers int) [][]uint64 {
+	sigs := make([][]uint64, len(vectors))
+	pool.ForEach(len(vectors), workers, func(i int) {
+		sigs[i] = h.Signature(vectors[i])
+	})
+	return sigs
+}
+
 // CandidatePairs hashes all vectors and returns the deduplicated pairs that
 // collide in at least one band, in deterministic (sorted) order.
 func (h *SimHash) CandidatePairs(vectors []embed.Vector) []Pair {
@@ -83,10 +98,16 @@ func (h *SimHash) CandidatePairs(vectors []embed.Vector) []Pair {
 // CandidatePairsObserved is CandidatePairs with an optional per-band event
 // observer.
 func (h *SimHash) CandidatePairsObserved(vectors []embed.Vector, obs Observer) []Pair {
-	sigs := make([][]uint64, len(vectors))
-	for i, v := range vectors {
-		sigs[i] = h.Signature(v)
-	}
+	return h.CandidatePairsParallel(vectors, 1, obs)
+}
+
+// CandidatePairsParallel is CandidatePairsObserved with the signature
+// computation fanned out over workers goroutines; the banding pass that
+// follows stays sequential (it is a hash-bucket scan, cheap relative to
+// hashing). Pair output and observer events are identical for every worker
+// count.
+func (h *SimHash) CandidatePairsParallel(vectors []embed.Vector, workers int, obs Observer) []Pair {
+	sigs := h.Signatures(vectors, workers)
 	seen := make(map[Pair]struct{})
 	buckets := make(map[uint64][]int)
 	for b := 0; b < h.bands; b++ {

@@ -213,11 +213,15 @@ func TestConcurrentHammer(t *testing.T) {
 
 func TestRecordSolve(t *testing.T) {
 	r := NewRegistry()
-	RecordSolve(r, "PHOcus", 5000, 1234, 5678, 250*time.Millisecond)
-	RecordSolve(r, "PHOcus", 5000, 1000, 2000, 100*time.Millisecond)
-	RecordSolve(r, "Brute-Force", 10, 0, 0, time.Second)
-	if got := r.Counter("phocus_solve_total", "algo", "PHOcus").Value(); got != 2 {
-		t.Errorf("solve_total{PHOcus} = %d, want 2", got)
+	RecordSolve(r, "PHOcus", 4, 5000, 1234, 5678, 250*time.Millisecond)
+	RecordSolve(r, "PHOcus", 4, 5000, 1000, 2000, 100*time.Millisecond)
+	RecordSolve(r, "Brute-Force", 0, 10, 0, 0, time.Second)
+	if got := r.Counter("phocus_solve_total", "algo", "PHOcus", "workers", "4").Value(); got != 2 {
+		t.Errorf("solve_total{PHOcus,workers=4} = %d, want 2", got)
+	}
+	// workers ≤ 0 is recorded under the sequential label "1".
+	if got := r.Counter("phocus_solve_total", "algo", "Brute-Force", "workers", "1").Value(); got != 1 {
+		t.Errorf("solve_total{Brute-Force,workers=1} = %d, want 1", got)
 	}
 	if got := r.Counter("phocus_solver_gain_evals_total", "algo", "PHOcus").Value(); got != 2234 {
 		t.Errorf("gain_evals_total = %d, want 2234", got)

@@ -1,21 +1,31 @@
 package obs
 
-import "time"
+import (
+	"strconv"
+	"time"
+)
 
 // RecordSolve records one solver run under the metric vocabulary shared by
 // phocus-server and phocus-bench, so paper experiments and live traffic
 // read on the same dashboards:
 //
-//	phocus_solve_total{algo}             runs per algorithm
-//	phocus_solve_seconds{algo}           solve latency histogram
+//	phocus_solve_total{algo,workers}     runs per algorithm and pool size
+//	phocus_solve_seconds{algo,workers}   solve latency histogram
 //	phocus_solve_instance_photos         instance-size histogram
 //	phocus_solver_gain_evals_total{algo} marginal-gain evaluations
 //	phocus_solver_pq_pops_total{algo}    lazy-evaluation PQ probes
 //
-// gainEvals and pqPops may be zero for solvers that do not report them.
-func RecordSolve(reg *Registry, algo string, photos int, gainEvals, pqPops int64, elapsed time.Duration) {
-	reg.Counter("phocus_solve_total", "algo", algo).Inc()
-	reg.Histogram("phocus_solve_seconds", DefBuckets, "algo", algo).Observe(elapsed.Seconds())
+// workers is the solve pipeline's worker-pool size; labelling latency by it
+// is what makes parallel speedups visible on /metrics (values ≤ 0 are
+// recorded as 1, the sequential path). gainEvals and pqPops may be zero for
+// solvers that do not report them.
+func RecordSolve(reg *Registry, algo string, workers, photos int, gainEvals, pqPops int64, elapsed time.Duration) {
+	if workers <= 0 {
+		workers = 1
+	}
+	w := strconv.Itoa(workers)
+	reg.Counter("phocus_solve_total", "algo", algo, "workers", w).Inc()
+	reg.Histogram("phocus_solve_seconds", DefBuckets, "algo", algo, "workers", w).Observe(elapsed.Seconds())
 	reg.Histogram("phocus_solve_instance_photos", SizeBuckets).Observe(float64(photos))
 	if gainEvals > 0 {
 		reg.Counter("phocus_solver_gain_evals_total", "algo", algo).Add(gainEvals)

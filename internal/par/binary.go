@@ -206,6 +206,9 @@ func ReadBinary(r io.Reader) (*Instance, error) {
 			if v <= 0 || v > 1 || math.IsNaN(v) {
 				return nil, fmt.Errorf("par: subset %d pair similarity %g out of (0,1]", qi, v)
 			}
+			if sim.Contains(i, j) {
+				return nil, fmt.Errorf("par: subset %d pair (%d,%d) given twice", qi, i, j)
+			}
 			sim.Add(i, j, v)
 		}
 		q.Sim = sim

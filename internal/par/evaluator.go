@@ -1,5 +1,7 @@
 package par
 
+import "phocus/internal/pool"
+
 // Evaluator incrementally maintains the objective value of a growing
 // solution. It is the workhorse shared by every solver: computing the
 // marginal gain of a candidate photo touches only the subsets containing it,
@@ -56,6 +58,31 @@ func (e *Evaluator) Seed() float64 {
 // solution gains 0.
 func (e *Evaluator) Gain(p PhotoID) float64 {
 	e.gainEvals++
+	return e.gainOf(p)
+}
+
+// Gains computes the marginal gain of every photo in ps against the current
+// solution, fanning the evaluations out over up to workers goroutines
+// (workers ≤ 0 means one per CPU). Each evaluation follows the read-only
+// Gain path — it touches the evaluator's state but never mutates it — so
+// concurrent evaluations are safe as long as no Add/Seed runs concurrently.
+// out[i] is exactly what Gain(ps[i]) would have returned sequentially: the
+// per-photo summation order is unchanged, so results are bit-identical for
+// every worker count. The gain-eval counter advances by len(ps) regardless
+// of worker count.
+func (e *Evaluator) Gains(ps []PhotoID, workers int) []float64 {
+	out := make([]float64, len(ps))
+	pool.ForEach(len(ps), workers, func(i int) {
+		out[i] = e.gainOf(ps[i])
+	})
+	e.gainEvals += int64(len(ps))
+	return out
+}
+
+// gainOf is the shared read-only gain computation behind Gain and Gains. It
+// must not mutate any evaluator state: Gains calls it from multiple
+// goroutines.
+func (e *Evaluator) gainOf(p PhotoID) float64 {
 	if e.inSol[p] {
 		return 0
 	}

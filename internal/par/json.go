@@ -100,6 +100,9 @@ func ReadJSON(r io.Reader) (*Instance, error) {
 			if p.Sim <= 0 || p.Sim > 1 {
 				return nil, fmt.Errorf("par: subset %d similarity %g out of (0,1]", qi, p.Sim)
 			}
+			if sim.Contains(p.I, p.J) {
+				return nil, fmt.Errorf("par: subset %d similarity pair (%d,%d) given twice", qi, p.I, p.J)
+			}
 			sim.Add(p.I, p.J, p.Sim)
 		}
 		inst.Subsets[qi] = Subset{

@@ -1,5 +1,7 @@
 package par
 
+import "sort"
+
 // Similarity is the contextualized similarity function of a single
 // pre-defined subset. Indices are positions within the subset's Members
 // slice, not global photo IDs: Sim(i, j) is the similarity between the i-th
@@ -83,6 +85,9 @@ func (d *DenseSim) Set(i, j int, sim float64) {
 
 // SparseSim stores, for each member, only the neighbours with positive
 // similarity. It is the natural representation after τ-sparsification.
+// Rows are kept sorted by neighbour index, so point lookups cost O(log deg)
+// instead of a linear scan — the Sim path matters for solvers running on
+// subsets whose Similarity does not go through NeighborLister.
 type SparseSim struct {
 	rows [][]Neighbor
 }
@@ -100,25 +105,36 @@ func NewSparseSim(n int) *SparseSim {
 // Len returns the number of members.
 func (s *SparseSim) Len() int { return len(s.rows) }
 
-// Sim returns the similarity of members i and j (0 if not neighbours).
+// Sim returns the similarity of members i and j (0 if not neighbours) by
+// binary search over the sorted row.
 func (s *SparseSim) Sim(i, j int) float64 {
 	if i == j {
 		return 1
 	}
-	for _, nb := range s.rows[i] {
-		if nb.Index == j {
-			return nb.Sim
-		}
+	row := s.rows[i]
+	k := sort.Search(len(row), func(x int) bool { return row[x].Index >= j })
+	if k < len(row) && row[k].Index == j {
+		return row[k].Sim
 	}
 	return 0
 }
 
-// Neighbors returns the positive-similarity row of member i. The returned
-// slice is owned by the SparseSim and must not be modified.
+// Contains reports whether the pair {i, j} has a stored positive similarity
+// (true for i == j). Loaders use it to reject duplicate pairs in untrusted
+// input with an error instead of Add's panic.
+func (s *SparseSim) Contains(i, j int) bool {
+	return s.Sim(i, j) != 0
+}
+
+// Neighbors returns the positive-similarity row of member i, sorted by
+// neighbour index. The returned slice is owned by the SparseSim and must not
+// be modified.
 func (s *SparseSim) Neighbors(i int) []Neighbor { return s.rows[i] }
 
-// Add records similarity sim for the unordered pair {i, j} in both rows.
-// Pairs must be added at most once; re-adding a pair duplicates the entry.
+// Add records similarity sim for the unordered pair {i, j} in both rows,
+// keeping the rows sorted. Re-adding a pair panics like the other
+// construction errors: a duplicate entry would silently double-count the
+// neighbour in every gain computation.
 func (s *SparseSim) Add(i, j int, sim float64) {
 	if i == j {
 		panic("par: SparseSim.Add on diagonal")
@@ -126,8 +142,21 @@ func (s *SparseSim) Add(i, j int, sim float64) {
 	if sim <= 0 || sim > 1 {
 		panic("par: similarity out of (0,1]")
 	}
-	s.rows[i] = append(s.rows[i], Neighbor{Index: j, Sim: sim})
-	s.rows[j] = append(s.rows[j], Neighbor{Index: i, Sim: sim})
+	s.insert(i, j, sim)
+	s.insert(j, i, sim)
+}
+
+// insert places {Index: j, Sim: sim} into row i at its sorted position.
+func (s *SparseSim) insert(i, j int, sim float64) {
+	row := s.rows[i]
+	k := sort.Search(len(row), func(x int) bool { return row[x].Index >= j })
+	if k < len(row) && row[k].Index == j {
+		panic("par: SparseSim.Add of duplicate pair")
+	}
+	row = append(row, Neighbor{})
+	copy(row[k+1:], row[k:])
+	row[k] = Neighbor{Index: j, Sim: sim}
+	s.rows[i] = row
 }
 
 // FuncSim adapts an arbitrary function to the Similarity interface. It is

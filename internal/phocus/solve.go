@@ -47,6 +47,12 @@ type SolveOptions struct {
 	// SkipBound disables the a-posteriori online-bound computation (it
 	// costs one marginal-gain pass over all photos).
 	SkipBound bool
+	// Workers bounds the pipeline's parallelism: sparsification fans out per
+	// subset and the CELF solver runs its sub-procedures concurrently with
+	// batched gain recomputation. Values ≤ 0 mean one worker per CPU
+	// (runtime.GOMAXPROCS(0)); 1 forces the fully sequential path. Results
+	// are identical for every worker count.
+	Workers int
 }
 
 // Result is the outcome of a Solver run.
@@ -63,8 +69,9 @@ type Result struct {
 	// performance ratio (0 when skipped).
 	CertifiedRatio float64
 	// SparsifiedPairs / OriginalPairs report how much τ-sparsification
-	// shrank the similarity structure (OriginalPairs is 0 for the LSH path,
-	// which never counts the full pair set).
+	// shrank the similarity structure. On the LSH path OriginalPairs counts
+	// only the candidate pairs with positive true similarity — a lower bound
+	// on the full pair count, which LSH never enumerates.
 	OriginalPairs, SparsifiedPairs int
 	// PrepTime covers sparsification, SolveTime the optimization.
 	PrepTime, SolveTime time.Duration
@@ -97,9 +104,9 @@ func Solve(ds *dataset.Dataset, opts SolveOptions) (*Result, error) {
 		var err error
 		if opts.UseLSH {
 			rng := rand.New(rand.NewSource(opts.Seed))
-			sres, err = sparsify.WithLSH(rng, work, ds.CtxVectors, opts.Tau)
+			sres, err = sparsify.WithLSHWorkers(rng, work, ds.CtxVectors, opts.Tau, opts.Workers, nil)
 		} else {
-			sres, err = sparsify.Exact(work, opts.Tau)
+			sres, err = sparsify.ExactWorkers(work, opts.Tau, opts.Workers, nil)
 		}
 		if err != nil {
 			return nil, err
@@ -115,7 +122,7 @@ func Solve(ds *dataset.Dataset, opts SolveOptions) (*Result, error) {
 	var err error
 	switch opts.Algorithm {
 	case "", AlgoCELF:
-		var s celf.Solver
+		s := celf.Solver{Workers: opts.Workers}
 		sol, err = s.Solve(solveInst)
 	case AlgoSviridenko:
 		var s sviridenko.Solver

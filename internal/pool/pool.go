@@ -1,0 +1,90 @@
+// Package pool provides the worker-pool primitives behind the solve
+// pipeline's Workers knob. Every parallel hot path — CELF's batched
+// stale-gain recomputation, per-subset sparsification, SimHash signature
+// computation — fans its work out through ForEach, so the whole pipeline is
+// controlled by a single integer and degrades to the plain sequential loop
+// when the knob is 1.
+//
+// The contract every caller relies on: ForEach(n, w, fn) calls fn exactly
+// once for every index in [0, n), and the set of calls (not their order) is
+// independent of w. Callers therefore write results into per-index slots and
+// reduce sequentially afterwards, which is what keeps parallel output
+// byte-identical to the sequential path.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a Workers knob: any value ≤ 0 means "one worker per
+// available CPU" (runtime.GOMAXPROCS(0)); positive values are returned
+// unchanged.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls out over up to
+// workers goroutines (workers is first passed through Resolve; at most n
+// goroutines are started). With an effective worker count of 1 it degrades
+// to a plain loop with zero goroutine overhead.
+//
+// Indices are handed out through a shared atomic counter, so call order
+// across workers is nondeterministic — fn must not depend on ordering and
+// must confine its writes to per-index state. A panic in any fn is re-raised
+// on the calling goroutine after all workers have drained, preserving the
+// synchronous path's panic semantics.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+					// Park the counter past n so the remaining workers stop
+					// picking up work after a panic.
+					next.Store(int64(n))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}

@@ -1,0 +1,67 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	perCPU := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct{ in, want int }{
+		{0, perCPU},
+		{-3, perCPU},
+		{1, 1},
+		{7, 7},
+	} {
+		if got := Resolve(tc.in); got != tc.want {
+			t.Errorf("Resolve(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestForEachCoversAllIndices: every index is visited exactly once, whatever
+// the worker count (including the sequential workers=1 fast path and the ≤ 0
+// per-CPU default).
+func TestForEachCoversAllIndices(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{0, 1, 2, 8, n + 5} {
+		visits := make([]int32, n)
+		ForEach(n, workers, func(i int) {
+			atomic.AddInt32(&visits[i], 1)
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+// TestForEachPanicPropagates: a panic in a worker must reach the caller (not
+// crash the process from a bare goroutine), for every worker count.
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			ForEach(100, workers, func(i int) {
+				if i == 37 {
+					panic("boom")
+				}
+			})
+			t.Errorf("workers=%d: ForEach returned instead of panicking", workers)
+		}()
+	}
+}

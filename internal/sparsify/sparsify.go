@@ -17,15 +17,35 @@ import (
 	"phocus/internal/lsh"
 	"phocus/internal/mc"
 	"phocus/internal/par"
+	"phocus/internal/pool"
 )
 
 // Result reports a sparsification run: the rewritten instance plus how many
 // positive off-diagonal similarity pairs survived.
+//
+// PairsBefore counts the pairs whose true similarity was found positive
+// before thresholding. For Exact that is the full positive-pair count of the
+// input; for WithLSH only LSH candidate pairs are ever verified, so
+// PairsBefore is a candidate-count — a lower bound on the full pair count,
+// not the full count itself (computing that would defeat the point of LSH).
+// PairsAfter counts the pairs ≥ τ that were kept; PairsBefore ≥ PairsAfter
+// on both paths.
 type Result struct {
 	Instance    *par.Instance
 	PairsBefore int
 	PairsAfter  int
 	Elapsed     time.Duration
+}
+
+// subsetResult carries one subset's sparsification out of the worker pool;
+// the sequential reduce that follows assembles them in subset order, so
+// observer events, counters and the output instance are byte-identical for
+// every worker count.
+type subsetResult struct {
+	sparse   *par.SparseSim
+	before   int // pairs with positive true similarity
+	examined int
+	kept     int
 }
 
 // Observer receives per-subset sparsification events, in subset order — the
@@ -46,6 +66,15 @@ func Exact(inst *par.Instance, tau float64) (Result, error) {
 
 // ExactObserved is Exact with an optional per-subset event observer.
 func ExactObserved(inst *par.Instance, tau float64, obs Observer) (Result, error) {
+	return ExactWorkers(inst, tau, 1, obs)
+}
+
+// ExactWorkers is ExactObserved with the per-subset pair enumeration fanned
+// out over up to workers goroutines (≤ 0 means one per CPU). Each subset is
+// sparsified independently into its own SparseSim and the results are
+// reduced in subset order, so the output instance, the counters and the
+// observer event stream are byte-identical for every worker count.
+func ExactWorkers(inst *par.Instance, tau float64, workers int, obs Observer) (Result, error) {
 	start := time.Now()
 	res := Result{}
 	out := &par.Instance{
@@ -54,31 +83,37 @@ func ExactObserved(inst *par.Instance, tau float64, obs Observer) (Result, error
 		Budget:   inst.Budget,
 		Subsets:  make([]par.Subset, len(inst.Subsets)),
 	}
-	for qi := range inst.Subsets {
+	perSubset := make([]subsetResult, len(inst.Subsets))
+	pool.ForEach(len(inst.Subsets), workers, func(qi int) {
 		q := &inst.Subsets[qi]
 		k := len(q.Members)
-		sparse := par.NewSparseSim(k)
-		examined, kept := 0, 0
+		sr := subsetResult{sparse: par.NewSparseSim(k)}
 		for i := 0; i < k; i++ {
 			for j := i + 1; j < k; j++ {
 				s := q.Sim.Sim(i, j)
 				if s > 0 {
-					res.PairsBefore++
-					examined++
+					sr.before++
+					sr.examined++
 				}
 				if s >= tau && s > 0 {
-					sparse.Add(i, j, s)
-					res.PairsAfter++
-					kept++
+					sr.sparse.Add(i, j, s)
+					sr.kept++
 				}
 			}
 		}
+		perSubset[qi] = sr
+	})
+	for qi := range inst.Subsets {
+		q := &inst.Subsets[qi]
+		sr := &perSubset[qi]
+		res.PairsBefore += sr.before
+		res.PairsAfter += sr.kept
 		if obs != nil {
-			obs.SubsetSparsified(q.Name, examined, kept)
+			obs.SubsetSparsified(q.Name, sr.examined, sr.kept)
 		}
 		out.Subsets[qi] = par.Subset{
 			Name: q.Name, Weight: q.Weight, Members: q.Members,
-			Relevance: q.Relevance, Sim: sparse,
+			Relevance: q.Relevance, Sim: sr.sparse,
 		}
 	}
 	if err := out.Finalize(); err != nil {
@@ -103,9 +138,26 @@ func WithLSH(rng *rand.Rand, inst *par.Instance, ctxVectors [][]embed.Vector, ta
 
 // WithLSHObserved is WithLSH with an optional per-subset event observer.
 func WithLSHObserved(rng *rand.Rand, inst *par.Instance, ctxVectors [][]embed.Vector, tau float64, obs Observer) (Result, error) {
+	return WithLSHWorkers(rng, inst, ctxVectors, tau, 1, obs)
+}
+
+// WithLSHWorkers is WithLSHObserved with the per-subset candidate generation
+// and verification fanned out over up to workers goroutines (≤ 0 means one
+// per CPU). All randomness is consumed up front: one SimHash family is drawn
+// per distinct embedding dimension, seeded from the caller's rng in the
+// deterministic first-seen subset order, and shared read-only by every
+// worker. The output instance, counters and observer event stream are
+// therefore byte-identical for every worker count.
+func WithLSHWorkers(rng *rand.Rand, inst *par.Instance, ctxVectors [][]embed.Vector, tau float64, workers int, obs Observer) (Result, error) {
 	start := time.Now()
 	if len(ctxVectors) != len(inst.Subsets) {
 		return Result{}, fmt.Errorf("sparsify: %d vector groups for %d subsets", len(ctxVectors), len(inst.Subsets))
+	}
+	for qi := range inst.Subsets {
+		if len(ctxVectors[qi]) != len(inst.Subsets[qi].Members) {
+			return Result{}, fmt.Errorf("sparsify: subset %d has %d members but %d vectors",
+				qi, len(inst.Subsets[qi].Members), len(ctxVectors[qi]))
+		}
 	}
 	res := Result{}
 	bands, rows := lsh.Tune(tau, 32, 16)
@@ -115,37 +167,58 @@ func WithLSHObserved(rng *rand.Rand, inst *par.Instance, ctxVectors [][]embed.Ve
 		Budget:   inst.Budget,
 		Subsets:  make([]par.Subset, len(inst.Subsets)),
 	}
-	var hasher *lsh.SimHash
-	hashDim := -1
+	// Hyperplanes are drawn once per distinct dimension (no rebuild
+	// thrashing when consecutive subsets alternate dims) in subset order, so
+	// the families do not depend on the worker schedule.
+	hashers := make(map[int]*lsh.SimHash)
 	for qi := range inst.Subsets {
+		if len(inst.Subsets[qi].Members) < 2 {
+			continue
+		}
+		dim := len(ctxVectors[qi][0])
+		if hashers[dim] == nil {
+			hashers[dim] = lsh.New(rand.New(rand.NewSource(rng.Int63())), dim, bands, rows)
+		}
+	}
+	// Divide the pool between the subset fan-out and the per-subset
+	// signature hashing so a dataset with one huge subset still parallelizes.
+	workers = pool.Resolve(workers)
+	inner := 1
+	if len(inst.Subsets) > 0 {
+		inner = 1 + (workers-1)/len(inst.Subsets)
+	}
+	perSubset := make([]subsetResult, len(inst.Subsets))
+	pool.ForEach(len(inst.Subsets), workers, func(qi int) {
 		q := &inst.Subsets[qi]
 		k := len(q.Members)
-		if len(ctxVectors[qi]) != k {
-			return Result{}, fmt.Errorf("sparsify: subset %d has %d members but %d vectors", qi, k, len(ctxVectors[qi]))
-		}
-		sparse := par.NewSparseSim(k)
-		examined, kept := 0, 0
+		sr := subsetResult{sparse: par.NewSparseSim(k)}
 		if k > 1 {
-			dim := len(ctxVectors[qi][0])
-			if hasher == nil || dim != hashDim {
-				hasher = lsh.New(rng, dim, bands, rows)
-				hashDim = dim
-			}
-			for _, pair := range hasher.CandidatePairs(ctxVectors[qi]) {
-				examined++
-				if s := q.Sim.Sim(pair.I, pair.J); s >= tau && s > 0 {
-					sparse.Add(pair.I, pair.J, s)
-					res.PairsAfter++
-					kept++
+			hasher := hashers[len(ctxVectors[qi][0])]
+			for _, pair := range hasher.CandidatePairsParallel(ctxVectors[qi], inner, nil) {
+				sr.examined++
+				s := q.Sim.Sim(pair.I, pair.J)
+				if s > 0 {
+					sr.before++
+				}
+				if s >= tau && s > 0 {
+					sr.sparse.Add(pair.I, pair.J, s)
+					sr.kept++
 				}
 			}
 		}
+		perSubset[qi] = sr
+	})
+	for qi := range inst.Subsets {
+		q := &inst.Subsets[qi]
+		sr := &perSubset[qi]
+		res.PairsBefore += sr.before
+		res.PairsAfter += sr.kept
 		if obs != nil {
-			obs.SubsetSparsified(q.Name, examined, kept)
+			obs.SubsetSparsified(q.Name, sr.examined, sr.kept)
 		}
 		out.Subsets[qi] = par.Subset{
 			Name: q.Name, Weight: q.Weight, Members: q.Members,
-			Relevance: q.Relevance, Sim: sparse,
+			Relevance: q.Relevance, Sim: sr.sparse,
 		}
 	}
 	if err := out.Finalize(); err != nil {
