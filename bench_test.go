@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -16,6 +17,7 @@ import (
 	"phocus/internal/experiments"
 	"phocus/internal/lsh"
 	"phocus/internal/par"
+	"phocus/internal/phocus"
 	"phocus/internal/sparsify"
 )
 
@@ -174,6 +176,51 @@ func BenchmarkSparsifyLSH(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPreparedSweep measures the staged engine's reason to exist: a
+// budget sweep that re-prepares for every budget (cold — what one-shot
+// Solve calls amount to) versus one that prepares once and reuses the
+// Prepared across budgets (warm — what the server's prepared-instance
+// cache buys). The per-sweep gap is the τ-sparsification cost paid once
+// instead of once per budget; warm should run at least 2× faster.
+func BenchmarkPreparedSweep(b *testing.B) {
+	ds := benchInstance(b, 1000)
+	total := ds.Instance.TotalCost()
+	fracs := []float64{0.01, 0.02, 0.04, 0.06}
+	ctx := context.Background()
+	prep := phocus.PrepareOptions{Tau: 0.75}
+	run := func(b *testing.B, p *phocus.Prepared, frac float64) {
+		b.Helper()
+		if _, err := p.Run(ctx, phocus.RunOptions{Budget: frac * total, SkipBound: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, frac := range fracs {
+				p, err := phocus.Prepare(ctx, ds, prep)
+				if err != nil {
+					b.Fatal(err)
+				}
+				run(b, p, frac)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		p, err := phocus.Prepare(ctx, ds, prep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, frac := range fracs {
+				run(b, p, frac)
+			}
+		}
+	})
 }
 
 // BenchmarkSimHashSignature measures signature computation for one

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +34,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "seed offset for all generators")
 		tau        = flag.Float64("tau", 0.75, "sparsification threshold used by PHOcus runs")
 		workers    = flag.Int("workers", 0, "solve pipeline worker-pool size (≤ 0 means one per CPU, 1 forces the sequential path)")
+		timeout    = flag.Duration("timeout", 0, "abort the whole run after this long; solves stop mid-run (0 = no deadline)")
 		verbose    = flag.Bool("v", false, "log per-run progress to stderr")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		html       = flag.String("html", "", "also write a standalone HTML report to this file")
@@ -77,6 +80,11 @@ func main() {
 
 	reg := obs.NewRegistry()
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Tau: *tau, Metrics: reg, Workers: *workers}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Context = ctx
+	}
 	if *verbose {
 		cfg.Log = os.Stderr
 	}
@@ -103,6 +111,10 @@ func main() {
 	}
 
 	fail := func(err error) {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "phocus-bench: -timeout %v exceeded, run aborted\n", *timeout)
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

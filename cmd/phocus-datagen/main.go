@@ -32,15 +32,16 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generator seed")
 		budget   = flag.Float64("budget", 0, "budget in bytes (0 = 20% of total size)")
 		format   = flag.String("format", "json", "output format: json or binary")
+		vectors  = flag.Bool("vectors", false, "embed per-photo context vectors (JSON only; enables -lsh downstream)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *kind, *photos, *products, *queries, *topK, *domain, *seed, *budget, *format); err != nil {
+	if err := run(os.Stdout, *kind, *photos, *products, *queries, *topK, *domain, *seed, *budget, *format, *vectors); err != nil {
 		fmt.Fprintln(os.Stderr, "phocus-datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, kind string, photos, products, queries, topK int, domain string, seed int64, budget float64, format string) error {
+func run(w io.Writer, kind string, photos, products, queries, topK int, domain string, seed int64, budget float64, format string, vectors bool) error {
 	var ds *dataset.Dataset
 	var err error
 	switch kind {
@@ -66,8 +67,24 @@ func run(w io.Writer, kind string, photos, products, queries, topK int, domain s
 	}
 	switch format {
 	case "json":
+		if vectors {
+			if len(ds.CtxVectors) == 0 {
+				return fmt.Errorf("-vectors: the %s generator produced no context vectors", kind)
+			}
+			vecs := make([][][]float64, len(ds.CtxVectors))
+			for i, group := range ds.CtxVectors {
+				vecs[i] = make([][]float64, len(group))
+				for j, v := range group {
+					vecs[i][j] = []float64(v)
+				}
+			}
+			return par.WriteJSONVectors(w, ds.Instance, vecs)
+		}
 		return par.WriteJSON(w, ds.Instance)
 	case "binary":
+		if vectors {
+			return fmt.Errorf("-vectors: the binary format does not carry context vectors; use -format json")
+		}
 		return par.WriteBinary(w, ds.Instance)
 	default:
 		return fmt.Errorf("unknown -format %q", format)

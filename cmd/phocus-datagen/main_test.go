@@ -9,7 +9,7 @@ import (
 
 func TestRunPublicJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "public", 50, 0, 0, 0, "", 3, 0, "json"); err != nil {
+	if err := run(&out, "public", 50, 0, 0, 0, "", 3, 0, "json", false); err != nil {
 		t.Fatal(err)
 	}
 	inst, err := par.ReadJSON(&out)
@@ -27,7 +27,7 @@ func TestRunPublicJSON(t *testing.T) {
 
 func TestRunECBinary(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "ec", 0, 120, 12, 8, "Electronics", 4, 5e6, "binary"); err != nil {
+	if err := run(&out, "ec", 0, 120, 12, 8, "Electronics", 4, 5e6, "binary", false); err != nil {
 		t.Fatal(err)
 	}
 	inst, err := par.ReadBinary(&out)
@@ -42,15 +42,37 @@ func TestRunECBinary(t *testing.T) {
 	}
 }
 
+func TestRunPublicJSONVectors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "public", 30, 0, 0, 0, "", 3, 0, "json", true); err != nil {
+		t.Fatal(err)
+	}
+	inst, vecs, err := par.ReadJSONVectors(&out)
+	if err != nil {
+		t.Fatalf("output not loadable: %v", err)
+	}
+	if len(vecs) != len(inst.Subsets) {
+		t.Fatalf("vector groups = %d, want %d", len(vecs), len(inst.Subsets))
+	}
+	for i, group := range vecs {
+		if len(group) != len(inst.Subsets[i].Members) {
+			t.Errorf("subset %d: %d vectors for %d members", i, len(group), len(inst.Subsets[i].Members))
+		}
+	}
+	if err := run(&bytes.Buffer{}, "public", 10, 0, 0, 0, "", 1, 0, "binary", true); err == nil {
+		t.Error("binary -vectors accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "nope", 10, 0, 0, 0, "", 1, 0, "json"); err == nil {
+	if err := run(&out, "nope", 10, 0, 0, 0, "", 1, 0, "json", false); err == nil {
 		t.Error("unknown kind accepted")
 	}
-	if err := run(&out, "public", 50, 0, 0, 0, "", 1, 0, "xml"); err == nil {
+	if err := run(&out, "public", 50, 0, 0, 0, "", 1, 0, "xml", false); err == nil {
 		t.Error("unknown format accepted")
 	}
-	if err := run(&out, "ec", 0, 100, 10, 8, "Toys", 1, 0, "json"); err == nil {
+	if err := run(&out, "ec", 0, 100, 10, 8, "Toys", 1, 0, "json", false); err == nil {
 		t.Error("unknown domain accepted")
 	}
 }

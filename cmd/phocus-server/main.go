@@ -12,17 +12,31 @@
 // request ID (also echoed in the X-Request-ID header and on every span log
 // line), and the solver's work stats. Every request stage (decode →
 // sparsify → solve → encode) is traced as a span in the structured log.
+//
+// All solve traffic flows through the staged engine (phocus.Prepare +
+// Run). Prepared instances are cached in an LRU keyed by the content
+// fingerprint of the request body plus the preparation parameters (tau,
+// lsh, seed) — the run budget is excluded, so a budget sweep over one
+// archive sparsifies exactly once and every warm request goes straight to
+// the solver. Cache behaviour is visible on /metrics as
+// phocus_prepare_cache_{hits,misses,evictions}_total; solves stopped
+// mid-run by client disconnects or -solve-timeout count into
+// phocus_solve_canceled_total.
 package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
@@ -31,11 +45,12 @@ import (
 	"time"
 
 	"phocus/internal/celf"
-	"phocus/internal/exact"
+	"phocus/internal/dataset"
+	"phocus/internal/embed"
 	"phocus/internal/obs"
 	"phocus/internal/par"
+	"phocus/internal/phocus"
 	"phocus/internal/pool"
-	"phocus/internal/sparsify"
 	"phocus/internal/sviridenko"
 )
 
@@ -44,10 +59,21 @@ func main() {
 	maxBody := flag.Int64("max-body", 256<<20, "maximum /solve request body size in bytes")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	workers := flag.Int("workers", 0, "solve pipeline worker-pool size per request (≤ 0 means one per CPU, 1 forces the sequential path)")
+	exactMaxNodes := flag.Int64("exact-max-nodes", 50_000_000, "node budget for algo=exact branch-and-bound (≤ 0 = unlimited)")
+	solveTimeout := flag.Duration("solve-timeout", 0, "per-request solve deadline (0 = none); expired solves stop mid-run and return 503")
+	cacheEntries := flag.Int("prepare-cache-entries", 64, "prepared-instance cache entry bound (0 with a zero byte bound disables the cache)")
+	cacheBytes := flag.Int64("prepare-cache-bytes", 1<<30, "prepared-instance cache byte bound")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
-	s := newServer(logger, *maxBody, *workers)
+	s := newServer(logger, serverConfig{
+		MaxBody:       *maxBody,
+		Workers:       *workers,
+		ExactMaxNodes: *exactMaxNodes,
+		SolveTimeout:  *solveTimeout,
+		CacheEntries:  *cacheEntries,
+		CacheBytes:    *cacheBytes,
+	})
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -72,7 +98,8 @@ func main() {
 		}
 	}()
 
-	logger.Info("phocus-server listening", "addr", *addr, "max_body", *maxBody, "pprof", *pprofOn, "workers", s.workers)
+	logger.Info("phocus-server listening", "addr", *addr, "max_body", *maxBody, "pprof", *pprofOn,
+		"workers", s.workers, "exact_max_nodes", s.exactMaxNodes, "solve_timeout", s.solveTimeout)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("serve", "err", err)
 		os.Exit(1)
@@ -80,21 +107,48 @@ func main() {
 	<-done
 }
 
-// server bundles the handler dependencies: logger, metrics registry, and
-// request limits.
-type server struct {
-	logger  *slog.Logger
-	reg     *obs.Registry
-	maxBody int64
-	workers int
+// serverConfig carries the tunables newServer plumbs into the handlers.
+type serverConfig struct {
+	// MaxBody caps the /solve request body size in bytes.
+	MaxBody int64
+	// Workers bounds per-request pipeline parallelism (≤ 0 = one per CPU).
+	Workers int
+	// ExactMaxNodes caps algo=exact's branch-and-bound (≤ 0 = unlimited).
+	ExactMaxNodes int64
+	// SolveTimeout, when positive, deadlines each request's solve stage.
+	SolveTimeout time.Duration
+	// CacheEntries / CacheBytes bound the prepared-instance LRU; both ≤ 0
+	// disables caching.
+	CacheEntries int
+	CacheBytes   int64
 }
 
-func newServer(logger *slog.Logger, maxBody int64, workers int) *server {
+// server bundles the handler dependencies: logger, metrics registry,
+// request limits, and the prepared-instance cache.
+type server struct {
+	logger        *slog.Logger
+	reg           *obs.Registry
+	maxBody       int64
+	workers       int
+	exactMaxNodes int64
+	solveTimeout  time.Duration
+	cache         *phocus.PreparedCache
+}
+
+func newServer(logger *slog.Logger, cfg serverConfig) *server {
 	s := &server{
-		logger:  logger,
-		reg:     obs.NewRegistry(),
-		maxBody: maxBody,
-		workers: pool.Resolve(workers),
+		logger:        logger,
+		reg:           obs.NewRegistry(),
+		maxBody:       cfg.MaxBody,
+		workers:       pool.Resolve(cfg.Workers),
+		exactMaxNodes: cfg.ExactMaxNodes,
+		solveTimeout:  cfg.SolveTimeout,
+	}
+	if cfg.ExactMaxNodes < 0 {
+		s.exactMaxNodes = 0
+	}
+	if cfg.CacheEntries > 0 || cfg.CacheBytes > 0 {
+		s.cache = phocus.NewPreparedCache(cfg.CacheEntries, cfg.CacheBytes)
 	}
 	s.reg.Gauge("phocus_workers").Set(float64(s.workers))
 	return s
@@ -219,13 +273,96 @@ type solveResponse struct {
 	Stats       *solveStats   `json:"stats,omitempty"`
 }
 
+// solveParams are the validated /solve query parameters.
+type solveParams struct {
+	budget float64 // 0 = keep the body's budget
+	tau    float64
+	algo   phocus.Algorithm
+	lsh    bool
+	seed   int64
+}
+
+// parseSolveParams validates the /solve query string. Every rejection uses
+// the same "invalid <param> %q: want ..." shape so clients get consistent
+// 400 messages.
+func parseSolveParams(q url.Values) (solveParams, error) {
+	var p solveParams
+	if b := q.Get("budget"); b != "" {
+		v, err := strconv.ParseFloat(b, 64)
+		if err != nil || v <= 0 {
+			return p, fmt.Errorf("invalid budget %q: want a positive number of bytes", b)
+		}
+		p.budget = v
+	}
+	if t := q.Get("tau"); t != "" {
+		v, err := strconv.ParseFloat(t, 64)
+		if err != nil || v < 0 || v > 1 {
+			return p, fmt.Errorf("invalid tau %q: want a number in [0,1]", t)
+		}
+		p.tau = v
+	}
+	switch algo := q.Get("algo"); algo {
+	case "", "celf":
+		p.algo = phocus.AlgoCELF
+	case "sviridenko":
+		p.algo = phocus.AlgoSviridenko
+	case "exact":
+		p.algo = phocus.AlgoExact
+	default:
+		return p, fmt.Errorf("unknown algo %q: want celf, sviridenko or exact", algo)
+	}
+	switch l := q.Get("lsh"); l {
+	case "", "0":
+	case "1":
+		p.lsh = true
+	default:
+		return p, fmt.Errorf("invalid lsh %q: want 0 or 1", l)
+	}
+	if sd := q.Get("seed"); sd != "" {
+		v, err := strconv.ParseInt(sd, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("invalid seed %q: want an integer", sd)
+		}
+		p.seed = v
+	}
+	if p.lsh && p.tau == 0 {
+		return p, fmt.Errorf("invalid lsh %q: requires tau > 0", q.Get("lsh"))
+	}
+	return p, nil
+}
+
+// toCtxVectors converts wire-format vector groups to the dataset embedding
+// type (a cheap per-vector header conversion).
+func toCtxVectors(vecs [][][]float64) [][]embed.Vector {
+	if vecs == nil {
+		return nil
+	}
+	out := make([][]embed.Vector, len(vecs))
+	for i, group := range vecs {
+		out[i] = make([]embed.Vector, len(group))
+		for j, v := range group {
+			out[i][j] = embed.Vector(v)
+		}
+	}
+	return out
+}
+
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	logger := obs.Logger(ctx)
 
+	params, err := parseSolveParams(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	ctx, decodeSpan := obs.StartSpan(ctx, "decode")
-	inst, err := par.ReadJSON(r.Body)
+	// The body streams through sha256 while decoding: the digest keys the
+	// prepared-instance cache without a second serialization pass.
+	hasher := sha256.New()
+	inst, vecs, err := par.ReadJSONVectors(io.TeeReader(r.Body, hasher))
 	if err != nil {
 		decodeSpan.End("err", err.Error())
 		var tooBig *http.MaxBytesError
@@ -239,41 +376,68 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	decodeSpan.End("photos", inst.NumPhotos(), "subsets", len(inst.Subsets))
 
-	q := r.URL.Query()
-	if b := q.Get("budget"); b != "" {
-		v, err := strconv.ParseFloat(b, 64)
-		if err != nil || v <= 0 {
-			http.Error(w, "invalid budget", http.StatusBadRequest)
-			return
-		}
-		inst.Budget = v
+	if params.budget > 0 {
+		inst.Budget = params.budget
 		if err := inst.Finalize(); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(w, fmt.Sprintf("invalid budget %g: %v", params.budget, err), http.StatusBadRequest)
 			return
 		}
 	}
+	if params.lsh && vecs == nil {
+		http.Error(w, phocus.ErrNoCtxVectors.Error(), http.StatusBadRequest)
+		return
+	}
 
-	solveInst := inst
-	if t := q.Get("tau"); t != "" {
-		tau, err := strconv.ParseFloat(t, 64)
-		if err != nil || tau < 0 || tau > 1 {
-			http.Error(w, "invalid tau", http.StatusBadRequest)
+	ds := &dataset.Dataset{Instance: inst, CtxVectors: toCtxVectors(vecs)}
+	popts := phocus.PrepareOptions{
+		Tau:            params.tau,
+		UseLSH:         params.lsh,
+		Seed:           params.seed,
+		Workers:        s.workers,
+		InstanceDigest: hex.EncodeToString(hasher.Sum(nil)),
+	}
+	// The cache key excludes the budget (a Run parameter), so a budget
+	// sweep over one archive prepares exactly once.
+	key := phocus.FingerprintFor(popts.InstanceDigest, popts)
+	var prep *phocus.Prepared
+	if s.cache != nil {
+		p, ok := s.cache.Get(key)
+		obs.RecordPrepareCache(s.reg, ok)
+		if ok {
+			prep = p
+		}
+	}
+	if prep == nil {
+		var span *obs.Span
+		if params.tau > 0 {
+			_, span = obs.StartSpan(ctx, "sparsify")
+		}
+		prep, err = phocus.Prepare(ctx, ds, popts)
+		if err != nil {
+			if span != nil {
+				span.End("err", err.Error())
+			}
+			switch {
+			case ctx.Err() != nil:
+				s.reg.Counter("phocus_http_canceled_total", "route", "/solve").Inc()
+				logger.Warn("client canceled before solve", "err", err)
+			case errors.Is(err, phocus.ErrNoCtxVectors):
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			default:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
 			return
 		}
-		if tau > 0 {
-			_, span := obs.StartSpan(ctx, "sparsify")
-			res, err := sparsify.ExactWorkers(inst, tau, s.workers, nil)
-			if err != nil {
-				span.End("err", err.Error())
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			span.End("tau", tau, "pairs_before", res.PairsBefore, "pairs_after", res.PairsAfter)
-			if res.PairsBefore > 0 {
-				s.reg.Gauge("phocus_sparsify_keep_ratio").
-					Set(float64(res.PairsAfter) / float64(res.PairsBefore))
-			}
-			solveInst = res.Instance
+		if span != nil {
+			span.End("tau", params.tau, "lsh", params.lsh,
+				"pairs_before", prep.OriginalPairs, "pairs_after", prep.SparsifiedPairs)
+		}
+		if prep.OriginalPairs > 0 {
+			s.reg.Gauge("phocus_sparsify_keep_ratio").
+				Set(float64(prep.SparsifiedPairs) / float64(prep.OriginalPairs))
+		}
+		if s.cache != nil {
+			obs.RecordPrepareCacheEvictions(s.reg, int64(s.cache.Put(key, prep)))
 		}
 	}
 
@@ -285,74 +449,81 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var solver par.Solver
 	stats := &solveStats{}
 	solveWorkers := 1 // only the CELF path is parallel; label others honestly
-	switch algo := q.Get("algo"); algo {
-	case "", "celf":
+	if params.algo == "" || params.algo == phocus.AlgoCELF {
 		solveWorkers = s.workers
-		solver = &celf.Solver{Workers: s.workers, OnStats: func(st celf.Stats) {
+	}
+	ropts := phocus.RunOptions{
+		Budget:        inst.Budget,
+		Algorithm:     params.algo,
+		Workers:       s.workers,
+		ExactMaxNodes: s.exactMaxNodes,
+		OnCELFStats: func(st celf.Stats) {
 			stats.GainEvals = st.GainEvals
 			stats.PQPops = st.PQPops
 			stats.Winner = st.Winner.String()
-		}}
-	case "sviridenko":
-		solver = &sviridenko.Solver{OnStats: func(st sviridenko.Stats) {
+		},
+		OnSviridenkoStats: func(st sviridenko.Stats) {
 			stats.Seeds = st.Seeds
-		}}
-	case "exact":
-		solver = &exact.Solver{MaxNodes: 50_000_000}
-	default:
-		http.Error(w, fmt.Sprintf("unknown algo %q", algo), http.StatusBadRequest)
-		return
+		},
 	}
 
-	ctx, solveSpan := obs.StartSpan(ctx, "solve")
-	sol, err := solver.Solve(solveInst)
+	solveCtx := ctx
+	if s.solveTimeout > 0 {
+		var cancel context.CancelFunc
+		solveCtx, cancel = context.WithTimeout(ctx, s.solveTimeout)
+		defer cancel()
+	}
+	solveCtx, solveSpan := obs.StartSpan(solveCtx, "solve")
+	res, err := prep.Run(solveCtx, ropts)
 	if err != nil {
-		solveSpan.End("algo", solver.Name(), "err", err.Error())
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		solveSpan.End("algo", params.algo.DisplayName(), "err", err.Error())
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			obs.RecordSolveCanceled(s.reg, params.algo.DisplayName())
+			if r.Context().Err() != nil {
+				// The client is gone; there is nobody to answer.
+				logger.Warn("client canceled during solve", "err", err)
+				return
+			}
+			http.Error(w, "solve timed out", http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 		return
 	}
-	elapsed := solveSpan.End("algo", solver.Name(), "score", sol.Score)
+	elapsed := solveSpan.End("algo", res.Algorithm, "score", res.Solution.Score)
 	stats.ElapsedMS = float64(elapsed.Microseconds()) / 1000
-	sol.Score = par.ScoreFast(inst, sol.Photos)
 
-	obs.RecordSolve(s.reg, solver.Name(), solveWorkers, inst.NumPhotos(),
+	obs.RecordSolve(s.reg, res.Algorithm, solveWorkers, prep.NumPhotos(),
 		stats.GainEvals, stats.PQPops, elapsed)
-	bound := celf.OnlineBound(inst, sol.Photos)
 	if inst.Budget > 0 {
 		s.reg.Histogram("phocus_solve_budget_utilization", obs.RatioBuckets).
-			Observe(sol.Cost / inst.Budget)
+			Observe(res.Solution.Cost / inst.Budget)
 	}
-	s.reg.Gauge("phocus_last_solve_score").Set(sol.Score)
-	if bound > 0 {
+	s.reg.Gauge("phocus_last_solve_score").Set(res.Solution.Score)
+	if res.OnlineBound > 0 {
 		s.reg.Histogram("phocus_solve_bound_ratio", obs.RatioBuckets).
-			Observe(sol.Score / bound)
+			Observe(res.Solution.Score / res.OnlineBound)
 	}
 
-	kept := make([]bool, inst.NumPhotos())
-	for _, p := range sol.Photos {
-		kept[p] = true
-	}
-	archive := []par.PhotoID{}
-	for p := 0; p < inst.NumPhotos(); p++ {
-		if !kept[p] {
-			archive = append(archive, par.PhotoID(p))
-		}
+	archive := res.Archived
+	if archive == nil {
+		archive = []par.PhotoID{}
 	}
 
 	_, encodeSpan := obs.StartSpan(ctx, "encode")
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(solveResponse{
 		RequestID:   obs.RequestID(ctx),
-		Algorithm:   solver.Name(),
-		Retain:      sol.Photos,
+		Algorithm:   res.Algorithm,
+		Retain:      res.Solution.Photos,
 		Archive:     archive,
-		Score:       sol.Score,
-		Cost:        sol.Cost,
+		Score:       res.Solution.Score,
+		Cost:        res.Solution.Cost,
 		Budget:      inst.Budget,
-		OnlineBound: bound,
+		OnlineBound: res.OnlineBound,
 		Stats:       stats,
 	}); err != nil {
 		s.reg.Counter("phocus_http_encode_errors_total").Inc()

@@ -4,15 +4,20 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 
+	"phocus/internal/dataset"
 	"phocus/internal/par"
+	"phocus/internal/solvertest"
 )
 
 // newTestServer builds a server with the default body limit logging to
@@ -21,7 +26,10 @@ func newTestServer(logs io.Writer) (*server, http.Handler) {
 	if logs == nil {
 		logs = io.Discard
 	}
-	s := newServer(slog.New(slog.NewTextHandler(logs, nil)), 256<<20, 2)
+	s := newServer(slog.New(slog.NewTextHandler(logs, nil)), serverConfig{
+		MaxBody: 256 << 20, Workers: 2, ExactMaxNodes: 50_000_000,
+		CacheEntries: 64, CacheBytes: 1 << 30,
+	})
 	return s, s.telemetry(s.mux(false))
 }
 
@@ -316,7 +324,7 @@ func TestDebugVarsEndpoint(t *testing.T) {
 
 // TestMaxBodyLimit: an oversized body gets 413, not a decode error.
 func TestMaxBodyLimit(t *testing.T) {
-	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), 64, 2)
+	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{MaxBody: 64, Workers: 2})
 	srv := httptest.NewServer(s.telemetry(s.mux(false)))
 	defer srv.Close()
 	resp, err := http.Post(srv.URL+"/solve", "application/json", instanceBody(t, 3.0))
@@ -346,6 +354,254 @@ func TestCancelBeforeSolve(t *testing.T) {
 	}
 	if got := s.reg.Counter("phocus_solve_total", "algo", "PHOcus").Value(); got != 0 {
 		t.Errorf("solve ran despite cancellation (count %d)", got)
+	}
+}
+
+// postSolve posts body to url and decodes the solve response.
+func postSolve(t *testing.T, url, body string) solveResponse {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	var out solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestPrepareCacheSweep covers the acceptance criterion: a budget sweep
+// posting the same archive body prepares (and sparsifies) exactly once —
+// every later budget goes straight to the solver via the cache — and warm
+// results are identical to cold ones.
+func TestPrepareCacheSweep(t *testing.T) {
+	s, h := newTestServer(nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// One body, many budgets: the query-string budget is a Run parameter
+	// and must not change the cache key.
+	body := instanceBody(t, 8.2).String()
+	warm := map[string]solveResponse{}
+	for _, budget := range []string{"1.3", "2.6", "3.9", "1.3"} {
+		warm[budget] = postSolve(t, srv.URL+"/solve?tau=0.6&budget="+budget, body)
+	}
+
+	if hits := s.reg.Counter("phocus_prepare_cache_hits_total").Value(); hits != 3 {
+		t.Errorf("cache hits = %d, want 3", hits)
+	}
+	if misses := s.reg.Counter("phocus_prepare_cache_misses_total").Value(); misses != 1 {
+		t.Errorf("cache misses = %d, want 1", misses)
+	}
+
+	// The counters are visible on /metrics.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metricsText, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"phocus_prepare_cache_hits_total 3",
+		"phocus_prepare_cache_misses_total 1",
+	} {
+		if !strings.Contains(string(metricsText), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metricsText)
+		}
+	}
+
+	// A warm answer must be byte-for-byte the cold answer.
+	_, coldH := newTestServer(nil)
+	coldSrv := httptest.NewServer(coldH)
+	defer coldSrv.Close()
+	cold := postSolve(t, coldSrv.URL+"/solve?tau=0.6&budget=2.6", body)
+	hot := warm["2.6"]
+	if cold.Score != hot.Score || cold.Budget != hot.Budget || len(cold.Retain) != len(hot.Retain) {
+		t.Fatalf("warm result diverged from cold: %+v vs %+v", hot, cold)
+	}
+	for i := range cold.Retain {
+		if cold.Retain[i] != hot.Retain[i] {
+			t.Fatalf("warm selection diverged from cold: %v vs %v", hot.Retain, cold.Retain)
+		}
+	}
+}
+
+// TestPrepareCacheEvictionMetric: a one-entry cache evicts on the second
+// distinct preparation and the eviction shows up on the counter.
+func TestPrepareCacheEvictionMetric(t *testing.T) {
+	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{
+		MaxBody: 1 << 20, Workers: 1, CacheEntries: 1, CacheBytes: 1 << 30,
+	})
+	srv := httptest.NewServer(s.telemetry(s.mux(false)))
+	defer srv.Close()
+	body := instanceBody(t, 3.0).String()
+	postSolve(t, srv.URL+"/solve?tau=0.5", body)
+	postSolve(t, srv.URL+"/solve?tau=0.6", body) // new fingerprint, cache full
+	if got := s.reg.Counter("phocus_prepare_cache_evictions_total").Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+// TestClientDisconnectDuringSolve: a request context that cancels partway
+// through the solver (as a client disconnect does) stops the solve mid-run,
+// bumps phocus_solve_canceled_total, and writes nothing to the gone client.
+func TestClientDisconnectDuringSolve(t *testing.T) {
+	s, _ := newTestServer(nil)
+	rng := rand.New(rand.NewSource(33))
+	inst := par.Random(rng, par.RandomConfig{Photos: 60, Subsets: 20, BudgetFrac: 0.4})
+	var body bytes.Buffer
+	if err := par.WriteJSON(&body, inst); err != nil {
+		t.Fatal(err)
+	}
+	// Polls 1–3 are Prepare entry, the pre-solve gate, and Run entry; the
+	// countdown lets those pass so the cancellation lands inside the solver.
+	ctx := solvertest.NewCountdownContext(5)
+	req := httptest.NewRequest("POST", "/solve", &body).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.handleSolve(rec, req)
+
+	if got := s.reg.Counter("phocus_solve_canceled_total", "algo", "PHOcus").Value(); got != 1 {
+		t.Errorf("canceled counter = %d, want 1", got)
+	}
+	if rec.Body.Len() != 0 {
+		t.Errorf("disconnected client still got a body: %q", rec.Body.String())
+	}
+	var metricsText bytes.Buffer
+	if err := s.reg.WritePrometheus(&metricsText); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metricsText.String(), `phocus_solve_canceled_total{algo="PHOcus"} 1`) {
+		t.Errorf("exposition missing canceled counter:\n%s", metricsText.String())
+	}
+}
+
+// TestSolveTimeout: with -solve-timeout set, an expired deadline stops the
+// solve, answers 503, and counts into phocus_solve_canceled_total.
+func TestSolveTimeout(t *testing.T) {
+	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{
+		MaxBody: 1 << 20, Workers: 2, SolveTimeout: time.Nanosecond,
+		CacheEntries: 4, CacheBytes: 1 << 30,
+	})
+	srv := httptest.NewServer(s.telemetry(s.mux(false)))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/solve", "application/json", instanceBody(t, 3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(msg), "solve timed out") {
+		t.Errorf("body %q, want timeout message", msg)
+	}
+	if got := s.reg.Counter("phocus_solve_canceled_total", "algo", "PHOcus").Value(); got != 1 {
+		t.Errorf("canceled counter = %d, want 1", got)
+	}
+}
+
+// vectorBody serializes a generated dataset for /solve, with or without
+// the per-subset context vectors LSH sparsification needs.
+func vectorBody(t *testing.T, withVectors bool) (string, float64) {
+	t.Helper()
+	ds, err := dataset.GeneratePublic(dataset.PublicSpec{Name: "t", NumPhotos: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if withVectors {
+		vecs := make([][][]float64, len(ds.CtxVectors))
+		for i, group := range ds.CtxVectors {
+			vecs[i] = make([][]float64, len(group))
+			for j, v := range group {
+				vecs[i][j] = v
+			}
+		}
+		err = par.WriteJSONVectors(&buf, ds.Instance, vecs)
+	} else {
+		err = par.WriteJSON(&buf, ds.Instance)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), 0.3 * ds.Instance.TotalCost()
+}
+
+// TestSolveLSHParams covers the lsh=1&seed=N satellite: a body written with
+// vectors solves under LSH sparsification; the same request without vectors
+// is a 400 naming exactly what is missing.
+func TestSolveLSHParams(t *testing.T) {
+	_, h := newTestServer(nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	body, budget := vectorBody(t, true)
+	budget = float64(int64(budget)) // keep the query string integral
+	query := fmt.Sprintf("/solve?lsh=1&tau=0.6&seed=2&budget=%.0f", budget)
+	out := postSolve(t, srv.URL+query, body)
+	if out.Score <= 0 || len(out.Retain) == 0 {
+		t.Errorf("LSH solve returned score %.4f, retain %v", out.Score, out.Retain)
+	}
+	if out.Cost > budget {
+		t.Errorf("cost %g exceeds budget %g", out.Cost, budget)
+	}
+
+	bare, _ := vectorBody(t, false)
+	resp, err := http.Post(srv.URL+query, "application/json", strings.NewReader(bare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("vectorless lsh=1: status %d, want 400", resp.StatusCode)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(msg), "requires per-subset context vectors") {
+		t.Errorf("vectorless lsh=1 body %q, want context-vector error", msg)
+	}
+}
+
+// TestSolveParamMessages pins the consistent 400 texts from
+// parseSolveParams — every rejection follows the same
+// "invalid <param> %q: want ..." shape.
+func TestSolveParamMessages(t *testing.T) {
+	_, h := newTestServer(nil)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	body := instanceBody(t, 3.0).String()
+	cases := []struct{ query, want string }{
+		{"budget=-3", `invalid budget "-3": want a positive number of bytes`},
+		{"budget=nope", `invalid budget "nope": want a positive number of bytes`},
+		{"tau=7", `invalid tau "7": want a number in [0,1]`},
+		{"algo=magic", `unknown algo "magic": want celf, sviridenko or exact`},
+		{"lsh=2", `invalid lsh "2": want 0 or 1`},
+		{"lsh=1", `invalid lsh "1": requires tau > 0`},
+		{"seed=x", `invalid seed "x": want an integer`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(srv.URL+"/solve?"+tc.query, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.query, resp.StatusCode)
+			continue
+		}
+		if got := strings.TrimSpace(string(msg)); got != tc.want {
+			t.Errorf("%s: message %q, want %q", tc.query, got, tc.want)
+		}
 	}
 }
 
@@ -430,7 +686,7 @@ func TestMiddlewareStatusClasses(t *testing.T) {
 
 // TestPprofGated: /debug/pprof/ is 404 unless the flag enables it.
 func TestPprofGated(t *testing.T) {
-	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), 1<<20, 2)
+	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{MaxBody: 1 << 20, Workers: 2})
 	off := httptest.NewServer(s.telemetry(s.mux(false)))
 	defer off.Close()
 	resp, err := http.Get(off.URL + "/debug/pprof/")

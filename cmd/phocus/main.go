@@ -4,14 +4,17 @@
 // Usage:
 //
 //	phocus -input instance.json [-budget 5e6] [-algo celf|sviridenko|exact]
-//	       [-tau 0.75] [-retained 0,5,9] [-workers 4] [-json]
+//	       [-tau 0.75] [-lsh -seed 1] [-retained 0,5,9] [-workers 4]
+//	       [-solve-timeout 30s] [-json]
 //
 // The input may be in either the JSON or the binary format produced by
-// phocus-datagen (auto-detected). A budget of 0 keeps the file's budget;
-// -retained extends the file's S0.
+// phocus-datagen (auto-detected; LSH sparsification needs the context
+// vectors phocus-datagen emits with -vectors). A budget of 0 keeps the
+// file's budget; -retained extends the file's S0.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,10 +27,12 @@ import (
 
 	"phocus/internal/baselines"
 	"phocus/internal/celf"
+	"phocus/internal/dataset"
+	"phocus/internal/embed"
 	"phocus/internal/exact"
 	"phocus/internal/metrics"
 	"phocus/internal/par"
-	"phocus/internal/sparsify"
+	"phocus/internal/phocus"
 	"phocus/internal/streaming"
 	"phocus/internal/sviridenko"
 )
@@ -38,11 +43,14 @@ func main() {
 		budget   = flag.Float64("budget", 0, "override budget in bytes (0 = keep file budget)")
 		algo     = flag.String("algo", "celf", "solver: celf, sviridenko or exact")
 		tau      = flag.Float64("tau", 0, "τ-sparsification threshold (0 = off)")
+		lsh      = flag.Bool("lsh", false, "use SimHash candidate generation for the sparsification (needs context vectors in the input)")
+		seed     = flag.Int64("seed", 0, "LSH randomness seed")
 		retained = flag.String("retained", "", "comma-separated photo IDs to force-retain (added to the file's S0)")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON")
 		stats    = flag.Bool("stats", false, "print instance statistics before solving")
 		compare  = flag.Bool("compare", false, "run every solver and baseline, print a comparison table instead of solving once")
 		workers  = flag.Int("workers", 0, "solve pipeline worker-pool size (≤ 0 means one per CPU, 1 forces the sequential path)")
+		timeout  = flag.Duration("solve-timeout", 0, "abort the solve after this long (0 = no deadline)")
 	)
 	flag.Parse()
 	if *compare {
@@ -52,59 +60,48 @@ func main() {
 		}
 		return
 	}
-	if err := run(os.Stdout, *input, *budget, *algo, *tau, *retained, *asJSON, *stats, *workers); err != nil {
+	opts := phocus.SolveOptions{
+		Budget:    0, // the budget override is applied while loading
+		Algorithm: phocus.Algorithm(*algo),
+		Tau:       *tau,
+		UseLSH:    *lsh,
+		Seed:      *seed,
+		Workers:   *workers,
+	}
+	if err := run(os.Stdout, *input, *budget, *retained, opts, *asJSON, *stats, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "phocus:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, input string, budget float64, algo string, tau float64, retained string, asJSON bool, stats bool, workers int) error {
-	inst, err := loadInstance(input, budget, retained)
+func run(w io.Writer, input string, budget float64, retained string, opts phocus.SolveOptions, asJSON bool, stats bool, timeout time.Duration) error {
+	switch opts.Algorithm {
+	case phocus.AlgoCELF, phocus.AlgoSviridenko, phocus.AlgoExact:
+	default:
+		return fmt.Errorf("unknown -algo %q", opts.Algorithm)
+	}
+	ds, err := loadDataset(input, budget, retained)
 	if err != nil {
 		return err
 	}
+	inst := ds.Instance
 	if stats {
 		fmt.Fprintln(w, par.Stats(inst))
 		fmt.Fprintln(w)
 	}
 
-	solveInst := inst
-	if tau > 0 {
-		res, err := sparsify.ExactWorkers(inst, tau, workers, nil)
-		if err != nil {
-			return err
-		}
-		solveInst = res.Instance
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
-
-	var solver par.Solver
-	switch algo {
-	case "celf":
-		solver = &celf.Solver{Workers: workers}
-	case "sviridenko":
-		solver = &sviridenko.Solver{}
-	case "exact":
-		solver = &exact.Solver{}
-	default:
-		return fmt.Errorf("unknown -algo %q", algo)
-	}
-	sol, err := solver.Solve(solveInst)
+	opts.Budget = inst.Budget
+	res, err := phocus.SolveContext(ctx, ds, opts)
 	if err != nil {
 		return err
 	}
-	sol.Score = par.ScoreFast(inst, sol.Photos) // true objective
-	bound := celf.OnlineBound(inst, sol.Photos)
-
-	var archived []par.PhotoID
-	kept := make([]bool, inst.NumPhotos())
-	for _, p := range sol.Photos {
-		kept[p] = true
-	}
-	for p := 0; p < inst.NumPhotos(); p++ {
-		if !kept[p] {
-			archived = append(archived, par.PhotoID(p))
-		}
-	}
+	sol := res.Solution
 
 	if asJSON {
 		out := struct {
@@ -115,27 +112,27 @@ func run(w io.Writer, input string, budget float64, algo string, tau float64, re
 			Cost        float64       `json:"cost"`
 			Budget      float64       `json:"budget"`
 			OnlineBound float64       `json:"online_bound"`
-		}{solver.Name(), sol.Photos, archived, sol.Score, sol.Cost, inst.Budget, bound}
+		}{res.Algorithm, sol.Photos, res.Archived, sol.Score, sol.Cost, inst.Budget, res.OnlineBound}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
 	}
 
-	fmt.Fprintf(w, "algorithm:    %s\n", solver.Name())
+	fmt.Fprintf(w, "algorithm:    %s\n", res.Algorithm)
 	fmt.Fprintf(w, "photos:       %d total, %d retained, %d archived\n",
-		inst.NumPhotos(), len(sol.Photos), len(archived))
+		inst.NumPhotos(), len(sol.Photos), len(res.Archived))
 	fmt.Fprintf(w, "cost:         %s of %s budget\n", metrics.FormatBytes(sol.Cost), metrics.FormatBytes(inst.Budget))
 	fmt.Fprintf(w, "score:        %.6f (max attainable %.6f)\n", sol.Score, inst.TotalWeight())
-	if bound > 0 {
-		fmt.Fprintf(w, "certified:    ≥ %.1f%% of optimal (online bound %.6f)\n", 100*sol.Score/bound, bound)
+	if res.OnlineBound > 0 {
+		fmt.Fprintf(w, "certified:    ≥ %.1f%% of optimal (online bound %.6f)\n", 100*sol.Score/res.OnlineBound, res.OnlineBound)
 	}
 	fmt.Fprintf(w, "retain:       %v\n", sol.Photos)
 	return nil
 }
 
-// loadInstance reads an instance (JSON or binary), applying the budget
-// override and extra retained IDs.
-func loadInstance(input string, budget float64, retained string) (*par.Instance, error) {
+// loadDataset reads an instance (JSON or binary) with any context vectors
+// it carries, applying the budget override and extra retained IDs.
+func loadDataset(input string, budget float64, retained string) (*dataset.Dataset, error) {
 	if input == "" {
 		return nil, fmt.Errorf("-input is required")
 	}
@@ -148,7 +145,7 @@ func loadInstance(input string, budget float64, retained string) (*par.Instance,
 		defer f.Close()
 		in = f
 	}
-	inst, err := par.ReadAuto(in)
+	inst, vecs, err := par.ReadAutoVectors(in)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +164,26 @@ func loadInstance(input string, budget float64, retained string) (*par.Instance,
 	if err := inst.Finalize(); err != nil {
 		return nil, err
 	}
-	return inst, nil
+	ds := &dataset.Dataset{Instance: inst}
+	if vecs != nil {
+		ds.CtxVectors = make([][]embed.Vector, len(vecs))
+		for i, group := range vecs {
+			ds.CtxVectors[i] = make([]embed.Vector, len(group))
+			for j, v := range group {
+				ds.CtxVectors[i][j] = embed.Vector(v)
+			}
+		}
+	}
+	return ds, nil
+}
+
+// loadInstance is loadDataset for callers that only need the instance.
+func loadInstance(input string, budget float64, retained string) (*par.Instance, error) {
+	ds, err := loadDataset(input, budget, retained)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Instance, nil
 }
 
 // runCompare solves the instance with every algorithm and baseline and

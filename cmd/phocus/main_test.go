@@ -9,7 +9,14 @@ import (
 	"testing"
 
 	"phocus/internal/par"
+	"phocus/internal/phocus"
 )
+
+// cliOpts mirrors what main() builds from the flags for a given -algo/-tau
+// with a sequential worker pool.
+func cliOpts(algo string, tau float64) phocus.SolveOptions {
+	return phocus.SolveOptions{Algorithm: phocus.Algorithm(algo), Tau: tau, Workers: 1}
+}
 
 // writeFigure1 dumps the Figure 1 instance at the given budget to a temp
 // file and returns its path.
@@ -35,7 +42,7 @@ func writeFigure1(t *testing.T, budget float64) string {
 func TestRunText(t *testing.T) {
 	path := writeFigure1(t, 3.0)
 	var out bytes.Buffer
-	if err := run(&out, path, 0, "celf", 0, "", false, false, 1); err != nil {
+	if err := run(&out, path, 0, "", cliOpts("celf", 0), false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -49,7 +56,7 @@ func TestRunText(t *testing.T) {
 func TestRunJSONAndBudgetOverride(t *testing.T) {
 	path := writeFigure1(t, 8.2)
 	var out bytes.Buffer
-	if err := run(&out, path, 2.0, "exact", 0, "", true, false, 1); err != nil {
+	if err := run(&out, path, 2.0, "", cliOpts("exact", 0), true, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	var res struct {
@@ -77,7 +84,7 @@ func TestRunJSONAndBudgetOverride(t *testing.T) {
 func TestRunRetainedFlag(t *testing.T) {
 	path := writeFigure1(t, 3.0)
 	var out bytes.Buffer
-	if err := run(&out, path, 0, "celf", 0, "6", true, false, 1); err != nil {
+	if err := run(&out, path, 0, "6", cliOpts("celf", 0), true, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	var res struct {
@@ -100,7 +107,7 @@ func TestRunRetainedFlag(t *testing.T) {
 func TestRunSparsified(t *testing.T) {
 	path := writeFigure1(t, 3.0)
 	var out bytes.Buffer
-	if err := run(&out, path, 0, "sviridenko", 0.6, "", false, false, 1); err != nil {
+	if err := run(&out, path, 0, "", cliOpts("sviridenko", 0.6), false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Sviridenko") {
@@ -115,11 +122,11 @@ func TestRunErrors(t *testing.T) {
 		name string
 		call func() error
 	}{
-		{"missing input", func() error { return run(&out, "", 0, "celf", 0, "", false, false, 1) }},
-		{"no such file", func() error { return run(&out, "/nonexistent.json", 0, "celf", 0, "", false, false, 1) }},
-		{"bad algo", func() error { return run(&out, path, 0, "magic", 0, "", false, false, 1) }},
-		{"bad retained", func() error { return run(&out, path, 0, "celf", 0, "x,y", false, false, 1) }},
-		{"retained out of range", func() error { return run(&out, path, 0, "celf", 0, "99", false, false, 1) }},
+		{"missing input", func() error { return run(&out, "", 0, "", cliOpts("celf", 0), false, false, 0) }},
+		{"no such file", func() error { return run(&out, "/nonexistent.json", 0, "", cliOpts("celf", 0), false, false, 0) }},
+		{"bad algo", func() error { return run(&out, path, 0, "", cliOpts("magic", 0), false, false, 0) }},
+		{"bad retained", func() error { return run(&out, path, 0, "x,y", cliOpts("celf", 0), false, false, 0) }},
+		{"retained out of range", func() error { return run(&out, path, 0, "99", cliOpts("celf", 0), false, false, 0) }},
 	}
 	for _, tc := range cases {
 		if err := tc.call(); err == nil {
@@ -131,7 +138,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunStatsFlag(t *testing.T) {
 	path := writeFigure1(t, 3.0)
 	var out bytes.Buffer
-	if err := run(&out, path, 0, "celf", 0, "", false, true, 1); err != nil {
+	if err := run(&out, path, 0, "", cliOpts("celf", 0), false, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "photos:       7") {

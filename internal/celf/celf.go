@@ -22,6 +22,7 @@ package celf
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -95,6 +96,13 @@ func (s *Solver) Name() string { return "PHOcus" }
 
 // Solve runs both lazy-greedy variants and returns the better solution.
 func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
+	return s.SolveContext(context.Background(), inst)
+}
+
+// SolveContext is Solve with cooperative cancellation: both sub-procedures
+// check ctx at every priority-queue round, so a canceled context stops the
+// solve within one recompute batch. It implements par.ContextSolver.
+func (s *Solver) SolveContext(ctx context.Context, inst *par.Instance) (par.Solution, error) {
 	start := time.Now()
 	workers := pool.Resolve(s.Workers)
 	var (
@@ -103,11 +111,11 @@ func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
 		err              error
 	)
 	if workers <= 1 {
-		solUC, statsUC, err = LazyGreedyWorkers(inst, UC, 1, s.Observer)
+		solUC, statsUC, err = LazyGreedyContext(ctx, inst, UC, 1, s.Observer)
 		if err != nil {
 			return par.Solution{}, err
 		}
-		solCB, statsCB, err = LazyGreedyWorkers(inst, CB, 1, s.Observer)
+		solCB, statsCB, err = LazyGreedyContext(ctx, inst, CB, 1, s.Observer)
 		if err != nil {
 			return par.Solution{}, err
 		}
@@ -127,11 +135,11 @@ func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			solUC, statsUC, errUC = LazyGreedyWorkers(inst, UC, workers, obsUC)
+			solUC, statsUC, errUC = LazyGreedyContext(ctx, inst, UC, workers, obsUC)
 		}()
 		go func() {
 			defer wg.Done()
-			solCB, statsCB, errCB = LazyGreedyWorkers(inst, CB, workers, obsCB)
+			solCB, statsCB, errCB = LazyGreedyContext(ctx, inst, CB, workers, obsCB)
 		}()
 		wg.Wait()
 		if errUC != nil {
@@ -202,6 +210,14 @@ func LazyGreedyObserved(inst *par.Instance, variant Variant, obs Observer) (par.
 // batch recomputed first. Extra recomputations only show up in GainEvals and
 // PQPops; the solution is identical for every worker count.
 func LazyGreedyWorkers(inst *par.Instance, variant Variant, workers int, obs Observer) (par.Solution, Stats, error) {
+	return LazyGreedyContext(context.Background(), inst, variant, workers, obs)
+}
+
+// LazyGreedyContext is LazyGreedyWorkers with cooperative cancellation: the
+// context is checked once per priority-queue round — before each pop /
+// recompute batch — so cancellation takes effect within one batch and the
+// context's error is returned unwrapped.
+func LazyGreedyContext(ctx context.Context, inst *par.Instance, variant Variant, workers int, obs Observer) (par.Solution, Stats, error) {
 	start := time.Now()
 	workers = pool.Resolve(workers)
 	e := par.NewEvaluator(inst)
@@ -224,6 +240,9 @@ func LazyGreedyWorkers(inst *par.Instance, variant Variant, workers int, obs Obs
 	var stale []candidate
 	var photos []par.PhotoID
 	for pq.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return par.Solution{}, stats, err
+		}
 		top := pq.pop()
 		stats.PQPops++
 		if e.Contains(top.photo) || !e.Fits(top.photo) {

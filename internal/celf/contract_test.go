@@ -10,3 +10,13 @@ import (
 func TestSolverContract(t *testing.T) {
 	solvertest.Contract(t, func() par.Solver { return &Solver{} }, solvertest.Options{Saturates: true})
 }
+
+func TestContextContract(t *testing.T) {
+	solvertest.ContextContract(t, func() par.ContextSolver { return &Solver{} })
+}
+
+// TestContextContractSequential covers the Workers=1 path, whose cancel
+// check sits in the lazy-greedy loop rather than the concurrent harness.
+func TestContextContractSequential(t *testing.T) {
+	solvertest.ContextContract(t, func() par.ContextSolver { return &Solver{Workers: 1} })
+}

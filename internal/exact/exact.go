@@ -8,6 +8,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -21,6 +22,11 @@ type Solver struct {
 	// MaxNodes, when positive, aborts the search after expanding that many
 	// search-tree nodes, guarding benchmarks against pathological inputs.
 	MaxNodes int64
+	// OnStats, when non-nil, is called with the run's Stats at the end of
+	// every successful Solve — the instrumentation hook mirroring
+	// celf.Solver.OnStats for callers that construct the solver indirectly
+	// (the staged engine in internal/phocus).
+	OnStats func(Stats)
 	// LastStats is populated by each Solve call.
 	LastStats Stats
 }
@@ -41,6 +47,14 @@ func (s *Solver) Name() string { return "Brute-Force" }
 
 // Solve returns an optimal solution. The instance must be finalized.
 func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
+	return s.SolveContext(context.Background(), inst)
+}
+
+// SolveContext is Solve with cooperative cancellation: the context is
+// checked once per expanded search-tree node, so a canceled context stops
+// the branch-and-bound within one node expansion and the context's error is
+// returned unwrapped. It implements par.ContextSolver.
+func (s *Solver) SolveContext(ctx context.Context, inst *par.Instance) (par.Solution, error) {
 	start := time.Now()
 	s.LastStats = Stats{}
 
@@ -55,7 +69,7 @@ func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
 		}
 	}
 
-	b := &search{inst: inst, maxNodes: s.MaxNodes, maxScore: inst.TotalWeight()}
+	b := &search{ctx: ctx, inst: inst, maxNodes: s.MaxNodes, maxScore: inst.TotalWeight()}
 	b.incumbent = e.Solution() // retained-only solution is always feasible
 	// Warm-start the incumbent with a greedy completion: a strong feasible
 	// solution up front lets the upper bound prune most of the tree.
@@ -69,10 +83,14 @@ func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
 	if err != nil {
 		return par.Solution{}, err
 	}
+	if s.OnStats != nil {
+		s.OnStats(s.LastStats)
+	}
 	return b.incumbent, nil
 }
 
 type search struct {
+	ctx       context.Context
 	inst      *par.Instance
 	incumbent par.Solution
 	nodes     int64
@@ -97,6 +115,9 @@ type item struct {
 // photo can never gain again, so including it only burns budget.
 func (b *search) dfs(e *par.Evaluator, candidates []par.PhotoID) error {
 	b.nodes++
+	if err := b.ctx.Err(); err != nil {
+		return err
+	}
 	if b.maxNodes > 0 && b.nodes > b.maxNodes {
 		return ErrNodeLimit
 	}

@@ -5,9 +5,9 @@ import (
 	"io"
 	"math/rand"
 
-	"phocus/internal/celf"
 	"phocus/internal/metrics"
 	"phocus/internal/par"
+	"phocus/internal/phocus"
 	"phocus/internal/storage"
 )
 
@@ -42,7 +42,7 @@ func Caching(cfg Config, w io.Writer) error {
 		if err := ds.SetBudget(frac * total); err != nil {
 			return err
 		}
-		var solver celf.Solver
+		solver := phocus.PipelineSolver{Workers: cfg.Workers}
 		sol, err := solver.Solve(inst)
 		if err != nil {
 			return err

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"io"
 
-	"phocus/internal/celf"
 	"phocus/internal/compress"
 	"phocus/internal/metrics"
+	"phocus/internal/phocus"
 )
 
 // Compression evaluates the Section 6 future-work extension implemented in
@@ -29,7 +29,7 @@ func Compression(cfg Config, w io.Writer) error {
 			return err
 		}
 		fig.XTicks = append(fig.XTicks, metrics.FormatBytes(frac*total))
-		var s1 celf.Solver
+		s1 := phocus.PipelineSolver{Workers: cfg.Workers}
 		base, err := s1.Solve(inst)
 		if err != nil {
 			return err
@@ -38,7 +38,7 @@ func Compression(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		var s2 celf.Solver
+		s2 := phocus.PipelineSolver{Workers: cfg.Workers}
 		csol, err := s2.Solve(ex.Instance)
 		if err != nil {
 			return err

@@ -6,10 +6,10 @@ import (
 	"math/rand"
 	"time"
 
-	"phocus/internal/celf"
 	"phocus/internal/dynamic"
 	"phocus/internal/metrics"
 	"phocus/internal/par"
+	"phocus/internal/phocus"
 )
 
 // Dynamic evaluates the incremental-maintenance loop (internal/dynamic): a
@@ -127,7 +127,7 @@ func solveRevealed(inst *par.Instance, revealed []bool) (float64, error) {
 	if err := sub.Finalize(); err != nil {
 		return 0, err
 	}
-	var solver celf.Solver
+	var solver phocus.PipelineSolver
 	sol, err := solver.Solve(sub)
 	if err != nil {
 		return 0, err

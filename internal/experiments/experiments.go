@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -20,6 +21,7 @@ import (
 	"phocus/internal/metrics"
 	"phocus/internal/obs"
 	"phocus/internal/par"
+	"phocus/internal/phocus"
 	"phocus/internal/pool"
 )
 
@@ -43,20 +45,25 @@ type Config struct {
 	// means one worker per CPU, 1 forces the sequential path). Results are
 	// identical for every worker count; only running times change.
 	Workers int
+	// Context, when non-nil, bounds every engine call the experiments make
+	// (phocus-bench -timeout); canceling it aborts the run mid-solve.
+	Context context.Context
+}
+
+// ctx returns the run's context, defaulting to context.Background().
+func (c *Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
 }
 
 // recordSolve reports one solver run to the metrics registry, if any.
-func (c *Config) recordSolve(s par.Solver, photos int, elapsed time.Duration) {
+func (c *Config) recordSolve(algo string, workers, photos int, gainEvals, pqPops int64, elapsed time.Duration) {
 	if c.Metrics == nil {
 		return
 	}
-	workers := 1
-	var gainEvals, pqPops int64
-	if cs, ok := s.(*celf.Solver); ok {
-		gainEvals, pqPops = cs.LastStats.GainEvals, cs.LastStats.PQPops
-		workers = pool.Resolve(cs.Workers)
-	}
-	obs.RecordSolve(c.Metrics, s.Name(), workers, photos, gainEvals, pqPops, elapsed)
+	obs.RecordSolve(c.Metrics, algo, workers, photos, gainEvals, pqPops, elapsed)
 }
 
 func (c *Config) fill() {
@@ -129,38 +136,57 @@ func Find(name string) Runner {
 }
 
 // qualityFigure runs RAND, Greedy-NR, Greedy-NCS and PHOcus over the budget
-// fractions on one dataset — the engine behind Figures 5a, 5b and 5c.
+// fractions on one dataset — the engine behind Figures 5a, 5b and 5c. The
+// baselines re-solve per budget; PHOcus goes through the staged engine,
+// preparing the instance once and running every budget against it.
 func qualityFigure(cfg Config, ds *dataset.Dataset, title string) (*metrics.Figure, error) {
 	inst := ds.Instance
 	total := inst.TotalCost()
 	fig := &metrics.Figure{Title: title, XLabel: "budget"}
-	solvers := []par.Solver{
+	baseline := []par.Solver{
 		&baselines.RandAdd{Seed: cfg.Seed + 1},
 		baselines.NewGreedyNR(),
 		baselines.NewGreedyNCS(ds.GlobalSim),
-		&celf.Solver{Workers: cfg.Workers},
+	}
+	prep, err := phocus.Prepare(cfg.ctx(), ds, phocus.PrepareOptions{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
 	}
 	series := make(map[string][]float64)
 	var order []string
+	add := func(name string, score float64, frac float64) {
+		if _, seen := series[name]; !seen {
+			order = append(order, name)
+		}
+		series[name] = append(series[name], score)
+		cfg.logf("  %s %s budget=%.0f%% score=%.4f", title, name, 100*frac, score)
+	}
 	for _, frac := range budgetFracs {
 		fig.XTicks = append(fig.XTicks, metrics.FormatBytes(frac*total))
 		if err := ds.SetBudget(frac * total); err != nil {
 			return nil, err
 		}
-		for _, s := range solvers {
+		for _, s := range baseline {
 			start := time.Now()
 			sol, err := s.Solve(inst)
 			if err != nil {
 				return nil, fmt.Errorf("%s at %.0f%%: %w", s.Name(), 100*frac, err)
 			}
-			cfg.recordSolve(s, inst.NumPhotos(), time.Since(start))
-			name := displayName(s.Name())
-			if _, seen := series[name]; !seen {
-				order = append(order, name)
-			}
-			series[name] = append(series[name], sol.Score)
-			cfg.logf("  %s %s budget=%.0f%% score=%.4f", title, name, 100*frac, sol.Score)
+			cfg.recordSolve(s.Name(), 1, inst.NumPhotos(), 0, 0, time.Since(start))
+			add(displayName(s.Name()), sol.Score, frac)
 		}
+		var stats celf.Stats
+		start := time.Now()
+		res, err := prep.Run(cfg.ctx(), phocus.RunOptions{
+			Budget: frac * total, SkipBound: true, Workers: cfg.Workers,
+			OnCELFStats: func(st celf.Stats) { stats = st },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("PHOcus at %.0f%%: %w", 100*frac, err)
+		}
+		cfg.recordSolve(res.Algorithm, pool.Resolve(cfg.Workers), inst.NumPhotos(),
+			stats.GainEvals, stats.PQPops, time.Since(start))
+		add(res.Algorithm, res.Solution.Score, frac)
 	}
 	for _, name := range order {
 		fig.AddSeries(name, series[name])

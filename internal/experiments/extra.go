@@ -10,6 +10,7 @@ import (
 	"phocus/internal/celf"
 	"phocus/internal/metrics"
 	"phocus/internal/par"
+	"phocus/internal/phocus"
 	"phocus/internal/sparsify"
 	"phocus/internal/study"
 )
@@ -41,7 +42,7 @@ func SmallBudget(cfg Config, w io.Writer) error {
 	// through the mapping back to the full dataset's photos.
 	results := make(map[string]float64)
 	for _, s := range []par.Solver{
-		&celf.Solver{},
+		&phocus.PipelineSolver{Workers: cfg.Workers},
 		baselines.NewGreedyNCS(func(p1, p2 par.PhotoID) float64 {
 			return full.GlobalSim(origPhotos[p1], origPhotos[p2])
 		}),
@@ -85,25 +86,23 @@ func OnlineBounds(cfg Config, w io.Writer) error {
 	}
 	worstCase := (1 - 1/math.E) / 2
 	minRatio := 1.0
+	prep, err := phocus.Prepare(cfg.ctx(), ds, phocus.PrepareOptions{Workers: cfg.Workers})
+	if err != nil {
+		return err
+	}
 	for _, frac := range []float64{0.05, 0.1, 0.2, 0.5} {
-		if err := ds.SetBudget(frac * total); err != nil {
-			return err
-		}
-		var s celf.Solver
-		sol, err := s.Solve(ds.Instance)
+		res, err := prep.Run(cfg.ctx(), phocus.RunOptions{Budget: frac * total, Workers: cfg.Workers})
 		if err != nil {
 			return err
 		}
-		ratio := celf.CertifiedRatio(ds.Instance, sol)
-		if ratio < minRatio {
-			minRatio = ratio
+		if res.CertifiedRatio < minRatio {
+			minRatio = res.CertifiedRatio
 		}
-		bound := celf.OnlineBound(ds.Instance, sol.Photos)
 		t.AddRow(metrics.FormatBytes(frac*total),
-			fmt.Sprintf("%.4f", sol.Score),
-			fmt.Sprintf("%.4f", bound),
-			fmt.Sprintf("%.3f", ratio))
-		cfg.logf("  onlinebound %.0f%%: ratio %.3f", 100*frac, ratio)
+			fmt.Sprintf("%.4f", res.Solution.Score),
+			fmt.Sprintf("%.4f", res.OnlineBound),
+			fmt.Sprintf("%.3f", res.CertifiedRatio))
+		cfg.logf("  onlinebound %.0f%%: ratio %.3f", 100*frac, res.CertifiedRatio)
 	}
 	t.Fprint(w)
 	fmt.Fprintf(w, "worst certified ratio %.3f vs a-priori guarantee %.3f\n", minRatio, worstCase)
@@ -124,40 +123,37 @@ func TauSweep(cfg Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if err := ds.SetBudget(0.2 * ds.Instance.TotalCost()); err != nil {
+	budget := 0.2 * ds.Instance.TotalCost()
+	if err := ds.SetBudget(budget); err != nil {
 		return err
 	}
-	base := celf.Solver{Workers: cfg.Workers}
-	baseSol, err := base.Solve(ds.Instance)
-	if err != nil {
-		return err
-	}
+	var baseScore float64
 	t := metrics.Table{
 		Title:  "Thm 4.8: τ-sparsification sweep, P-1K (budget 20%)",
 		Header: []string{"tau", "pairs kept", "quality", "loss", "bound α/(α+1)"},
 	}
 	for _, tau := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
-		var sol par.Solution
+		// One Prepare per τ (the sweep's whole point is re-sparsifying); Run
+		// already rescores under the true objective.
+		prep, err := phocus.Prepare(cfg.ctx(), ds, phocus.PrepareOptions{Tau: tau, Workers: cfg.Workers})
+		if err != nil {
+			return err
+		}
+		res, err := prep.Run(cfg.ctx(), phocus.RunOptions{Budget: budget, SkipBound: true, Workers: cfg.Workers})
+		if err != nil {
+			return err
+		}
+		sol := res.Solution
 		pairs := "all"
 		if tau == 0 {
-			sol = baseSol
+			baseScore = sol.Score
 		} else {
-			res, err := sparsify.ExactWorkers(ds.Instance, tau, cfg.Workers, nil)
-			if err != nil {
-				return err
-			}
-			pairs = fmt.Sprintf("%d/%d", res.PairsAfter, res.PairsBefore)
-			s := celf.Solver{Workers: cfg.Workers}
-			sol, err = s.Solve(res.Instance)
-			if err != nil {
-				return err
-			}
-			sol.Score = par.ScoreFast(ds.Instance, sol.Photos)
+			pairs = fmt.Sprintf("%d/%d", prep.SparsifiedPairs, prep.OriginalPairs)
 		}
 		bound := sparsify.Bound(ds.Instance, tau)
 		loss := 0.0
-		if baseSol.Score > 0 {
-			loss = 1 - sol.Score/baseSol.Score
+		if baseScore > 0 {
+			loss = 1 - sol.Score/baseScore
 		}
 		t.AddRow(fmt.Sprintf("%.2f", tau), pairs,
 			fmt.Sprintf("%.4f", sol.Score),
@@ -183,11 +179,12 @@ func Ablations(cfg Config, w io.Writer) error {
 		inst := par.Random(rng, par.RandomConfig{
 			Photos: 150, Subsets: 60, BudgetFrac: 0.15 + 0.2*rng.Float64(),
 		})
-		var s celf.Solver
+		var stats celf.Stats
+		s := phocus.PipelineSolver{OnCELFStats: func(st celf.Stats) { stats = st }}
 		if _, err := s.Solve(inst); err != nil {
 			return err
 		}
-		if s.LastStats.Winner == celf.CB {
+		if stats.Winner == celf.CB {
 			cbWins++
 		}
 		_, lazyStats, err := celf.LazyGreedy(inst, celf.CB)

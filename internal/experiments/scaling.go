@@ -36,7 +36,7 @@ func Scaling(cfg Config, w io.Writer) error {
 		cfg.logf("  generated in %v", time.Since(genStart).Round(time.Millisecond))
 		budget := 0.1 * ds.Instance.TotalCost()
 
-		sp, err := phocus.Solve(ds, phocus.SolveOptions{
+		sp, err := phocus.SolveContext(cfg.ctx(), ds, phocus.SolveOptions{
 			Budget: budget, Tau: cfg.Tau, UseLSH: true, Seed: cfg.Seed + 61, SkipBound: true,
 			Workers: cfg.Workers,
 		})
@@ -51,7 +51,7 @@ func Scaling(cfg Config, w io.Writer) error {
 		// the paper reports for PHOcus-NS on its larger datasets.
 		nsCell, speedupCell := "-", "-"
 		if ds.Instance.NumPhotos() <= 30_000 {
-			ns, err := phocus.Solve(ds, phocus.SolveOptions{Budget: budget, SkipBound: true, Workers: cfg.Workers})
+			ns, err := phocus.SolveContext(cfg.ctx(), ds, phocus.SolveOptions{Budget: budget, SkipBound: true, Workers: cfg.Workers})
 			if err != nil {
 				return err
 			}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"io"
 
-	"phocus/internal/celf"
 	"phocus/internal/metrics"
+	"phocus/internal/phocus"
 	"phocus/internal/streaming"
 )
 
@@ -33,7 +33,7 @@ func Streaming(cfg Config, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		var cs celf.Solver
+		cs := phocus.PipelineSolver{Workers: cfg.Workers}
 		csol, err := cs.Solve(inst)
 		if err != nil {
 			return err

@@ -6,9 +6,9 @@ import (
 	"time"
 
 	"phocus/internal/baselines"
-	"phocus/internal/celf"
 	"phocus/internal/metrics"
 	"phocus/internal/par"
+	"phocus/internal/phocus"
 	"phocus/internal/study"
 )
 
@@ -140,7 +140,7 @@ func Judgments(cfg Config, w io.Writer) error {
 				return ds.GlobalSim(orig[p1], orig[p2])
 			})
 		}
-		res, err := study.Judge(ds.Instance, study.Fixed(&celf.Solver{}), ncsFactory,
+		res, err := study.Judge(ds.Instance, study.Fixed(&phocus.PipelineSolver{}), ncsFactory,
 			study.JudgmentConfig{Seed: cfg.Seed + 31})
 		if err != nil {
 			return err

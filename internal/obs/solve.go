@@ -34,3 +34,32 @@ func RecordSolve(reg *Registry, algo string, workers, photos int, gainEvals, pqP
 		reg.Counter("phocus_solver_pq_pops_total", "algo", algo).Add(pqPops)
 	}
 }
+
+// RecordPrepareCache records one prepared-instance cache probe:
+//
+//	phocus_prepare_cache_hits_total    probes answered from cache
+//	phocus_prepare_cache_misses_total  probes that had to Prepare
+func RecordPrepareCache(reg *Registry, hit bool) {
+	if hit {
+		reg.Counter("phocus_prepare_cache_hits_total").Inc()
+	} else {
+		reg.Counter("phocus_prepare_cache_misses_total").Inc()
+	}
+}
+
+// RecordPrepareCacheEvictions records entries evicted by a cache insert:
+//
+//	phocus_prepare_cache_evictions_total
+func RecordPrepareCacheEvictions(reg *Registry, evicted int64) {
+	if evicted > 0 {
+		reg.Counter("phocus_prepare_cache_evictions_total").Add(evicted)
+	}
+}
+
+// RecordSolveCanceled records one solve stopped mid-run by context
+// cancellation (client disconnect or -solve-timeout):
+//
+//	phocus_solve_canceled_total{algo}
+func RecordSolveCanceled(reg *Registry, algo string) {
+	reg.Counter("phocus_solve_canceled_total", "algo", algo).Inc()
+}

@@ -23,6 +23,9 @@ type subsetJSON struct {
 	Members   []PhotoID  `json:"members"`
 	Relevance []float64  `json:"relevance"`
 	Sim       []pairJSON `json:"sim"`
+	// Vectors optionally carries one context-embedding vector per member
+	// (same order), enabling LSH sparsification on the receiving side.
+	Vectors [][]float64 `json:"vectors,omitempty"`
 }
 
 type pairJSON struct {
@@ -35,6 +38,16 @@ type pairJSON struct {
 // pairwise, so this is intended for instances of CLI scale, not for the
 // largest benchmark datasets.
 func WriteJSON(w io.Writer, inst *Instance) error {
+	return WriteJSONVectors(w, inst, nil)
+}
+
+// WriteJSONVectors is WriteJSON with optional per-subset context vectors
+// (one vector per member, subset order matching inst.Subsets), so receivers
+// can run LSH sparsification. A nil vectors slice writes the plain format.
+func WriteJSONVectors(w io.Writer, inst *Instance, vectors [][][]float64) error {
+	if vectors != nil && len(vectors) != len(inst.Subsets) {
+		return fmt.Errorf("par: %d vector groups for %d subsets", len(vectors), len(inst.Subsets))
+	}
 	out := instanceJSON{
 		Costs:    inst.Cost,
 		Retained: inst.Retained,
@@ -67,6 +80,12 @@ func WriteJSON(w io.Writer, inst *Instance) error {
 				}
 			}
 		}
+		if vectors != nil {
+			if len(vectors[qi]) != k {
+				return fmt.Errorf("par: subset %d has %d vectors for %d members", qi, len(vectors[qi]), k)
+			}
+			sj.Vectors = vectors[qi]
+		}
 		out.Subsets[qi] = sj
 	}
 	enc := json.NewEncoder(w)
@@ -76,10 +95,19 @@ func WriteJSON(w io.Writer, inst *Instance) error {
 // ReadJSON parses an instance previously produced by WriteJSON (or written
 // by hand) and finalizes it. Sparse similarities are loaded into SparseSim.
 func ReadJSON(r io.Reader) (*Instance, error) {
+	inst, _, err := ReadJSONVectors(r)
+	return inst, err
+}
+
+// ReadJSONVectors is ReadJSON returning the optional per-subset context
+// vectors alongside the instance. vectors is nil when no subset carried
+// any; otherwise it has one (possibly nil) group per subset, validated to
+// hold one vector per member with a uniform positive dimension.
+func ReadJSONVectors(r io.Reader) (*Instance, [][][]float64, error) {
 	var in instanceJSON
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&in); err != nil {
-		return nil, fmt.Errorf("par: decoding instance: %w", err)
+		return nil, nil, fmt.Errorf("par: decoding instance: %w", err)
 	}
 	inst := &Instance{
 		Cost:     in.Costs,
@@ -87,21 +115,22 @@ func ReadJSON(r io.Reader) (*Instance, error) {
 		Budget:   in.Budget,
 		Subsets:  make([]Subset, len(in.Subsets)),
 	}
+	var vectors [][][]float64
 	for qi, sj := range in.Subsets {
 		k := len(sj.Members)
 		sim := NewSparseSim(k)
 		for _, p := range sj.Sim {
 			if p.I < 0 || p.I >= k || p.J < 0 || p.J >= k {
-				return nil, fmt.Errorf("par: subset %d similarity pair (%d,%d) out of range", qi, p.I, p.J)
+				return nil, nil, fmt.Errorf("par: subset %d similarity pair (%d,%d) out of range", qi, p.I, p.J)
 			}
 			if p.I == p.J {
 				continue // diagonal is implicit
 			}
 			if p.Sim <= 0 || p.Sim > 1 {
-				return nil, fmt.Errorf("par: subset %d similarity %g out of (0,1]", qi, p.Sim)
+				return nil, nil, fmt.Errorf("par: subset %d similarity %g out of (0,1]", qi, p.Sim)
 			}
 			if sim.Contains(p.I, p.J) {
-				return nil, fmt.Errorf("par: subset %d similarity pair (%d,%d) given twice", qi, p.I, p.J)
+				return nil, nil, fmt.Errorf("par: subset %d similarity pair (%d,%d) given twice", qi, p.I, p.J)
 			}
 			sim.Add(p.I, p.J, p.Sim)
 		}
@@ -112,9 +141,34 @@ func ReadJSON(r io.Reader) (*Instance, error) {
 			Relevance: sj.Relevance,
 			Sim:       sim,
 		}
+		if len(sj.Vectors) > 0 {
+			if len(sj.Vectors) != k {
+				return nil, nil, fmt.Errorf("par: subset %d has %d vectors for %d members", qi, len(sj.Vectors), k)
+			}
+			dim := len(sj.Vectors[0])
+			if dim == 0 {
+				return nil, nil, fmt.Errorf("par: subset %d has an empty context vector", qi)
+			}
+			for vi, v := range sj.Vectors {
+				if len(v) != dim {
+					return nil, nil, fmt.Errorf("par: subset %d vector %d has dimension %d, want %d", qi, vi, len(v), dim)
+				}
+			}
+			if vectors == nil {
+				vectors = make([][][]float64, len(in.Subsets))
+			}
+			vectors[qi] = sj.Vectors
+		}
+	}
+	if vectors != nil {
+		for qi := range vectors {
+			if vectors[qi] == nil {
+				return nil, nil, fmt.Errorf("par: subset %d is missing context vectors (all subsets need them or none)", qi)
+			}
+		}
 	}
 	if err := inst.Finalize(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return inst, nil
+	return inst, vectors, nil
 }

@@ -1,0 +1,115 @@
+package phocus
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PreparedCache is a bounded LRU of Prepared instances keyed by fingerprint
+// (the same reactive eviction idiom as internal/storage's LRUCache, applied
+// to prepared pipelines instead of photos). It bounds both the entry count
+// and the summed SizeBytes of the cached values, evicting least recently
+// used entries until both bounds hold. All methods are safe for concurrent
+// use; a Prepared itself is immutable, so cached values can be Run by many
+// requests at once.
+type PreparedCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	usedBytes  int64
+	order      *list.List // front = most recently used
+	elems      map[string]*list.Element
+	stats      CacheStats
+}
+
+// CacheStats is the access accounting of a PreparedCache.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	prep *Prepared
+}
+
+// NewPreparedCache returns an empty cache bounded by maxEntries entries and
+// maxBytes summed Prepared.SizeBytes. Bounds ≤ 0 are unlimited; an entry
+// larger than maxBytes on its own is never admitted.
+func NewPreparedCache(maxEntries int, maxBytes int64) *PreparedCache {
+	return &PreparedCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		order:      list.New(),
+		elems:      make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached Prepared for the key, refreshing its recency.
+func (c *PreparedCache) Get(key string) (*Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.elems[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*cacheEntry).prep, true
+}
+
+// Put inserts (or refreshes) a Prepared under the key and evicts least
+// recently used entries until the bounds hold again, returning how many
+// entries were evicted. Values too large for the byte bound are dropped
+// without disturbing the cache.
+func (c *PreparedCache) Put(key string, p *Prepared) (evicted int) {
+	size := p.SizeBytes()
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.elems[key]; ok {
+		c.usedBytes += size - el.Value.(*cacheEntry).prep.SizeBytes()
+		el.Value.(*cacheEntry).prep = p
+		c.order.MoveToFront(el)
+	} else {
+		c.elems[key] = c.order.PushFront(&cacheEntry{key: key, prep: p})
+		c.usedBytes += size
+	}
+	for c.order.Len() > 0 &&
+		((c.maxEntries > 0 && c.order.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && c.usedBytes > c.maxBytes)) {
+		back := c.order.Back()
+		ent := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.elems, ent.key)
+		c.usedBytes -= ent.prep.SizeBytes()
+		c.stats.Evictions++
+		evicted++
+	}
+	return evicted
+}
+
+// Len returns the number of cached entries.
+func (c *PreparedCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// UsedBytes returns the summed SizeBytes of the cached entries.
+func (c *PreparedCache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.usedBytes
+}
+
+// Stats returns a copy of the accumulated access statistics.
+func (c *PreparedCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,118 @@
+package phocus
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"phocus/internal/dataset"
+	"phocus/internal/par"
+)
+
+// preparedFixture builds a small Prepared for cache tests.
+func preparedFixture(t *testing.T) *Prepared {
+	t.Helper()
+	inst := par.Figure1Instance()
+	p, err := Prepare(context.Background(), &dataset.Dataset{Instance: inst}, PrepareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPreparedCacheEntryBound(t *testing.T) {
+	p := preparedFixture(t)
+	c := NewPreparedCache(2, 0)
+	c.Put("a", p)
+	c.Put("b", p)
+	if evicted := c.Put("c", p); evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", evicted)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	// "a" is the oldest and must be the victim.
+	if _, ok := c.Get("a"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	for _, key := range []string{"b", "c"} {
+		if _, ok := c.Get(key); !ok {
+			t.Errorf("entry %q missing", key)
+		}
+	}
+}
+
+func TestPreparedCacheLRUOrder(t *testing.T) {
+	p := preparedFixture(t)
+	c := NewPreparedCache(2, 0)
+	c.Put("a", p)
+	c.Put("b", p)
+	if _, ok := c.Get("a"); !ok { // refresh "a": now "b" is the LRU victim
+		t.Fatal("warm entry missing")
+	}
+	c.Put("c", p)
+	if _, ok := c.Get("b"); ok {
+		t.Error("refreshed entry evicted instead of the stale one")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+}
+
+func TestPreparedCacheByteBound(t *testing.T) {
+	p := preparedFixture(t)
+	size := p.SizeBytes()
+	if size <= 0 {
+		t.Fatalf("SizeBytes = %d, want positive", size)
+	}
+	// Room for exactly two entries.
+	c := NewPreparedCache(0, 2*size)
+	c.Put("a", p)
+	c.Put("b", p)
+	if c.UsedBytes() != 2*size {
+		t.Fatalf("UsedBytes = %d, want %d", c.UsedBytes(), 2*size)
+	}
+	if evicted := c.Put("c", p); evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", evicted)
+	}
+	if c.UsedBytes() > 2*size {
+		t.Fatalf("UsedBytes = %d exceeds bound %d", c.UsedBytes(), 2*size)
+	}
+	// A value that alone exceeds the byte bound is never admitted.
+	tiny := NewPreparedCache(0, size-1)
+	if evicted := tiny.Put("huge", p); evicted != 0 {
+		t.Fatalf("oversize Put evicted %d", evicted)
+	}
+	if tiny.Len() != 0 {
+		t.Error("oversize value admitted")
+	}
+}
+
+func TestPreparedCacheStats(t *testing.T) {
+	p := preparedFixture(t)
+	c := NewPreparedCache(1, 0)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", p)
+	c.Get("a")
+	c.Put("b", p) // evicts "a"
+	c.Get("a")
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses / 1 eviction", st)
+	}
+}
+
+func TestPreparedCacheUnbounded(t *testing.T) {
+	p := preparedFixture(t)
+	c := NewPreparedCache(0, 0)
+	for i := 0; i < 100; i++ {
+		if evicted := c.Put(fmt.Sprint(i), p); evicted != 0 {
+			t.Fatalf("unbounded cache evicted at %d", i)
+		}
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", c.Len())
+	}
+}

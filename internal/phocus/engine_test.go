@@ -1,0 +1,247 @@
+package phocus
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"phocus/internal/dataset"
+	"phocus/internal/par"
+)
+
+// sweepDataset builds a mid-sized studio dataset for prepare/run sweeps.
+func sweepDataset(t *testing.T, seed int64) *dataset.Dataset {
+	t.Helper()
+	photos, _ := studio(seed, 4, 6)
+	var members []int
+	for i := range photos {
+		members = append(members, i)
+	}
+	ds, err := BuildDirect(photos, []SubsetSpec{
+		{Name: "a", Weight: 1, Members: members},
+		{Name: "b", Weight: 2, Members: members[:12]},
+		{Name: "c", Weight: 1, Members: members[8:]},
+	}, BuildOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestPrepareRunMatchesSolve is the staged engine's equivalence guarantee:
+// preparing once and running a budget sweep yields exactly the results of
+// one-shot Solve calls at each budget — across worker counts and all three
+// sparsification modes (none, exact τ, LSH τ).
+func TestPrepareRunMatchesSolve(t *testing.T) {
+	ds := sweepDataset(t, 11)
+	total := ds.Instance.TotalCost()
+	modes := []struct {
+		name string
+		prep PrepareOptions
+	}{
+		{"dense", PrepareOptions{}},
+		{"exact-sparsify", PrepareOptions{Tau: 0.5}},
+		{"lsh-sparsify", PrepareOptions{Tau: 0.5, UseLSH: true, Seed: 3}},
+	}
+	for _, mode := range modes {
+		for _, workers := range []int{1, 4} {
+			opts := mode.prep
+			opts.Workers = workers
+			p, err := Prepare(context.Background(), ds, opts)
+			if err != nil {
+				t.Fatalf("%s workers=%d: Prepare: %v", mode.name, workers, err)
+			}
+			for _, frac := range []float64{0.2, 0.4, 0.7} {
+				budget := frac * total
+				got, err := p.Run(context.Background(), RunOptions{Budget: budget, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s workers=%d budget=%.0f%%: Run: %v", mode.name, workers, 100*frac, err)
+				}
+				want, err := Solve(ds, SolveOptions{
+					Budget: budget, Tau: mode.prep.Tau, UseLSH: mode.prep.UseLSH,
+					Seed: mode.prep.Seed, Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("%s workers=%d budget=%.0f%%: Solve: %v", mode.name, workers, 100*frac, err)
+				}
+				if got.Solution.Score != want.Solution.Score ||
+					got.OnlineBound != want.OnlineBound ||
+					len(got.Solution.Photos) != len(want.Solution.Photos) {
+					t.Fatalf("%s workers=%d budget=%.0f%%: Run %.6f/%d (bound %.6f) vs Solve %.6f/%d (bound %.6f)",
+						mode.name, workers, 100*frac,
+						got.Solution.Score, len(got.Solution.Photos), got.OnlineBound,
+						want.Solution.Score, len(want.Solution.Photos), want.OnlineBound)
+				}
+				for i := range got.Solution.Photos {
+					if got.Solution.Photos[i] != want.Solution.Photos[i] {
+						t.Fatalf("%s workers=%d budget=%.0f%%: selections diverge: %v vs %v",
+							mode.name, workers, 100*frac, got.Solution.Photos, want.Solution.Photos)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunConcurrentSharing exercises the documented concurrency contract:
+// many Runs against one Prepared, in parallel, each with its own budget,
+// must all match their one-shot equivalents.
+func TestRunConcurrentSharing(t *testing.T) {
+	ds := sweepDataset(t, 12)
+	total := ds.Instance.TotalCost()
+	p, err := Prepare(context.Background(), ds, PrepareOptions{Tau: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fracs := []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	want := make([]*Result, len(fracs))
+	for i, frac := range fracs {
+		want[i], err = Solve(ds, SolveOptions{Budget: frac * total, Tau: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := make(chan error, len(fracs))
+	for i, frac := range fracs {
+		go func(i int, frac float64) {
+			got, err := p.Run(context.Background(), RunOptions{Budget: frac * total})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got.Solution.Score != want[i].Solution.Score {
+				errs <- errors.New("concurrent Run diverged from one-shot Solve")
+				return
+			}
+			errs <- nil
+		}(i, frac)
+	}
+	for range fracs {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPrepareNoCtxVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := par.Random(rng, par.RandomConfig{Photos: 20, Subsets: 8, BudgetFrac: 0.3})
+	ds := &dataset.Dataset{Instance: inst} // wire-loaded datasets carry no vectors
+	_, err := Prepare(context.Background(), ds, PrepareOptions{Tau: 0.5, UseLSH: true})
+	if !errors.Is(err, ErrNoCtxVectors) {
+		t.Fatalf("Prepare err = %v, want ErrNoCtxVectors", err)
+	}
+	// The one-shot wrapper surfaces the same error.
+	if _, err := Solve(ds, SolveOptions{Tau: 0.5, UseLSH: true}); !errors.Is(err, ErrNoCtxVectors) {
+		t.Fatalf("Solve err = %v, want ErrNoCtxVectors", err)
+	}
+	// LSH without τ never sparsifies, so the missing vectors don't matter.
+	if _, err := Solve(ds, SolveOptions{UseLSH: true}); err != nil {
+		t.Fatalf("Solve with tau=0: %v", err)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	ds := sweepDataset(t, 13)
+	ctx := context.Background()
+	fp := func(opts PrepareOptions) string {
+		t.Helper()
+		p, err := Prepare(ctx, ds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := p.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	base := fp(PrepareOptions{Tau: 0.5})
+	if base == "" {
+		t.Fatal("empty fingerprint")
+	}
+	if again := fp(PrepareOptions{Tau: 0.5}); again != base {
+		t.Error("fingerprint not stable across Prepare calls")
+	}
+	// Budget is a Run parameter: changing it must not change the identity.
+	if err := ds.SetBudget(0.5 * ds.Instance.TotalCost()); err != nil {
+		t.Fatal(err)
+	}
+	if rebudgeted := fp(PrepareOptions{Tau: 0.5}); rebudgeted != base {
+		t.Error("fingerprint depends on the instance budget")
+	}
+	// Every preparation parameter must diverge the identity.
+	divergent := map[string]PrepareOptions{
+		"tau":      {Tau: 0.6},
+		"lsh":      {Tau: 0.5, UseLSH: true},
+		"seed":     {Tau: 0.5, UseLSH: true, Seed: 1},
+		"retained": {Tau: 0.5, Retained: []par.PhotoID{0}},
+	}
+	seen := map[string]string{"base": base}
+	for name, opts := range divergent {
+		got := fp(opts)
+		for other, prev := range seen {
+			if name != other && got == prev {
+				t.Errorf("options %q and %q share a fingerprint", name, other)
+			}
+		}
+		seen[name] = got
+	}
+	// A caller-supplied digest short-circuits serialization and feeds the
+	// same combiner.
+	if FingerprintFor("abc", PrepareOptions{Tau: 0.5}) == FingerprintFor("abd", PrepareOptions{Tau: 0.5}) {
+		t.Error("digest not reflected in fingerprint")
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ds := sweepDataset(t, 14)
+	p, err := Prepare(context.Background(), ds, PrepareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(canceled, RunOptions{Budget: 0.3 * ds.Instance.TotalCost()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want context.Canceled", err)
+	}
+	if _, err := Prepare(canceled, ds, PrepareOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Prepare err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	ds := sweepDataset(t, 15)
+	p, err := Prepare(context.Background(), ds, PrepareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(context.Background(), RunOptions{Algorithm: "nope"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestPipelineSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	inst := par.Random(rng, par.RandomConfig{Photos: 18, Subsets: 8, BudgetFrac: 0.3})
+	var s par.ContextSolver = &PipelineSolver{}
+	if s.Name() != "PHOcus" {
+		t.Errorf("Name() = %q", s.Name())
+	}
+	sol, err := s.Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Solve(&dataset.Dataset{Instance: inst}, SolveOptions{Budget: inst.Budget, SkipBound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Score != want.Solution.Score {
+		t.Errorf("PipelineSolver %.6f vs engine %.6f", sol.Score, want.Solution.Score)
+	}
+	if (&PipelineSolver{Algorithm: AlgoExact}).Name() != "Brute-Force" {
+		t.Error("algorithm name not forwarded")
+	}
+}

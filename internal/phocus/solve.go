@@ -1,16 +1,11 @@
 package phocus
 
 import (
-	"fmt"
-	"math/rand"
+	"context"
 	"time"
 
-	"phocus/internal/celf"
 	"phocus/internal/dataset"
-	"phocus/internal/exact"
 	"phocus/internal/par"
-	"phocus/internal/sparsify"
-	"phocus/internal/sviridenko"
 )
 
 // Algorithm selects the optimization algorithm of the Solver stage.
@@ -27,6 +22,19 @@ const (
 	AlgoExact Algorithm = "exact"
 )
 
+// DisplayName returns the algorithm's report name ("PHOcus", "Sviridenko",
+// "Brute-Force"); unknown values default to the CELF name.
+func (a Algorithm) DisplayName() string {
+	switch a {
+	case AlgoSviridenko:
+		return "Sviridenko"
+	case AlgoExact:
+		return "Brute-Force"
+	default:
+		return "PHOcus"
+	}
+}
+
 // SolveOptions configures a Solver run.
 type SolveOptions struct {
 	// Budget is B in bytes. Zero means "keep everything" (budget = total
@@ -40,7 +48,7 @@ type SolveOptions struct {
 	Tau float64
 	// UseLSH selects SimHash candidate generation for the sparsification
 	// (requires the dataset to carry CtxVectors, which all builders and
-	// generators populate).
+	// generators populate; Solve fails with ErrNoCtxVectors otherwise).
 	UseLSH bool
 	// Seed drives LSH randomness.
 	Seed int64
@@ -57,6 +65,8 @@ type SolveOptions struct {
 
 // Result is the outcome of a Solver run.
 type Result struct {
+	// Algorithm is the report name of the solver that ran ("PHOcus", ...).
+	Algorithm string
 	// Solution is the retained photo set with its score under the TRUE
 	// (unsparsified) objective and its byte cost.
 	Solution par.Solution
@@ -73,93 +83,36 @@ type Result struct {
 	// only the candidate pairs with positive true similarity — a lower bound
 	// on the full pair count, which LSH never enumerates.
 	OriginalPairs, SparsifiedPairs int
-	// PrepTime covers sparsification, SolveTime the optimization.
+	// PrepTime covers the Data Representation stage (finalize +
+	// sparsification), SolveTime the optimization.
 	PrepTime, SolveTime time.Duration
 }
 
-// Solve runs the Solver stage of Figure 4 on a prepared dataset.
+// Solve runs the full pipeline of Figure 4 once on a prepared dataset: the
+// compatibility wrapper over Prepare + Run for one-shot callers. Callers
+// that solve the same dataset repeatedly (budget sweeps, per-request
+// serving) should Prepare once and Run many times instead.
 func Solve(ds *dataset.Dataset, opts SolveOptions) (*Result, error) {
-	inst := ds.Instance
-	budget := opts.Budget
-	if budget == 0 {
-		budget = inst.TotalCost()
-	}
-	// Work on a shallow copy so concurrent/solver-comparing callers can
-	// reuse the dataset with different budgets.
-	work := &par.Instance{
-		Cost:     inst.Cost,
+	return SolveContext(context.Background(), ds, opts)
+}
+
+// SolveContext is Solve with cooperative cancellation, forwarded into the
+// sparsifier-side stage boundaries and the solver's inner loop.
+func SolveContext(ctx context.Context, ds *dataset.Dataset, opts SolveOptions) (*Result, error) {
+	p, err := Prepare(ctx, ds, PrepareOptions{
 		Retained: opts.Retained,
-		Budget:   budget,
-		Subsets:  inst.Subsets,
-	}
-	if err := work.Finalize(); err != nil {
-		return nil, fmt.Errorf("phocus: %w", err)
-	}
-
-	res := &Result{}
-	solveInst := work
-	if opts.Tau > 0 {
-		t0 := time.Now()
-		var sres sparsify.Result
-		var err error
-		if opts.UseLSH {
-			rng := rand.New(rand.NewSource(opts.Seed))
-			sres, err = sparsify.WithLSHWorkers(rng, work, ds.CtxVectors, opts.Tau, opts.Workers, nil)
-		} else {
-			sres, err = sparsify.ExactWorkers(work, opts.Tau, opts.Workers, nil)
-		}
-		if err != nil {
-			return nil, err
-		}
-		res.PrepTime = time.Since(t0)
-		res.OriginalPairs = sres.PairsBefore
-		res.SparsifiedPairs = sres.PairsAfter
-		solveInst = sres.Instance
-	}
-
-	t0 := time.Now()
-	var sol par.Solution
-	var err error
-	switch opts.Algorithm {
-	case "", AlgoCELF:
-		s := celf.Solver{Workers: opts.Workers}
-		sol, err = s.Solve(solveInst)
-	case AlgoSviridenko:
-		var s sviridenko.Solver
-		sol, err = s.Solve(solveInst)
-	case AlgoExact:
-		var s exact.Solver
-		sol, err = s.Solve(solveInst)
-	default:
-		return nil, fmt.Errorf("phocus: unknown algorithm %q", opts.Algorithm)
-	}
+		Tau:      opts.Tau,
+		UseLSH:   opts.UseLSH,
+		Seed:     opts.Seed,
+		Workers:  opts.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.SolveTime = time.Since(t0)
-
-	// Rescore under the true objective (the solver may have optimized the
-	// sparsified surrogate).
-	sol.Score = par.ScoreFast(work, sol.Photos)
-	res.Solution = sol
-
-	retained := make([]bool, work.NumPhotos())
-	for _, p := range sol.Photos {
-		retained[p] = true
-	}
-	for p := 0; p < work.NumPhotos(); p++ {
-		if !retained[p] {
-			res.Archived = append(res.Archived, par.PhotoID(p))
-		}
-	}
-
-	if !opts.SkipBound {
-		res.OnlineBound = celf.OnlineBound(work, sol.Photos)
-		if res.OnlineBound > 0 {
-			res.CertifiedRatio = sol.Score / res.OnlineBound
-		} else {
-			res.CertifiedRatio = 1
-		}
-	}
-	return res, nil
+	return p.Run(ctx, RunOptions{
+		Budget:    opts.Budget,
+		Algorithm: opts.Algorithm,
+		SkipBound: opts.SkipBound,
+		Workers:   opts.Workers,
+	})
 }

@@ -1,0 +1,108 @@
+package solvertest
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"phocus/internal/par"
+)
+
+// CountdownContext is a context whose Err() flips to context.Canceled after
+// it has been polled n times — a deterministic way to cancel a solver
+// mid-run without goroutines or timing. Solvers cancel cooperatively by
+// polling Err() at bounded intervals, so the poll count doubles as a measure
+// of how promptly they stop.
+type CountdownContext struct {
+	context.Context
+	mu    sync.Mutex
+	calls int
+	n     int
+}
+
+// NewCountdownContext returns a context that reports context.Canceled from
+// its n+1-th Err() call onward.
+func NewCountdownContext(n int) *CountdownContext {
+	return &CountdownContext{Context: context.Background(), n: n}
+}
+
+// Err implements context.Context.
+func (c *CountdownContext) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.calls > c.n {
+		return context.Canceled
+	}
+	return nil
+}
+
+// Calls returns how many times Err has been polled.
+func (c *CountdownContext) Calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// ContextFactory builds a fresh par.ContextSolver per call.
+type ContextFactory func() par.ContextSolver
+
+// ContextContract is the conformance suite for cooperative cancellation:
+//
+//  1. a context canceled before the call fails immediately with
+//     context.Canceled;
+//  2. a context canceled mid-solve stops the solver within a few polls of
+//     the trigger (it must not drain its remaining work first);
+//  3. an inert context leaves the result identical to plain Solve.
+func ContextContract(t *testing.T, mk ContextFactory) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(20_240_602))
+	inst := par.Random(rng, par.RandomConfig{Photos: 24, Subsets: 10, BudgetFrac: 0.3})
+
+	t.Run("pre-canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := mk().SolveContext(ctx, inst); !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+
+	t.Run("mid-solve", func(t *testing.T) {
+		for _, n := range []int{1, 3, 8} {
+			ctx := NewCountdownContext(n)
+			if _, err := mk().SolveContext(ctx, inst); !errors.Is(err, context.Canceled) {
+				t.Fatalf("countdown %d: err = %v, want context.Canceled", n, err)
+			}
+			// A prompt stop polls at most a few more times on the way out
+			// (concurrent sub-procedures may each observe the cancellation
+			// once); a large overshoot means work continued after cancel.
+			if calls := ctx.Calls(); calls > n+4 {
+				t.Fatalf("countdown %d: ctx polled %d times — solver kept working after cancel", n, calls)
+			}
+		}
+	})
+
+	t.Run("inert-context", func(t *testing.T) {
+		small := par.Random(rng, par.RandomConfig{Photos: 14, Subsets: 7, BudgetFrac: 0.3})
+		plain, err := mk().Solve(small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withCtx, err := mk().SolveContext(context.Background(), small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(plain.Score-withCtx.Score) > 1e-12 || len(plain.Photos) != len(withCtx.Photos) {
+			t.Fatalf("SolveContext diverged from Solve: %.6f/%d vs %.6f/%d",
+				withCtx.Score, len(withCtx.Photos), plain.Score, len(plain.Photos))
+		}
+		for i := range plain.Photos {
+			if plain.Photos[i] != withCtx.Photos[i] {
+				t.Fatalf("selection diverged: %v vs %v", withCtx.Photos, plain.Photos)
+			}
+		}
+	})
+}

@@ -10,3 +10,7 @@ import (
 func TestSolverContract(t *testing.T) {
 	solvertest.Contract(t, func() par.Solver { return &Solver{} }, solvertest.Options{Saturates: true, Trials: 10})
 }
+
+func TestContextContract(t *testing.T) {
+	solvertest.ContextContract(t, func() par.ContextSolver { return &Solver{} })
+}

@@ -13,6 +13,7 @@
 package sviridenko
 
 import (
+	"context"
 	"time"
 
 	"phocus/internal/par"
@@ -43,6 +44,15 @@ func (s *Solver) Name() string { return "Sviridenko" }
 
 // Solve returns a (1−1/e)-approximate solution (at Depth ≥ 3).
 func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
+	return s.SolveContext(context.Background(), inst)
+}
+
+// SolveContext is Solve with cooperative cancellation: the context is
+// checked once per enumeration step (each seed extension and each greedy
+// selection round), so a canceled context stops the Ω(n⁴) enumeration
+// promptly and the context's error is returned unwrapped. It implements
+// par.ContextSolver.
+func (s *Solver) SolveContext(ctx context.Context, inst *par.Instance) (par.Solution, error) {
 	start := time.Now()
 	depth := s.Depth
 	if depth <= 0 {
@@ -66,11 +76,15 @@ func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
 	// Enumerate seeds of size 1..depth (the empty seed's greedy completion
 	// is dominated by size-1 seeds starting from the greedy's first pick,
 	// but we run it too so Depth=0 configurations degrade gracefully).
-	s.enumerate(inst, base, free, depth, &best)
+	if err := s.enumerate(ctx, inst, base, free, depth, &best); err != nil {
+		return par.Solution{}, err
+	}
 
 	// Also complete the empty seed.
 	e := base.Clone()
-	s.greedyComplete(inst, e, free)
+	if err := s.greedyComplete(ctx, inst, e, free); err != nil {
+		return par.Solution{}, err
+	}
 	if sol := e.Solution(); sol.Score > best.Score {
 		best = sol
 	}
@@ -84,11 +98,14 @@ func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
 
 // enumerate recursively extends the seed set in e with photos from free up
 // to the remaining depth, greedily completing every feasible seed.
-func (s *Solver) enumerate(inst *par.Instance, e *par.Evaluator, free []par.PhotoID, depth int, best *par.Solution) {
+func (s *Solver) enumerate(ctx context.Context, inst *par.Instance, e *par.Evaluator, free []par.PhotoID, depth int, best *par.Solution) error {
 	if depth == 0 {
-		return
+		return nil
 	}
 	for i, p := range free {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if !e.Fits(p) {
 			continue
 		}
@@ -96,18 +113,26 @@ func (s *Solver) enumerate(inst *par.Instance, e *par.Evaluator, free []par.Phot
 		ext := e.Clone()
 		ext.Add(p)
 		completed := ext.Clone()
-		s.greedyComplete(inst, completed, free)
+		if err := s.greedyComplete(ctx, inst, completed, free); err != nil {
+			return err
+		}
 		if sol := completed.Solution(); sol.Score > best.Score {
 			*best = sol
 		}
-		s.enumerate(inst, ext, free[i+1:], depth-1, best)
+		if err := s.enumerate(ctx, inst, ext, free[i+1:], depth-1, best); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // greedyComplete extends e by repeatedly adding the feasible photo with the
 // highest gain-per-cost until nothing fits.
-func (s *Solver) greedyComplete(inst *par.Instance, e *par.Evaluator, candidates []par.PhotoID) {
+func (s *Solver) greedyComplete(ctx context.Context, inst *par.Instance, e *par.Evaluator, candidates []par.PhotoID) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		best := par.PhotoID(-1)
 		var bestKey float64
 		for _, p := range candidates {
@@ -120,7 +145,7 @@ func (s *Solver) greedyComplete(inst *par.Instance, e *par.Evaluator, candidates
 			}
 		}
 		if best < 0 {
-			return
+			return nil
 		}
 		e.Add(best)
 	}
