@@ -76,31 +76,96 @@ func benchInstance(b *testing.B, photos int) *dataset.Dataset {
 	return ds
 }
 
+// kernelInstance returns a finalized view of inst with a freshly compiled
+// gain kernel attached — the "compiled" side of the jagged-vs-kernel
+// micro-benchmark pairs below.
+func kernelInstance(b *testing.B, inst *par.Instance) *par.Instance {
+	b.Helper()
+	twin := &par.Instance{
+		Cost:     inst.Cost,
+		Retained: inst.Retained,
+		Budget:   inst.Budget,
+		Subsets:  inst.Subsets,
+	}
+	if err := twin.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	if err := twin.AttachKernel(par.CompileKernel(twin)); err != nil {
+		b.Fatal(err)
+	}
+	return twin
+}
+
 // BenchmarkEvaluatorGain measures one marginal-gain evaluation, the cost
-// unit of the paper's Ω(B·n⁴) vs O(B·n) comparison.
+// unit of the paper's Ω(B·n⁴) vs O(B·n) comparison — on the jagged
+// reference path and on the compiled kernel, side by side. The kernel path
+// is the one every Prepare-built pipeline runs.
 func BenchmarkEvaluatorGain(b *testing.B) {
 	ds := benchInstance(b, 1000)
-	e := par.NewEvaluator(ds.Instance)
-	rng := rand.New(rand.NewSource(1))
-	for p := 0; p < 50; p++ {
-		e.Add(par.PhotoID(rng.Intn(1000)))
+	variants := []struct {
+		name string
+		inst *par.Instance
+	}{
+		{"jagged", ds.Instance},
+		{"kernel", kernelInstance(b, ds.Instance)},
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.Gain(par.PhotoID(i % 1000))
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			e := par.NewEvaluator(v.inst)
+			rng := rand.New(rand.NewSource(1))
+			for p := 0; p < 50; p++ {
+				e.Add(par.PhotoID(rng.Intn(1000)))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Gain(par.PhotoID(i % 1000))
+			}
+		})
 	}
 }
 
-// BenchmarkLazyGreedy solves P-1K-sized instances end to end with CELF.
+// BenchmarkLazyGreedy solves P-1K-sized instances end to end with CELF,
+// jagged vs compiled kernel. Both sub-benchmarks must select the same
+// photos at the same score — the kernel only changes how fast gains are
+// computed, never what they are — which the benchmark asserts outside the
+// timed region.
 func BenchmarkLazyGreedy(b *testing.B) {
 	ds := benchInstance(b, 1000)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := celf.LazyGreedy(ds.Instance, celf.CB); err != nil {
-			b.Fatal(err)
-		}
+	jagged := ds.Instance
+	kernel := kernelInstance(b, ds.Instance)
+	want, _, err := celf.LazyGreedy(jagged, celf.CB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		inst *par.Instance
+	}{
+		{"jagged", jagged},
+		{"kernel", kernel},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sol, _, err := celf.LazyGreedy(v.inst, celf.CB)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if sol.Score != want.Score || len(sol.Photos) != len(want.Photos) {
+					b.Fatalf("%s: solution changed: score %v/%d photos, want %v/%d",
+						v.name, sol.Score, len(sol.Photos), want.Score, len(want.Photos))
+				}
+				for j := range sol.Photos {
+					if sol.Photos[j] != want.Photos[j] {
+						b.Fatalf("%s: selection diverged at %d", v.name, j)
+					}
+				}
+				b.StartTimer()
+			}
+		})
 	}
 }
 

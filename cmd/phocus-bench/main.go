@@ -135,6 +135,19 @@ func main() {
 		}
 	}
 
+	// Solver-throughput summary: gain evaluations are the paper's unit of
+	// solver work, so evals/sec is the headline number for kernel and
+	// parallelism changes (profile with -cpuprofile to see where they go).
+	if evals := reg.SumCounters("phocus_solver_gain_evals_total"); evals > 0 {
+		solves, solveSecs := reg.SumHistograms("phocus_solve_seconds")
+		fmt.Printf("== solver summary ==\n")
+		fmt.Printf("solves: %d, gain evals: %d, solve time: %.3fs", solves, evals, solveSecs)
+		if solveSecs > 0 {
+			fmt.Printf(", gain evals/sec: %.3g", float64(evals)/solveSecs)
+		}
+		fmt.Printf("\n\n")
+	}
+
 	if *metricsOut {
 		// The same exposition phocus-server serves on /metrics, so paper
 		// runs and live traffic share one vocabulary.

@@ -395,6 +395,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Seed:           params.seed,
 		Workers:        s.workers,
 		InstanceDigest: hex.EncodeToString(hasher.Sum(nil)),
+		Metrics:        s.reg,
 	}
 	// The cache key excludes the budget (a Run parameter), so a budget
 	// sweep over one archive prepares exactly once.

@@ -239,6 +239,7 @@ func LazyGreedyContext(ctx context.Context, inst *par.Instance, variant Variant,
 	// Scratch buffers for the batched recompute, reused across rounds.
 	var stale []candidate
 	var photos []par.PhotoID
+	var gains []float64
 	for pq.Len() > 0 {
 		if err := ctx.Err(); err != nil {
 			return par.Solution{}, stats, err
@@ -289,7 +290,11 @@ func LazyGreedyContext(ctx context.Context, inst *par.Instance, variant Variant,
 			for _, c := range stale {
 				photos = append(photos, c.photo)
 			}
-			gains := e.Gains(photos, workers)
+			if cap(gains) < len(photos) {
+				gains = make([]float64, len(photos))
+			}
+			gains = gains[:len(photos)]
+			e.GainsInto(gains, photos, workers)
 			for i := range stale {
 				stale[i].gain = gains[i]
 			}

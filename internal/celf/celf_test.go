@@ -139,6 +139,59 @@ func TestLazyMatchesEagerQuick(t *testing.T) {
 	}
 }
 
+// TestLazyGreedyKernelSelectionInvariant: attaching a compiled gain kernel
+// must not change a single selection — photos, order, score, cost, or
+// gain-eval count — for any variant or worker count. This is the
+// solver-level face of the kernel's bit-identity contract.
+func TestLazyGreedyKernelSelectionInvariant(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		inst := par.Random(rng, par.RandomConfig{Photos: 40, Subsets: 15, BudgetFrac: 0.3, RetainFrac: 0.1})
+		twin := &par.Instance{
+			Cost:     inst.Cost,
+			Retained: inst.Retained,
+			Budget:   inst.Budget,
+			Subsets:  inst.Subsets,
+		}
+		if err := twin.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.AttachKernel(par.CompileKernel(twin)); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range []Variant{UC, CB} {
+			for _, workers := range []int{1, 4} {
+				jag, jagStats, err := LazyGreedyWorkers(inst, v, workers, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ker, kerStats, err := LazyGreedyWorkers(twin, v, workers, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if jag.Score != ker.Score || jag.Cost != ker.Cost {
+					t.Fatalf("seed %d %v workers=%d: score/cost %v/%v (jagged) vs %v/%v (kernel)",
+						seed, v, workers, jag.Score, jag.Cost, ker.Score, ker.Cost)
+				}
+				if len(jag.Photos) != len(ker.Photos) {
+					t.Fatalf("seed %d %v workers=%d: %d photos (jagged) vs %d (kernel)",
+						seed, v, workers, len(jag.Photos), len(ker.Photos))
+				}
+				for i := range jag.Photos {
+					if jag.Photos[i] != ker.Photos[i] {
+						t.Fatalf("seed %d %v workers=%d: selections diverge at %d: %v vs %v",
+							seed, v, workers, i, jag.Photos, ker.Photos)
+					}
+				}
+				if jagStats.GainEvals != kerStats.GainEvals || jagStats.PQPops != kerStats.PQPops {
+					t.Fatalf("seed %d %v workers=%d: work mismatch: %d/%d evals, %d/%d pops",
+						seed, v, workers, jagStats.GainEvals, kerStats.GainEvals, jagStats.PQPops, kerStats.PQPops)
+				}
+			}
+		}
+	}
+}
+
 func TestLazySavesGainEvals(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	inst := par.Random(rng, par.RandomConfig{Photos: 200, Subsets: 80, BudgetFrac: 0.3})

@@ -148,7 +148,7 @@ func qualityFigure(cfg Config, ds *dataset.Dataset, title string) (*metrics.Figu
 		baselines.NewGreedyNR(),
 		baselines.NewGreedyNCS(ds.GlobalSim),
 	}
-	prep, err := phocus.Prepare(cfg.ctx(), ds, phocus.PrepareOptions{Workers: cfg.Workers})
+	prep, err := phocus.Prepare(cfg.ctx(), ds, phocus.PrepareOptions{Workers: cfg.Workers, Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}

@@ -86,7 +86,7 @@ func OnlineBounds(cfg Config, w io.Writer) error {
 	}
 	worstCase := (1 - 1/math.E) / 2
 	minRatio := 1.0
-	prep, err := phocus.Prepare(cfg.ctx(), ds, phocus.PrepareOptions{Workers: cfg.Workers})
+	prep, err := phocus.Prepare(cfg.ctx(), ds, phocus.PrepareOptions{Workers: cfg.Workers, Metrics: cfg.Metrics})
 	if err != nil {
 		return err
 	}
@@ -135,7 +135,7 @@ func TauSweep(cfg Config, w io.Writer) error {
 	for _, tau := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
 		// One Prepare per τ (the sweep's whole point is re-sparsifying); Run
 		// already rescores under the true objective.
-		prep, err := phocus.Prepare(cfg.ctx(), ds, phocus.PrepareOptions{Tau: tau, Workers: cfg.Workers})
+		prep, err := phocus.Prepare(cfg.ctx(), ds, phocus.PrepareOptions{Tau: tau, Workers: cfg.Workers, Metrics: cfg.Metrics})
 		if err != nil {
 			return err
 		}

@@ -76,7 +76,7 @@ func Fig5d(cfg Config, w io.Writer) error {
 	}
 	total := sub.TotalCost()
 	fig := &metrics.Figure{Title: "Figure 5d: PHOcus vs Brute-Force (100-photo subset of P-1K)", XLabel: "budget"}
-	prep, err := phocus.Prepare(cfg.ctx(), &dataset.Dataset{Instance: sub}, phocus.PrepareOptions{Workers: cfg.Workers})
+	prep, err := phocus.Prepare(cfg.ctx(), &dataset.Dataset{Instance: sub}, phocus.PrepareOptions{Workers: cfg.Workers, Metrics: cfg.Metrics})
 	if err != nil {
 		return err
 	}
@@ -137,12 +137,12 @@ func sparsificationRun(cfg Config, ds *dataset.Dataset, label string) (qual, tim
 	qual = &metrics.Figure{Title: "Figure 5e: " + label + " quality (PHOcus vs PHOcus-NS)", XLabel: "budget"}
 	times = &metrics.Figure{Title: "Figure 5f: " + label + " solve time ms (PHOcus vs PHOcus-NS)", XLabel: "budget"}
 	sp, err := phocus.Prepare(cfg.ctx(), ds, phocus.PrepareOptions{
-		Tau: cfg.Tau, UseLSH: true, Seed: cfg.Seed + 9, Workers: cfg.Workers,
+		Tau: cfg.Tau, UseLSH: true, Seed: cfg.Seed + 9, Workers: cfg.Workers, Metrics: cfg.Metrics,
 	})
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}
-	ns, err := phocus.Prepare(cfg.ctx(), ds, phocus.PrepareOptions{Workers: cfg.Workers})
+	ns, err := phocus.Prepare(cfg.ctx(), ds, phocus.PrepareOptions{Workers: cfg.Workers, Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}

@@ -259,6 +259,39 @@ func (r *Registry) Histogram(name string, buckets []float64, labelPairs ...strin
 	return h
 }
 
+// SumCounters returns the summed value of every counter series with the
+// given name, across all label sets. Summaries (phocus-bench's end-of-run
+// report) use it to aggregate families like
+// phocus_solver_gain_evals_total{algo} without enumerating label values.
+func (r *Registry) SumCounters(name string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, c := range r.counters {
+		if c.name == name {
+			total += c.Value()
+		}
+	}
+	return total
+}
+
+// SumHistograms returns the combined observation count and value sum of
+// every histogram series with the given name, across all label sets.
+func (r *Registry) SumHistograms(name string) (count int64, sum float64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, h := range r.hists {
+		if h.name != name {
+			continue
+		}
+		h.mu.Lock()
+		count += h.count
+		sum += h.sum
+		h.mu.Unlock()
+	}
+	return count, sum
+}
+
 // renderLabels turns alternating key/value pairs into the canonical
 // `{k="v",...}` form, sorted by key so label order never splits a series.
 func renderLabels(pairs []string) string {

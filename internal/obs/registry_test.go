@@ -234,3 +234,42 @@ func TestRecordSolve(t *testing.T) {
 		t.Error("zero-valued gain-eval series should not exist")
 	}
 }
+
+func TestSumCountersAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "code", "200").Add(3)
+	r.Counter("requests_total", "code", "500").Add(2)
+	r.Counter("other_total").Add(100)
+	if got := r.SumCounters("requests_total"); got != 5 {
+		t.Errorf("SumCounters(requests_total) = %d, want 5", got)
+	}
+	if got := r.SumCounters("missing_total"); got != 0 {
+		t.Errorf("SumCounters(missing_total) = %d, want 0", got)
+	}
+
+	r.Histogram("latency_seconds", DefBuckets, "algo", "a").Observe(0.5)
+	r.Histogram("latency_seconds", DefBuckets, "algo", "a").Observe(1.5)
+	r.Histogram("latency_seconds", DefBuckets, "algo", "b").Observe(2)
+	r.Histogram("unrelated_seconds", DefBuckets).Observe(9)
+	count, sum := r.SumHistograms("latency_seconds")
+	if count != 3 || sum != 4 {
+		t.Errorf("SumHistograms(latency_seconds) = (%d, %g), want (3, 4)", count, sum)
+	}
+	count, sum = r.SumHistograms("missing_seconds")
+	if count != 0 || sum != 0 {
+		t.Errorf("SumHistograms(missing_seconds) = (%d, %g), want (0, 0)", count, sum)
+	}
+}
+
+func TestRecordKernelBuild(t *testing.T) {
+	r := NewRegistry()
+	RecordKernelBuild(r, 50*time.Millisecond)
+	RecordKernelBuild(r, 150*time.Millisecond)
+	h := r.Histogram("phocus_kernel_build_seconds", nil)
+	if got := h.Count(); got != 2 {
+		t.Errorf("kernel build count = %d, want 2", got)
+	}
+	if got := h.Sum(); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("kernel build sum = %g, want 0.2", got)
+	}
+}

@@ -35,6 +35,13 @@ func RecordSolve(reg *Registry, algo string, workers, photos int, gainEvals, pqP
 	}
 }
 
+// RecordKernelBuild records one compiled-gain-kernel build during Prepare:
+//
+//	phocus_kernel_build_seconds  kernel compilation latency histogram
+func RecordKernelBuild(reg *Registry, elapsed time.Duration) {
+	reg.Histogram("phocus_kernel_build_seconds", DefBuckets).Observe(elapsed.Seconds())
+}
+
 // RecordPrepareCache records one prepared-instance cache probe:
 //
 //	phocus_prepare_cache_hits_total    probes answered from cache

@@ -12,8 +12,19 @@ import "phocus/internal/pool"
 // the member's current nearest neighbour in the solution ("best" value,
 // 0 while the solution contains no member of the subset). Adding photo p
 // raises the best value of every member whose similarity to p exceeds it.
+//
+// When the instance has a compiled Kernel attached (see CompileKernel), the
+// gain/add hot path runs the kernel's flat CSR scan instead of the jagged
+// reference loops below; both paths read and write the same flat best
+// storage and produce bit-identical results, so which one runs is invisible
+// through the public API.
 type Evaluator struct {
-	inst  *Instance
+	inst *Instance
+	kern *Kernel // inst.Kernel() at construction; nil → jagged reference path
+	// flat holds one best slot per (subset, member) pair in kernel row order:
+	// subsets in order, members in order within each. best[qi] is a view into
+	// it, so the jagged reference path and the kernel share storage.
+	flat  []float64
 	best  [][]float64 // per subset, per member: SIM(q, p, NN(q,p,S))
 	inSol []bool
 	sol   []PhotoID
@@ -29,13 +40,22 @@ type Evaluator struct {
 // must be finalized. Retained photos (S0) are NOT pre-added; solvers add
 // them explicitly so the gain accounting stays uniform — use Seed for that.
 func NewEvaluator(inst *Instance) *Evaluator {
+	rows := 0
+	for qi := range inst.Subsets {
+		rows += len(inst.Subsets[qi].Members)
+	}
 	e := &Evaluator{
 		inst:  inst,
+		kern:  inst.kern,
+		flat:  make([]float64, rows),
 		best:  make([][]float64, len(inst.Subsets)),
 		inSol: make([]bool, inst.NumPhotos()),
 	}
+	off := 0
 	for qi := range inst.Subsets {
-		e.best[qi] = make([]float64, len(inst.Subsets[qi].Members))
+		k := len(inst.Subsets[qi].Members)
+		e.best[qi] = e.flat[off : off+k : off+k]
+		off += k
 	}
 	return e
 }
@@ -72,11 +92,26 @@ func (e *Evaluator) Gain(p PhotoID) float64 {
 // of worker count.
 func (e *Evaluator) Gains(ps []PhotoID, workers int) []float64 {
 	out := make([]float64, len(ps))
-	pool.ForEach(len(ps), workers, func(i int) {
-		out[i] = e.gainOf(ps[i])
+	e.GainsInto(out, ps, workers)
+	return out
+}
+
+// GainsInto is Gains writing into a caller-owned buffer, for hot loops
+// (CELF's batched stale-entry recompute) that would otherwise allocate a
+// fresh result slice per round. dst must have len(ps) slots; dst[i] receives
+// exactly what Gain(ps[i]) would return. Evaluations are fanned out in
+// chunks so a batch costs one closure dispatch per chunk rather than per
+// photo.
+func (e *Evaluator) GainsInto(dst []float64, ps []PhotoID, workers int) {
+	if len(dst) != len(ps) {
+		panic("par: GainsInto dst length does not match ps")
+	}
+	pool.ForEachChunk(len(ps), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = e.gainOf(ps[i])
+		}
 	})
 	e.gainEvals += int64(len(ps))
-	return out
 }
 
 // gainOf is the shared read-only gain computation behind Gain and Gains. It
@@ -85,6 +120,9 @@ func (e *Evaluator) Gains(ps []PhotoID, workers int) []float64 {
 func (e *Evaluator) gainOf(p PhotoID) float64 {
 	if e.inSol[p] {
 		return 0
+	}
+	if e.kern != nil {
+		return e.kern.gain(e.flat, p)
 	}
 	var gain float64
 	for _, oc := range e.inst.Occurrences(p) {
@@ -115,22 +153,26 @@ func (e *Evaluator) Add(p PhotoID) float64 {
 		return 0
 	}
 	var gain float64
-	for _, oc := range e.inst.Occurrences(p) {
-		q := &e.inst.Subsets[oc.Subset]
-		best := e.best[oc.Subset]
-		if nl, ok := q.Sim.(NeighborLister); ok {
-			for _, nb := range nl.Neighbors(oc.Index) {
-				if d := nb.Sim - best[nb.Index]; d > 0 {
-					gain += q.Weight * q.Relevance[nb.Index] * d
-					best[nb.Index] = nb.Sim
+	if e.kern != nil {
+		gain = e.kern.add(e.flat, p)
+	} else {
+		for _, oc := range e.inst.Occurrences(p) {
+			q := &e.inst.Subsets[oc.Subset]
+			best := e.best[oc.Subset]
+			if nl, ok := q.Sim.(NeighborLister); ok {
+				for _, nb := range nl.Neighbors(oc.Index) {
+					if d := nb.Sim - best[nb.Index]; d > 0 {
+						gain += q.Weight * q.Relevance[nb.Index] * d
+						best[nb.Index] = nb.Sim
+					}
 				}
+				continue
 			}
-			continue
-		}
-		for mi := range q.Members {
-			if s := q.Sim.Sim(mi, oc.Index); s > best[mi] {
-				gain += q.Weight * q.Relevance[mi] * (s - best[mi])
-				best[mi] = s
+			for mi := range q.Members {
+				if s := q.Sim.Sim(mi, oc.Index); s > best[mi] {
+					gain += q.Weight * q.Relevance[mi] * (s - best[mi])
+					best[mi] = s
+				}
 			}
 		}
 	}
@@ -174,6 +216,8 @@ func (e *Evaluator) Solution() Solution {
 func (e *Evaluator) Clone() *Evaluator {
 	c := &Evaluator{
 		inst:      e.inst,
+		kern:      e.kern,
+		flat:      make([]float64, len(e.flat)),
 		best:      make([][]float64, len(e.best)),
 		inSol:     make([]bool, len(e.inSol)),
 		sol:       make([]PhotoID, len(e.sol)),
@@ -181,9 +225,12 @@ func (e *Evaluator) Clone() *Evaluator {
 		score:     e.score,
 		gainEvals: e.gainEvals,
 	}
+	copy(c.flat, e.flat)
+	off := 0
 	for qi := range e.best {
-		c.best[qi] = make([]float64, len(e.best[qi]))
-		copy(c.best[qi], e.best[qi])
+		k := len(e.best[qi])
+		c.best[qi] = c.flat[off : off+k : off+k]
+		off += k
 	}
 	copy(c.inSol, e.inSol)
 	copy(c.sol, e.sol)

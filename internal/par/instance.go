@@ -40,6 +40,9 @@ type Instance struct {
 	// occ maps each photo to its occurrences across subsets; built by
 	// Finalize.
 	occ [][]Occurrence
+	// kern is the attached compiled gain kernel, nil unless AttachKernel was
+	// called after the most recent Finalize.
+	kern *Kernel
 	// retainedSet marks membership in S0; built by Finalize.
 	retainedSet []bool
 	// retainedCost is C(S0); built by Finalize.
@@ -93,6 +96,9 @@ func (in *Instance) Finalize() error {
 	if err := in.validate(); err != nil {
 		return err
 	}
+	// A structural mutation invalidates any compiled kernel's layout; callers
+	// re-attach via AttachKernel after a successful Finalize.
+	in.kern = nil
 	n := in.NumPhotos()
 	in.occ = make([][]Occurrence, n)
 	for qi := range in.Subsets {

@@ -1,0 +1,195 @@
+package par
+
+import "fmt"
+
+// Kernel is the compiled gain kernel: the entire marginal-gain/add hot path
+// of an instance flattened into contiguous arrays at compile time, so that
+// Evaluator.Gain and Evaluator.Add become branch-light scans over parallel
+// slices with zero interface dispatch and zero multiplications beyond the
+// fused-weight product.
+//
+// Layout. Every (subset, member) pair is one global row; rows are numbered
+// in subset order, member order (row = Σ_{q'<q} |q'| + member index), the
+// same order the Evaluator lays its flat best array out in. The similarity
+// structure of all subsets is stored as one CSR matrix across those rows:
+//
+//	rowStart[r] .. rowStart[r+1]  span of row r's entries in the three
+//	                              parallel entry arrays
+//	nbrIdx[t]                     the neighbour's GLOBAL row (already offset
+//	                              by its subset), i.e. an index into the
+//	                              evaluator's flat best array
+//	nbrSim[t]                     SIM(q, member, neighbour), in (0, 1]
+//	nbrWR[t]                      W(q)·R(q, neighbour), fused at compile time
+//
+// Entry order within a row matches the reference evaluator's iteration
+// order exactly — a NeighborLister's listed order, ascending member index
+// for dense similarities — and W·R is folded left-associatively the way the
+// reference path multiplies, so kernel gains are bit-identical to the
+// jagged path and solver selections are unchanged.
+//
+// Per-photo occurrences are resolved to row spans too: occRow[occStart[p]
+// .. occStart[p+1]] lists, in Occurrences(p) order, the global row of every
+// (subset, member) slot photo p occupies.
+//
+// A Kernel is immutable after CompileKernel and safe for concurrent use by
+// any number of evaluators; it holds no per-solution state (the flat best
+// array lives in the Evaluator).
+type Kernel struct {
+	photos   int     // NumPhotos of the compiled instance
+	rowLen   []int32 // per-subset member counts, for attach-time validation
+	rowStart []int64
+	nbrIdx   []int32
+	nbrSim   []float64
+	nbrWR    []float64
+	occStart []int32
+	occRow   []int32
+}
+
+// CompileKernel flattens the instance's gain hot path into a Kernel. The
+// instance must be finalized (the occurrence index is part of the layout).
+// Compilation costs one pass over the similarity structure — O(pairs) for
+// NeighborLister similarities, O(Σ k²) Sim calls otherwise — and is meant to
+// run once per prepared instance, amortized across every solve against it.
+func CompileKernel(inst *Instance) *Kernel {
+	if inst.occ == nil {
+		panic("par: CompileKernel before Finalize")
+	}
+	nSub := len(inst.Subsets)
+	subOff := make([]int32, nSub)
+	rows := 0
+	k := &Kernel{photos: inst.NumPhotos(), rowLen: make([]int32, nSub)}
+	for qi := range inst.Subsets {
+		members := len(inst.Subsets[qi].Members)
+		subOff[qi] = int32(rows)
+		k.rowLen[qi] = int32(members)
+		rows += members
+	}
+	if rows > 1<<31-2 {
+		panic("par: CompileKernel instance exceeds 2^31 similarity rows")
+	}
+
+	k.rowStart = append(make([]int64, 0, rows+1), 0)
+	for qi := range inst.Subsets {
+		q := &inst.Subsets[qi]
+		off := subOff[qi]
+		if nl, ok := q.Sim.(NeighborLister); ok {
+			for i := range q.Members {
+				for _, nb := range nl.Neighbors(i) {
+					k.nbrIdx = append(k.nbrIdx, off+int32(nb.Index))
+					k.nbrSim = append(k.nbrSim, nb.Sim)
+					k.nbrWR = append(k.nbrWR, q.Weight*q.Relevance[nb.Index])
+				}
+				k.rowStart = append(k.rowStart, int64(len(k.nbrIdx)))
+			}
+			continue
+		}
+		members := len(q.Members)
+		for i := 0; i < members; i++ {
+			for mi := 0; mi < members; mi++ {
+				// Zero-similarity entries can never satisfy sim > best
+				// (best ≥ 0 always), so dropping them changes no sum.
+				if s := q.Sim.Sim(mi, i); s > 0 {
+					k.nbrIdx = append(k.nbrIdx, off+int32(mi))
+					k.nbrSim = append(k.nbrSim, s)
+					k.nbrWR = append(k.nbrWR, q.Weight*q.Relevance[mi])
+				}
+			}
+			k.rowStart = append(k.rowStart, int64(len(k.nbrIdx)))
+		}
+	}
+
+	n := inst.NumPhotos()
+	k.occStart = make([]int32, n+1)
+	for p := 0; p < n; p++ {
+		k.occStart[p] = int32(len(k.occRow))
+		for _, oc := range inst.occ[p] {
+			k.occRow = append(k.occRow, subOff[oc.Subset]+int32(oc.Index))
+		}
+	}
+	k.occStart[n] = int32(len(k.occRow))
+	return k
+}
+
+// gain computes the marginal gain of adding p against the flat best array,
+// without mutating it. It mirrors Evaluator.gainOf's reference path term for
+// term; see the layout invariants on Kernel for why results are
+// bit-identical.
+func (k *Kernel) gain(best []float64, p PhotoID) float64 {
+	var gain float64
+	for _, r := range k.occRow[k.occStart[p]:k.occStart[p+1]] {
+		lo, hi := k.rowStart[r], k.rowStart[r+1]
+		idx := k.nbrIdx[lo:hi]
+		sim := k.nbrSim[lo:hi]
+		wr := k.nbrWR[lo:hi]
+		for t, ix := range idx {
+			if d := sim[t] - best[ix]; d > 0 {
+				gain += wr[t] * d
+			}
+		}
+	}
+	return gain
+}
+
+// add is gain with the best-value updates applied: adding p raises the best
+// value of every slot whose similarity to p exceeds it.
+func (k *Kernel) add(best []float64, p PhotoID) float64 {
+	var gain float64
+	for _, r := range k.occRow[k.occStart[p]:k.occStart[p+1]] {
+		lo, hi := k.rowStart[r], k.rowStart[r+1]
+		idx := k.nbrIdx[lo:hi]
+		sim := k.nbrSim[lo:hi]
+		wr := k.nbrWR[lo:hi]
+		for t, ix := range idx {
+			if d := sim[t] - best[ix]; d > 0 {
+				gain += wr[t] * d
+				best[ix] = sim[t]
+			}
+		}
+	}
+	return gain
+}
+
+// Rows returns the number of (subset, member) rows the kernel spans.
+func (k *Kernel) Rows() int { return len(k.rowStart) - 1 }
+
+// Entries returns the number of stored similarity entries.
+func (k *Kernel) Entries() int { return len(k.nbrIdx) }
+
+// SizeBytes returns the memory retained by the kernel's arrays; prepared-
+// instance caches count it against their byte bounds.
+func (k *Kernel) SizeBytes() int64 {
+	return 4*int64(len(k.nbrIdx)) + 8*int64(len(k.nbrSim)) + 8*int64(len(k.nbrWR)) +
+		8*int64(len(k.rowStart)) + 4*int64(len(k.occStart)) + 4*int64(len(k.occRow)) +
+		4*int64(len(k.rowLen))
+}
+
+// AttachKernel attaches a compiled kernel to the instance: evaluators
+// created from it afterwards run the kernel hot path instead of the jagged
+// reference path. The kernel must have been compiled from this instance or
+// from another finalized view sharing the same Subsets and photo count (the
+// staged engine compiles once per prepared instance and attaches to every
+// budgeted view). Finalize detaches any kernel, since a structural mutation
+// invalidates the compiled layout.
+func (in *Instance) AttachKernel(k *Kernel) error {
+	if in.occ == nil {
+		return fmt.Errorf("par: AttachKernel before Finalize")
+	}
+	if k.photos != in.NumPhotos() {
+		return fmt.Errorf("par: kernel compiled for %d photos, instance has %d", k.photos, in.NumPhotos())
+	}
+	if len(k.rowLen) != len(in.Subsets) {
+		return fmt.Errorf("par: kernel compiled for %d subsets, instance has %d", len(k.rowLen), len(in.Subsets))
+	}
+	for qi := range in.Subsets {
+		if int(k.rowLen[qi]) != len(in.Subsets[qi].Members) {
+			return fmt.Errorf("par: kernel subset %d has %d members, instance has %d",
+				qi, k.rowLen[qi], len(in.Subsets[qi].Members))
+		}
+	}
+	in.kern = k
+	return nil
+}
+
+// Kernel returns the attached compiled kernel, or nil when evaluators run
+// the jagged reference path.
+func (in *Instance) Kernel() *Kernel { return in.kern }

@@ -1,0 +1,300 @@
+package par
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// simVariants rewrites every subset's similarity to a different
+// implementation over the same members, so the kernel differential runs
+// against each Similarity the repository ships. The dense variant keeps the
+// generator's DenseSim; sparse rebuilds the same positive pairs into a
+// SparseSim (a NeighborLister); fn hides the dense matrix behind FuncSim
+// (no NeighborLister, forces the full-scan compile path); uniform and
+// identity are the degenerate extremes.
+var simVariants = map[string]func(k int, dense Similarity) Similarity{
+	"dense": func(k int, dense Similarity) Similarity { return dense },
+	"sparse": func(k int, dense Similarity) Similarity {
+		b := NewSparseSimBuilder(k)
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if s := dense.Sim(i, j); s > 0 {
+					b.Add(i, j, s)
+				}
+			}
+		}
+		return b.Build()
+	},
+	"fn":       func(k int, dense Similarity) Similarity { return FuncSim{N: k, F: dense.Sim} },
+	"uniform":  func(k int, dense Similarity) Similarity { return UniformSim{N: k} },
+	"identity": func(k int, dense Similarity) Similarity { return IdentitySim{N: k} },
+}
+
+// withSims returns a finalized copy of inst whose subset similarities are
+// rewritten through the variant function.
+func withSims(t testing.TB, inst *Instance, variant func(k int, dense Similarity) Similarity) *Instance {
+	out := &Instance{
+		Cost:     inst.Cost,
+		Retained: inst.Retained,
+		Budget:   inst.Budget,
+		Subsets:  make([]Subset, len(inst.Subsets)),
+	}
+	for qi := range inst.Subsets {
+		q := inst.Subsets[qi]
+		q.Sim = variant(len(q.Members), q.Sim)
+		out.Subsets[qi] = q
+	}
+	if err := out.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return out
+}
+
+// kernelTwin returns a finalized view of inst with a freshly compiled
+// kernel attached, sharing all instance data.
+func kernelTwin(t testing.TB, inst *Instance) *Instance {
+	twin := &Instance{
+		Cost:     inst.Cost,
+		Retained: inst.Retained,
+		Budget:   inst.Budget,
+		Subsets:  inst.Subsets,
+	}
+	if err := twin.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if err := twin.AttachKernel(CompileKernel(twin)); err != nil {
+		t.Fatalf("AttachKernel: %v", err)
+	}
+	return twin
+}
+
+// TestKernelDifferential drives the jagged reference evaluator and the
+// compiled kernel through identical Seed/Gain/Gains/Add/Clone sequences on
+// random instances across every similarity implementation and asserts
+// bit-identical (==, not within-tolerance) results: selection invariance
+// for every solver follows from this.
+func TestKernelDifferential(t *testing.T) {
+	for name, variant := range simVariants {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				rng := rand.New(rand.NewSource(int64(1000 + trial)))
+				base := Random(rng, RandomConfig{
+					Photos:     30,
+					Subsets:    8,
+					MaxSubset:  10,
+					RetainFrac: 0.1,
+					SimDensity: 0.6,
+				})
+				inst := withSims(t, base, variant)
+				twin := kernelTwin(t, inst)
+				if twin.Kernel() == nil {
+					t.Fatal("kernelTwin produced no kernel")
+				}
+
+				ref := NewEvaluator(inst)
+				ker := NewEvaluator(twin)
+				if g1, g2 := ref.Seed(), ker.Seed(); g1 != g2 {
+					t.Fatalf("trial %d: Seed %v (jagged) != %v (kernel)", trial, g1, g2)
+				}
+
+				all := make([]PhotoID, inst.NumPhotos())
+				for p := range all {
+					all[p] = PhotoID(p)
+				}
+				checkGains := func(step string) {
+					t.Helper()
+					for _, workers := range []int{1, 2, 8} {
+						g1 := ref.Gains(all, workers)
+						g2 := ker.Gains(all, workers)
+						for i := range g1 {
+							if g1[i] != g2[i] {
+								t.Fatalf("trial %d %s workers=%d: Gains[%d] %v (jagged) != %v (kernel)",
+									trial, step, workers, i, g1[i], g2[i])
+							}
+						}
+					}
+				}
+				checkGains("after seed")
+
+				for step := 0; step < 12; step++ {
+					p := PhotoID(rng.Intn(inst.NumPhotos()))
+					if g1, g2 := ref.Gain(p), ker.Gain(p); g1 != g2 {
+						t.Fatalf("trial %d step %d: Gain(%d) %v (jagged) != %v (kernel)", trial, step, p, g1, g2)
+					}
+					if g1, g2 := ref.Add(p), ker.Add(p); g1 != g2 {
+						t.Fatalf("trial %d step %d: Add(%d) %v (jagged) != %v (kernel)", trial, step, p, g1, g2)
+					}
+					if s1, s2 := ref.Score(), ker.Score(); s1 != s2 {
+						t.Fatalf("trial %d step %d: Score %v (jagged) != %v (kernel)", trial, step, s1, s2)
+					}
+				}
+				checkGains("after adds")
+
+				// Clones must stay on their evaluator's path and agree too.
+				ref, ker = ref.Clone(), ker.Clone()
+				p := PhotoID(rng.Intn(inst.NumPhotos()))
+				if g1, g2 := ref.Add(p), ker.Add(p); g1 != g2 {
+					t.Fatalf("trial %d: post-Clone Add(%d) %v (jagged) != %v (kernel)", trial, p, g1, g2)
+				}
+				checkGains("after clone")
+				if s1, s2 := ref.Score(), ker.Score(); s1 != s2 {
+					t.Fatalf("trial %d: post-Clone Score %v != %v", trial, s1, s2)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelScoreMatchesReference checks the kernel's incremental score
+// against the first-principles Score on solutions built by Add, within
+// floating-point tolerance (Score sums in a different order, so exact
+// equality is not expected here — the bit-exact contract is vs the jagged
+// evaluator, covered above).
+func TestKernelScoreMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		inst := Random(rng, RandomConfig{Photos: 25, Subsets: 6, SimDensity: 0.5})
+		twin := kernelTwin(t, inst)
+		e := NewEvaluator(twin)
+		var sol []PhotoID
+		for i := 0; i < 10; i++ {
+			p := PhotoID(rng.Intn(inst.NumPhotos()))
+			if !e.Contains(p) {
+				sol = append(sol, p)
+			}
+			e.Add(p)
+		}
+		want := Score(inst, sol)
+		if math.Abs(e.Score()-want) > floatTol {
+			t.Fatalf("trial %d: kernel score %v, reference Score %v", trial, e.Score(), want)
+		}
+	}
+}
+
+// TestCoverageVectorKernelInvariant pins that CoverageVector — which reads
+// the evaluator's best storage directly — is unchanged by kernel attachment.
+func TestCoverageVectorKernelInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inst := Random(rng, RandomConfig{Photos: 20, Subsets: 5})
+	twin := kernelTwin(t, inst)
+	sol := []PhotoID{1, 4, 9, 13}
+	a := CoverageVector(inst, sol)
+	b := CoverageVector(twin, sol)
+	for qi := range a {
+		for mi := range a[qi] {
+			if a[qi][mi] != b[qi][mi] {
+				t.Fatalf("coverage[%d][%d]: %v (jagged) != %v (kernel)", qi, mi, a[qi][mi], b[qi][mi])
+			}
+		}
+	}
+}
+
+func TestCompileKernelPanicsBeforeFinalize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CompileKernel on unfinalized instance did not panic")
+		}
+	}()
+	CompileKernel(&Instance{Cost: []float64{1}})
+}
+
+func TestAttachKernelValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := Random(rng, RandomConfig{Photos: 15, Subsets: 4})
+	other := Random(rng, RandomConfig{Photos: 16, Subsets: 4})
+	k := CompileKernel(inst)
+
+	if err := other.AttachKernel(k); err == nil {
+		t.Fatal("attaching a kernel compiled for a different photo count succeeded")
+	}
+	unfinalized := &Instance{Cost: inst.Cost, Budget: inst.Budget, Subsets: inst.Subsets}
+	if err := unfinalized.AttachKernel(k); err == nil {
+		t.Fatal("attaching to an unfinalized instance succeeded")
+	}
+	if err := inst.AttachKernel(k); err != nil {
+		t.Fatalf("self-attach failed: %v", err)
+	}
+	if inst.Kernel() != k {
+		t.Fatal("Kernel() does not return the attached kernel")
+	}
+	// Finalize invalidates the compiled layout and must detach.
+	if err := inst.Finalize(); err != nil {
+		t.Fatalf("re-Finalize: %v", err)
+	}
+	if inst.Kernel() != nil {
+		t.Fatal("Finalize did not detach the kernel")
+	}
+}
+
+func TestKernelSizeBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := Random(rng, RandomConfig{Photos: 40, Subsets: 10})
+	k := CompileKernel(inst)
+	if k.SizeBytes() <= 0 {
+		t.Fatalf("SizeBytes = %d, want > 0", k.SizeBytes())
+	}
+	if k.Rows() <= 0 || k.Entries() <= 0 {
+		t.Fatalf("Rows = %d, Entries = %d, want > 0", k.Rows(), k.Entries())
+	}
+	// Entries dominate; each carries one int32 + two float64.
+	if min := 20 * int64(k.Entries()); k.SizeBytes() < min {
+		t.Fatalf("SizeBytes = %d, want ≥ %d for %d entries", k.SizeBytes(), min, k.Entries())
+	}
+}
+
+// FuzzKernelVsReference fuzzes instance shape and solution, comparing the
+// kernel evaluator's incremental score against the first-principles Score.
+func FuzzKernelVsReference(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(3), uint8(5))
+	f.Add(int64(42), uint8(30), uint8(8), uint8(12))
+	f.Add(int64(-7), uint8(2), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, photos, subsets, picks uint8) {
+		if photos == 0 || subsets == 0 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		inst := Random(rng, RandomConfig{
+			Photos:     int(photos),
+			Subsets:    int(subsets),
+			SimDensity: 0.4,
+		})
+		twin := kernelTwin(t, inst)
+		e := NewEvaluator(twin)
+		seen := map[PhotoID]bool{}
+		var sol []PhotoID
+		for i := 0; i < int(picks); i++ {
+			p := PhotoID(rng.Intn(inst.NumPhotos()))
+			if !seen[p] {
+				seen[p] = true
+				sol = append(sol, p)
+			}
+			e.Add(p)
+		}
+		want := Score(inst, sol)
+		tol := floatTol * (1 + math.Abs(want))
+		if diff := math.Abs(e.Score() - want); diff > tol {
+			t.Fatalf("kernel score %v, reference Score %v (diff %v)", e.Score(), want, diff)
+		}
+	})
+}
+
+// BenchmarkKernelCompile measures CompileKernel itself — the cost Prepare
+// amortizes across solves.
+func BenchmarkKernelCompile(b *testing.B) {
+	for _, photos := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("photos=%d", photos), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			inst := Random(rng, RandomConfig{Photos: photos, Subsets: photos / 5, MaxSubset: 16})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := CompileKernel(inst)
+				if k.Rows() == 0 {
+					b.Fatal("empty kernel")
+				}
+			}
+		})
+	}
+}

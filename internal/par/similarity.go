@@ -159,6 +159,62 @@ func (s *SparseSim) insert(i, j int, sim float64) {
 	s.rows[i] = row
 }
 
+// SparseSimBuilder constructs a SparseSim by appending pairs and sorting
+// each row once at Build time. SparseSim.Add keeps rows sorted per insert,
+// which costs O(deg) copies per pair — O(deg²) per row — and dominates exact
+// sparsification of dense subsets; the builder makes bulk construction
+// O(deg log deg) per row. Use Add for incremental post-Build maintenance;
+// use the builder whenever all pairs are known up front.
+type SparseSimBuilder struct {
+	rows [][]Neighbor
+}
+
+// NewSparseSimBuilder returns a builder over n members, each seeded with its
+// self-neighbour (similarity 1), matching NewSparseSim.
+func NewSparseSimBuilder(n int) *SparseSimBuilder {
+	rows := make([][]Neighbor, n)
+	for i := range rows {
+		rows[i] = []Neighbor{{Index: i, Sim: 1}}
+	}
+	return &SparseSimBuilder{rows: rows}
+}
+
+// Add records similarity sim for the unordered pair {i, j} in both rows.
+// Argument validation matches SparseSim.Add; duplicate detection is
+// deferred to Build, where the sorted rows make it a linear scan.
+func (b *SparseSimBuilder) Add(i, j int, sim float64) {
+	if i == j {
+		panic("par: SparseSimBuilder.Add on diagonal")
+	}
+	if sim <= 0 || sim > 1 {
+		panic("par: similarity out of (0,1]")
+	}
+	b.rows[i] = append(b.rows[i], Neighbor{Index: j, Sim: sim})
+	b.rows[j] = append(b.rows[j], Neighbor{Index: i, Sim: sim})
+}
+
+// Build sorts every row by neighbour index and hands the rows over to a
+// SparseSim; the builder must not be used afterwards. A pair added twice
+// panics here with SparseSim.Add's duplicate message: a duplicate entry
+// would silently double-count the neighbour in every gain computation.
+func (b *SparseSimBuilder) Build() *SparseSim {
+	for _, row := range b.rows {
+		// Sparsification emits pairs in ascending order, so rows arrive
+		// nearly or fully sorted; checking first skips the sort entirely.
+		if !sort.SliceIsSorted(row, func(x, y int) bool { return row[x].Index < row[y].Index }) {
+			sort.Slice(row, func(x, y int) bool { return row[x].Index < row[y].Index })
+		}
+		for t := 1; t < len(row); t++ {
+			if row[t].Index == row[t-1].Index {
+				panic("par: SparseSim.Add of duplicate pair")
+			}
+		}
+	}
+	s := &SparseSim{rows: b.rows}
+	b.rows = nil
+	return s
+}
+
 // FuncSim adapts an arbitrary function to the Similarity interface. It is
 // convenient in tests and for instances whose similarity is computed on the
 // fly (for example from embeddings).

@@ -73,6 +73,65 @@ func TestSparseSim(t *testing.T) {
 	assertPanics(t, "zero sim", func() { s.Add(0, 1, 0) })
 }
 
+// TestSparseSimBuilderMatchesAdd: bulk building produces the exact
+// structure incremental Add does — same rows, same sorted order — for
+// random pair sets, including pairs added in descending order (forcing the
+// builder's sort path).
+func TestSparseSimBuilderMatchesAdd(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		type pair struct {
+			i, j int
+			sim  float64
+		}
+		var pairs []pair
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					pairs = append(pairs, pair{i, j, 0.01 + 0.99*rng.Float64()})
+				}
+			}
+		}
+		// Shuffle so the builder sees unsorted input on some rows.
+		rng.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+
+		incr := NewSparseSim(n)
+		bld := NewSparseSimBuilder(n)
+		for _, p := range pairs {
+			incr.Add(p.i, p.j, p.sim)
+			bld.Add(p.i, p.j, p.sim)
+		}
+		bulk := bld.Build()
+		if bulk.Len() != incr.Len() {
+			t.Fatalf("seed %d: Len %d != %d", seed, bulk.Len(), incr.Len())
+		}
+		for i := 0; i < n; i++ {
+			a, b := incr.Neighbors(i), bulk.Neighbors(i)
+			if len(a) != len(b) {
+				t.Fatalf("seed %d: Neighbors(%d) lengths %d != %d", seed, i, len(a), len(b))
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("seed %d: Neighbors(%d)[%d] = %v (builder) vs %v (Add)", seed, i, k, b[k], a[k])
+				}
+			}
+		}
+	}
+}
+
+func TestSparseSimBuilderPanics(t *testing.T) {
+	assertPanics(t, "diagonal", func() { NewSparseSimBuilder(3).Add(1, 1, 0.5) })
+	assertPanics(t, "zero sim", func() { NewSparseSimBuilder(3).Add(0, 1, 0) })
+	assertPanics(t, "above one", func() { NewSparseSimBuilder(3).Add(0, 1, 1.5) })
+	assertPanics(t, "duplicate pair", func() {
+		b := NewSparseSimBuilder(3)
+		b.Add(0, 1, 0.5)
+		b.Add(1, 0, 0.6)
+		b.Build()
+	})
+}
+
 func TestUniformAndIdentitySim(t *testing.T) {
 	u := UniformSim{N: 5}
 	if u.Sim(0, 4) != 1 || u.Sim(2, 2) != 1 {

@@ -24,6 +24,7 @@ import (
 	"phocus/internal/celf"
 	"phocus/internal/dataset"
 	"phocus/internal/exact"
+	"phocus/internal/obs"
 	"phocus/internal/par"
 	"phocus/internal/sparsify"
 	"phocus/internal/sviridenko"
@@ -57,6 +58,9 @@ type PrepareOptions struct {
 	// for Fingerprint instead of re-serializing the instance — callers that
 	// already stream the bytes get fingerprinting for free.
 	InstanceDigest string
+	// Metrics, when non-nil, receives stage telemetry
+	// (phocus_kernel_build_seconds). It does not contribute to Fingerprint.
+	Metrics *obs.Registry
 }
 
 // RunOptions configures one Solver-stage run against a Prepared instance.
@@ -94,14 +98,27 @@ type Prepared struct {
 	sparse []par.Subset  // τ-sparsified subsets; nil when Tau == 0
 	opts   PrepareOptions
 
+	// kernBase is the compiled gain kernel over the base (true-objective)
+	// subsets: it accelerates Run's rescore and online-bound passes. kernSolve
+	// covers the sparsified subsets and accelerates the solver; nil when
+	// Tau == 0 (the solver then runs on the base view and uses kernBase).
+	// Kernels index by subset/member layout only, so one compile serves every
+	// budgeted view Run builds.
+	kernBase  *par.Kernel
+	kernSolve *par.Kernel
+
 	sizeBytes int64
 
 	fpOnce sync.Once
 	fp     string
 	fpErr  error
 
-	// PrepTime is the wall-clock cost of the stage (finalize + sparsify).
+	// PrepTime is the wall-clock cost of the stage (finalize + sparsify +
+	// kernel compilation).
 	PrepTime time.Duration
+	// KernelBuildTime is the portion of PrepTime spent compiling gain
+	// kernels.
+	KernelBuildTime time.Duration
 	// OriginalPairs / SparsifiedPairs report how much τ-sparsification
 	// shrank the similarity structure (both zero when Tau == 0). On the LSH
 	// path OriginalPairs counts only candidate pairs with positive true
@@ -154,9 +171,23 @@ func Prepare(ctx context.Context, ds *dataset.Dataset, opts PrepareOptions) (*Pr
 		p.sparse = sres.Instance.Subsets
 		p.OriginalPairs = sres.PairsBefore
 		p.SparsifiedPairs = sres.PairsAfter
+		// The sparsified instance shares Cost/Retained with base and is
+		// already finalized, so its kernel is valid for every budgeted view
+		// Run builds over p.sparse.
+		kt := time.Now()
+		p.kernSolve = par.CompileKernel(sres.Instance)
+		p.kernBase = par.CompileKernel(base)
+		p.KernelBuildTime = time.Since(kt)
+	} else {
+		kt := time.Now()
+		p.kernBase = par.CompileKernel(base)
+		p.KernelBuildTime = time.Since(kt)
+	}
+	if opts.Metrics != nil {
+		obs.RecordKernelBuild(opts.Metrics, p.KernelBuildTime)
 	}
 	p.PrepTime = time.Since(start)
-	p.sizeBytes = instanceSizeBytes(base.Cost, base.Subsets) + subsetsSizeBytes(p.sparse)
+	p.sizeBytes = instanceSizeBytes(base.Cost, base.Subsets) + subsetsSizeBytes(p.sparse) + p.KernelBytes()
 	return p, nil
 }
 
@@ -167,9 +198,22 @@ func (p *Prepared) NumPhotos() int { return p.base.NumPhotos() }
 func (p *Prepared) TotalCost() float64 { return p.base.TotalCost() }
 
 // SizeBytes estimates the memory retained by the Prepared (cost vector,
-// subset structure and similarity pairs, sparse and dense); cache byte
-// bounds use it.
+// subset structure and similarity pairs — sparse and dense — plus the
+// compiled gain kernels); cache byte bounds use it.
 func (p *Prepared) SizeBytes() int64 { return p.sizeBytes }
+
+// KernelBytes returns the memory retained by the compiled gain kernels
+// (included in SizeBytes).
+func (p *Prepared) KernelBytes() int64 {
+	var n int64
+	if p.kernBase != nil {
+		n += p.kernBase.SizeBytes()
+	}
+	if p.kernSolve != nil {
+		n += p.kernSolve.SizeBytes()
+	}
+	return n
+}
 
 // Fingerprint returns the content fingerprint identifying this Prepared: a
 // sha256 over the instance bytes (opts.InstanceDigest when supplied,
@@ -262,6 +306,13 @@ func (p *Prepared) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 	if err := trueInst.Finalize(); err != nil {
 		return nil, fmt.Errorf("phocus: %w", err)
 	}
+	// The kernels were compiled once at Prepare time over the same subset
+	// layouts these views share, so attaching is just a validation + pointer
+	// set; the solver, rescore and online-bound passes all run the compiled
+	// hot path.
+	if err := trueInst.AttachKernel(p.kernBase); err != nil {
+		return nil, fmt.Errorf("phocus: %w", err)
+	}
 	solveInst := trueInst
 	if p.sparse != nil {
 		solveInst = &par.Instance{
@@ -271,6 +322,9 @@ func (p *Prepared) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 			Subsets:  p.sparse,
 		}
 		if err := solveInst.Finalize(); err != nil {
+			return nil, fmt.Errorf("phocus: %w", err)
+		}
+		if err := solveInst.AttachKernel(p.kernSolve); err != nil {
 			return nil, fmt.Errorf("phocus: %w", err)
 		}
 	}

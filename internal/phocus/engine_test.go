@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"phocus/internal/dataset"
+	"phocus/internal/obs"
 	"phocus/internal/par"
 )
 
@@ -81,6 +82,49 @@ func TestPrepareRunMatchesSolve(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestPreparedCompilesKernel pins the Prepare-time kernel compilation: the
+// compiled kernels exist on both the dense and sparsified paths, their bytes
+// are part of SizeBytes, the build time is part of PrepTime, and the
+// phocus_kernel_build_seconds metric is recorded when a registry is wired.
+func TestPreparedCompilesKernel(t *testing.T) {
+	ds := sweepDataset(t, 13)
+	for _, mode := range []struct {
+		name string
+		prep PrepareOptions
+	}{
+		{"dense", PrepareOptions{}},
+		{"exact-sparsify", PrepareOptions{Tau: 0.5}},
+	} {
+		reg := obs.NewRegistry()
+		opts := mode.prep
+		opts.Metrics = reg
+		p, err := Prepare(context.Background(), ds, opts)
+		if err != nil {
+			t.Fatalf("%s: Prepare: %v", mode.name, err)
+		}
+		if p.KernelBytes() <= 0 {
+			t.Errorf("%s: KernelBytes = %d, want > 0", mode.name, p.KernelBytes())
+		}
+		if p.SizeBytes() < p.KernelBytes() {
+			t.Errorf("%s: SizeBytes %d < KernelBytes %d", mode.name, p.SizeBytes(), p.KernelBytes())
+		}
+		if p.KernelBuildTime <= 0 || p.KernelBuildTime > p.PrepTime {
+			t.Errorf("%s: KernelBuildTime %v outside (0, PrepTime=%v]", mode.name, p.KernelBuildTime, p.PrepTime)
+		}
+		if got := reg.Histogram("phocus_kernel_build_seconds", nil).Count(); got != 1 {
+			t.Errorf("%s: phocus_kernel_build_seconds count = %d, want 1", mode.name, got)
+		}
+	}
+	// No registry wired: Prepare must not blow up, kernels still compile.
+	p, err := Prepare(context.Background(), ds, PrepareOptions{})
+	if err != nil {
+		t.Fatalf("Prepare without Metrics: %v", err)
+	}
+	if p.KernelBytes() <= 0 {
+		t.Error("Prepare without Metrics compiled no kernel")
 	}
 }
 

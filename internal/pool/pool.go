@@ -38,6 +38,47 @@ func Resolve(workers int) int {
 // must confine its writes to per-index state. A panic in any fn is re-raised
 // on the calling goroutine after all workers have drained, preserving the
 // synchronous path's panic semantics.
+// ForEachChunk is the chunked variant of ForEach: it calls fn over disjoint
+// half-open ranges [lo, hi) that together cover [0, n) exactly once, handing
+// out whole chunks through the shared counter instead of single indices.
+// Hot batch loops (Evaluator.Gains, CELF's stale-entry recompute) use it to
+// amortize the per-index closure dispatch and atomic increment of ForEach
+// over an entire chunk of work.
+//
+// The per-index contract is ForEach's: every index in [0, n) is processed
+// exactly once and the set of indices is independent of workers — only the
+// partition into ranges varies — so callers writing per-index results stay
+// byte-identical for every worker count. With an effective worker count of 1
+// it degrades to a single fn(0, n) call.
+func ForEachChunk(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	// Several chunks per worker so a skewed chunk doesn't serialize the
+	// batch, while each handout still covers many indices.
+	chunk := (n + 4*workers - 1) / (4 * workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	chunks := (n + chunk - 1) / chunk
+	ForEach(chunks, workers, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
 func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return

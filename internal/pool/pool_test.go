@@ -38,6 +38,73 @@ func TestForEachCoversAllIndices(t *testing.T) {
 	}
 }
 
+// TestForEachChunkCoversAllIndices: the handed-out ranges are disjoint and
+// cover [0, n) exactly, whatever the worker count.
+func TestForEachChunkCoversAllIndices(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{0, 1, 2, 8, n + 5} {
+		visits := make([]int32, n)
+		ForEachChunk(n, workers, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("workers=%d: bad range [%d, %d)", workers, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestForEachChunkSequentialIsOneCall: workers=1 must degrade to a single
+// full-range call, the zero-overhead path.
+func TestForEachChunkSequentialIsOneCall(t *testing.T) {
+	calls := 0
+	ForEachChunk(100, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Errorf("got range [%d, %d), want [0, 100)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("fn called %d times, want 1", calls)
+	}
+}
+
+func TestForEachChunkEmpty(t *testing.T) {
+	called := false
+	ForEachChunk(0, 4, func(int, int) { called = true })
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+// TestForEachChunkPanicPropagates: ForEachChunk inherits ForEach's panic
+// semantics.
+func TestForEachChunkPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			ForEachChunk(100, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if i == 37 {
+						panic("boom")
+					}
+				}
+			})
+			t.Errorf("workers=%d: ForEachChunk returned instead of panicking", workers)
+		}()
+	}
+}
+
 func TestForEachEmpty(t *testing.T) {
 	called := false
 	ForEach(0, 4, func(int) { called = true })

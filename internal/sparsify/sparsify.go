@@ -87,7 +87,11 @@ func ExactWorkers(inst *par.Instance, tau float64, workers int, obs Observer) (R
 	pool.ForEach(len(inst.Subsets), workers, func(qi int) {
 		q := &inst.Subsets[qi]
 		k := len(q.Members)
-		sr := subsetResult{sparse: par.NewSparseSim(k)}
+		sr := subsetResult{}
+		// Bulk-build the sparse rows: pairs arrive in ascending order, so the
+		// builder's sort-once Build is linear here, versus the O(deg²) sorted
+		// inserts SparseSim.Add would pay per row.
+		bld := par.NewSparseSimBuilder(k)
 		for i := 0; i < k; i++ {
 			for j := i + 1; j < k; j++ {
 				s := q.Sim.Sim(i, j)
@@ -96,11 +100,12 @@ func ExactWorkers(inst *par.Instance, tau float64, workers int, obs Observer) (R
 					sr.examined++
 				}
 				if s >= tau && s > 0 {
-					sr.sparse.Add(i, j, s)
+					bld.Add(i, j, s)
 					sr.kept++
 				}
 			}
 		}
+		sr.sparse = bld.Build()
 		perSubset[qi] = sr
 	})
 	for qi := range inst.Subsets {
@@ -191,7 +196,8 @@ func WithLSHWorkers(rng *rand.Rand, inst *par.Instance, ctxVectors [][]embed.Vec
 	pool.ForEach(len(inst.Subsets), workers, func(qi int) {
 		q := &inst.Subsets[qi]
 		k := len(q.Members)
-		sr := subsetResult{sparse: par.NewSparseSim(k)}
+		sr := subsetResult{}
+		bld := par.NewSparseSimBuilder(k)
 		if k > 1 {
 			hasher := hashers[len(ctxVectors[qi][0])]
 			for _, pair := range hasher.CandidatePairsParallel(ctxVectors[qi], inner, nil) {
@@ -201,11 +207,12 @@ func WithLSHWorkers(rng *rand.Rand, inst *par.Instance, ctxVectors [][]embed.Vec
 					sr.before++
 				}
 				if s >= tau && s > 0 {
-					sr.sparse.Add(pair.I, pair.J, s)
+					bld.Add(pair.I, pair.J, s)
 					sr.kept++
 				}
 			}
 		}
+		sr.sparse = bld.Build()
 		perSubset[qi] = sr
 	})
 	for qi := range inst.Subsets {
