@@ -1,0 +1,292 @@
+// Async jobs API: the HTTP face of internal/jobs. POST /jobs answers 202
+// with a job ID immediately; the solve runs on the job scheduler's worker
+// pool through the same solveCore as /solve, status and result are polled
+// by ID, and DELETE cancels (the cancel propagates into the solver through
+// par.ContextSolver, so even a mid-run job stops promptly).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"phocus/internal/jobs"
+	"phocus/internal/obs"
+)
+
+// jobStatusDoc is the wire format of GET /jobs/{id} (and the body of 202 /
+// 409 answers that describe a job).
+type jobStatusDoc struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// QueuePosition is the number of jobs ahead (0 = next to run); present
+	// only while the job is queued.
+	QueuePosition *int       `json:"queue_position,omitempty"`
+	Attempts      int        `json:"attempts,omitempty"`
+	Params        string     `json:"params,omitempty"`
+	Error         string     `json:"error,omitempty"`
+	SubmittedAt   time.Time  `json:"submitted_at"`
+	StartedAt     *time.Time `json:"started_at,omitempty"`
+	FinishedAt    *time.Time `json:"finished_at,omitempty"`
+	WaitMS        float64    `json:"wait_ms,omitempty"`
+	RunMS         float64    `json:"run_ms,omitempty"`
+	StatusURL     string     `json:"status_url"`
+	ResultURL     string     `json:"result_url,omitempty"`
+}
+
+// jobDoc renders a job (and its queue position, -1 when not queued) for
+// the wire.
+func jobDoc(j jobs.Job, pos int) jobStatusDoc {
+	doc := jobStatusDoc{
+		ID:          j.ID,
+		State:       string(j.State),
+		Attempts:    j.Attempts,
+		Params:      j.Params,
+		Error:       j.Error,
+		SubmittedAt: j.SubmittedAt,
+		StatusURL:   "/jobs/" + j.ID,
+	}
+	if j.State == jobs.StateQueued && pos >= 0 {
+		doc.QueuePosition = &pos
+	}
+	if !j.StartedAt.IsZero() {
+		t := j.StartedAt
+		doc.StartedAt = &t
+		doc.WaitMS = float64(j.Wait().Microseconds()) / 1000
+	}
+	if !j.FinishedAt.IsZero() {
+		t := j.FinishedAt
+		doc.FinishedAt = &t
+		doc.RunMS = float64(j.Run().Microseconds()) / 1000
+	}
+	if j.State == jobs.StateDone {
+		doc.ResultURL = "/jobs/" + j.ID + "/result"
+	}
+	return doc
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleReadyz is the load-balancer readiness gate: 200 only once WAL
+// replay has finished and the queue is accepting; 503 before that and
+// during the graceful-shutdown drain (so routing stops before intake does).
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.jobs.Ready() {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	http.Error(w, "draining", http.StatusServiceUnavailable)
+}
+
+// handleJobSubmit is POST /jobs: validate params, read the payload, admit
+// it. 202 with the job document on success; 429 + Retry-After when the
+// queue caps reject it; 503 while draining.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if _, err := parseSolveParams(r.URL.Query()); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) == 0 {
+		http.Error(w, "empty request body: want instance JSON", http.StatusBadRequest)
+		return
+	}
+	job, err := s.jobs.Submit(r.URL.RawQuery, body)
+	if err != nil {
+		s.rejectSaturated(w, err)
+		return
+	}
+	_, pos, _ := s.jobs.Get(job.ID)
+	writeJSON(w, http.StatusAccepted, jobDoc(job, pos))
+}
+
+// handleJobStatus is GET /jobs/{id}.
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, pos, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobDoc(j, pos))
+}
+
+// handleJobResult is GET /jobs/{id}/result: the stored solve response for
+// a done job; 409 with the status document for any other state.
+func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, pos, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if j.State != jobs.StateDone {
+		writeJSON(w, http.StatusConflict, jobDoc(j, pos))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(j.Result)
+}
+
+// handleJobCancel is DELETE /jobs/{id}: a queued job cancels immediately,
+// a running one when the solver unwinds (202 — poll the status); already
+// terminal jobs answer 409.
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.jobs.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, jobs.ErrTerminal):
+		writeJSON(w, http.StatusConflict, jobDoc(j, -1))
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		writeJSON(w, http.StatusAccepted, jobDoc(j, -1))
+	}
+}
+
+// jobListDoc is the wire format of GET /jobs.
+type jobListDoc struct {
+	Total  int            `json:"total"`
+	Offset int            `json:"offset"`
+	Count  int            `json:"count"`
+	Jobs   []jobStatusDoc `json:"jobs"`
+}
+
+// handleJobList is GET /jobs?offset=&limit=: jobs in submission order.
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	offset, err := nonNegInt(q.Get("offset"), 0)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("invalid offset %q: want a non-negative integer", q.Get("offset")), http.StatusBadRequest)
+		return
+	}
+	limit, err := nonNegInt(q.Get("limit"), 100)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("invalid limit %q: want a non-negative integer", q.Get("limit")), http.StatusBadRequest)
+		return
+	}
+	page, total := s.jobs.List(offset, limit)
+	docs := make([]jobStatusDoc, len(page))
+	for i, j := range page {
+		pos := -1
+		if j.State == jobs.StateQueued {
+			_, pos, _ = s.jobs.Get(j.ID)
+		}
+		docs[i] = jobDoc(j, pos)
+	}
+	writeJSON(w, http.StatusOK, jobListDoc{Total: total, Offset: offset, Count: len(docs), Jobs: docs})
+}
+
+// nonNegInt parses a non-negative integer query value ("" = def).
+func nonNegInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("invalid int %q", s)
+	}
+	return v, nil
+}
+
+// runJob is the scheduler's Runner: one job attempt through the shared
+// solveCore. The job ID doubles as the request ID so the job's spans and
+// log lines correlate exactly like a synchronous request's. The per-job
+// deadline is enforced by the scheduler's context, so no extra timeout is
+// layered here.
+func (s *server) runJob(ctx context.Context, job jobs.Job) ([]byte, error) {
+	ctx = obs.WithRequestID(ctx, job.ID)
+	ctx = obs.WithLogger(ctx, s.logger.With("req_id", job.ID))
+	q, err := url.ParseQuery(job.Params)
+	if err != nil {
+		return nil, fmt.Errorf("job params: %w", err)
+	}
+	params, err := parseSolveParams(q)
+	if err != nil {
+		return nil, fmt.Errorf("job params: %w", err)
+	}
+	resp, err := s.solveCore(ctx, bytes.NewReader(job.Body), params, 0)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(resp)
+}
+
+// admitSync acquires a solver slot from the shared semaphore for a
+// synchronous /solve. A free slot is taken immediately; otherwise the
+// request waits in line — but only while the line is shorter than the job
+// queue's depth cap, beyond which it is rejected with ErrQueueFull exactly
+// like an over-cap job submission.
+func (s *server) admitSync(ctx context.Context) (release func(), err error) {
+	sem := s.jobs.Sem()
+	if sem.TryAcquire() {
+		return sem.Release, nil
+	}
+	if cap := s.jobs.QueueDepthCap(); cap > 0 && sem.Waiting() >= int64(cap) {
+		return nil, jobs.ErrQueueFull
+	}
+	if err := sem.Acquire(ctx); err != nil {
+		return nil, err
+	}
+	return sem.Release, nil
+}
+
+// rejectSaturated maps admission failures to backpressure responses:
+// ErrQueueFull → 429 with a Retry-After estimated from observed job run
+// times, ErrDraining → 503.
+func (s *server) rejectSaturated(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, jobs.ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// retryAfterSeconds estimates how long a rejected client should back off:
+// the time for the scheduler to chew through a full queue at the observed
+// mean job run time, clamped to [1s, 60s].
+func (s *server) retryAfterSeconds() int {
+	h := s.reg.Histogram("phocus_jobs_run_seconds", obs.DefBuckets)
+	mean := 1.0
+	if n := h.Count(); n > 0 {
+		mean = h.Sum() / float64(n)
+	}
+	depth := s.jobs.QueueDepthCap()
+	if depth <= 0 {
+		depth = 1
+	}
+	est := int(mean*float64(depth)/float64(s.jobs.Sem().Cap())) + 1
+	if est < 1 {
+		est = 1
+	}
+	if est > 60 {
+		est = 60
+	}
+	return est
+}

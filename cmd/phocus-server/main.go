@@ -1,11 +1,24 @@
 // Command phocus-server exposes the PHOcus Solver over HTTP — the Go
 // counterpart of the paper's Python/Flask solver service (Section 5.1).
 //
-//	POST /solve?algo=celf&tau=0.75&budget=5e6   body: instance JSON
-//	GET  /healthz
-//	GET  /metrics        Prometheus text exposition
-//	GET  /debug/vars     JSON metrics snapshot (p50/p95/p99 summaries)
-//	GET  /debug/pprof/   runtime profiles (only with -pprof)
+//	POST   /solve?algo=celf&tau=0.75&budget=5e6   body: instance JSON (synchronous)
+//	POST   /jobs?algo=...&tau=...                 body: instance JSON → 202 + job ID (async)
+//	GET    /jobs                                  paginated job listing
+//	GET    /jobs/{id}                             job status, queue position, timings
+//	GET    /jobs/{id}/result                      solve result once the job is done
+//	DELETE /jobs/{id}                             cancel (queued or mid-run)
+//	GET    /healthz                               liveness
+//	GET    /readyz                                readiness (503 until WAL replay, and during drain)
+//	GET    /metrics                               Prometheus text exposition
+//	GET    /debug/vars                            JSON metrics snapshot (p50/p95/p99 summaries)
+//	GET    /debug/pprof/                          runtime profiles (only with -pprof)
+//
+// Large solves should go through the async job API: POST /jobs answers 202
+// immediately, the solve runs on the internal/jobs scheduler (durable
+// write-ahead log under -data-dir, so admitted jobs survive a crash), and
+// admission control answers 429 + Retry-After once the queue caps are hit.
+// The synchronous /solve path shares the same admission budget: when the
+// scheduler is saturated it too answers 429 instead of queueing unboundedly.
 //
 // The /solve response is a JSON document listing the photos to retain and
 // archive with the achieved score, the online optimality certificate, the
@@ -47,6 +60,7 @@ import (
 	"phocus/internal/celf"
 	"phocus/internal/dataset"
 	"phocus/internal/embed"
+	"phocus/internal/jobs"
 	"phocus/internal/obs"
 	"phocus/internal/par"
 	"phocus/internal/phocus"
@@ -63,17 +77,32 @@ func main() {
 	solveTimeout := flag.Duration("solve-timeout", 0, "per-request solve deadline (0 = none); expired solves stop mid-run and return 503")
 	cacheEntries := flag.Int("prepare-cache-entries", 64, "prepared-instance cache entry bound (0 with a zero byte bound disables the cache)")
 	cacheBytes := flag.Int64("prepare-cache-bytes", 1<<30, "prepared-instance cache byte bound")
+	dataDir := flag.String("data-dir", "", "durable job-store directory for the async /jobs API (empty = in-memory jobs, no crash recovery)")
+	jobWorkers := flag.Int("job-workers", 0, "async job scheduler worker count (0 = the -workers value)")
+	queueDepth := flag.Int("queue-depth", 32, "job queue depth cap; over it submissions get 429 (0 = unbounded)")
+	queueBytes := flag.Int64("queue-bytes", 1<<30, "job queue total payload byte cap (0 = unbounded)")
+	jobRetries := flag.Int("job-retries", 3, "max runner attempts per job for transient failures")
+	drainTimeout := flag.Duration("drain-timeout", 20*time.Second, "graceful-shutdown budget for running jobs before they are checkpointed back to the queue")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
-	s := newServer(logger, serverConfig{
+	s, err := newServer(logger, serverConfig{
 		MaxBody:       *maxBody,
 		Workers:       *workers,
 		ExactMaxNodes: *exactMaxNodes,
 		SolveTimeout:  *solveTimeout,
 		CacheEntries:  *cacheEntries,
 		CacheBytes:    *cacheBytes,
+		DataDir:       *dataDir,
+		JobWorkers:    *jobWorkers,
+		QueueDepth:    *queueDepth,
+		QueueBytes:    *queueBytes,
+		JobRetries:    *jobRetries,
 	})
+	if err != nil {
+		logger.Error("startup", "err", err)
+		os.Exit(1)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -91,15 +120,26 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		logger.Info("shutting down")
+		// Flip /readyz to 503 first so load balancers stop routing, then
+		// stop HTTP intake, then drain the job scheduler: running jobs get
+		// -drain-timeout to finish before they are checkpointed back to
+		// queued and the WAL flushes a final snapshot.
+		s.jobs.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			logger.Error("shutdown", "err", err)
 		}
+		dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer dcancel()
+		if err := s.jobs.Close(dctx); err != nil {
+			logger.Error("jobs shutdown", "err", err)
+		}
 	}()
 
 	logger.Info("phocus-server listening", "addr", *addr, "max_body", *maxBody, "pprof", *pprofOn,
-		"workers", s.workers, "exact_max_nodes", s.exactMaxNodes, "solve_timeout", s.solveTimeout)
+		"workers", s.workers, "exact_max_nodes", s.exactMaxNodes, "solve_timeout", s.solveTimeout,
+		"data_dir", *dataDir, "queue_depth", *queueDepth)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("serve", "err", err)
 		os.Exit(1)
@@ -121,6 +161,17 @@ type serverConfig struct {
 	// disables caching.
 	CacheEntries int
 	CacheBytes   int64
+	// DataDir is the async job store's durable directory ("" = in-memory).
+	DataDir string
+	// JobWorkers sizes the async scheduler's worker pool (0 = Workers).
+	JobWorkers int
+	// QueueDepth / QueueBytes bound job admission (≤ 0 = unbounded).
+	QueueDepth int
+	QueueBytes int64
+	// JobRetries caps runner attempts per job (0 = jobs default).
+	JobRetries int
+	// JobStoreNoSync skips the per-append WAL fsync (tests/benchmarks).
+	JobStoreNoSync bool
 }
 
 // server bundles the handler dependencies: logger, metrics registry,
@@ -133,9 +184,11 @@ type server struct {
 	exactMaxNodes int64
 	solveTimeout  time.Duration
 	cache         *phocus.PreparedCache
+	jobs          *jobs.Service
+	queueDepth    int
 }
 
-func newServer(logger *slog.Logger, cfg serverConfig) *server {
+func newServer(logger *slog.Logger, cfg serverConfig) (*server, error) {
 	s := &server{
 		logger:        logger,
 		reg:           obs.NewRegistry(),
@@ -143,6 +196,7 @@ func newServer(logger *slog.Logger, cfg serverConfig) *server {
 		workers:       pool.Resolve(cfg.Workers),
 		exactMaxNodes: cfg.ExactMaxNodes,
 		solveTimeout:  cfg.SolveTimeout,
+		queueDepth:    cfg.QueueDepth,
 	}
 	if cfg.ExactMaxNodes < 0 {
 		s.exactMaxNodes = 0
@@ -151,7 +205,30 @@ func newServer(logger *slog.Logger, cfg serverConfig) *server {
 		s.cache = phocus.NewPreparedCache(cfg.CacheEntries, cfg.CacheBytes)
 	}
 	s.reg.Gauge("phocus_workers").Set(float64(s.workers))
-	return s
+
+	// The job service opens last: its workers may immediately resume
+	// recovered jobs through s.runJob, so the server must be fully wired.
+	jobWorkers := cfg.JobWorkers
+	if jobWorkers <= 0 {
+		jobWorkers = s.workers
+	}
+	svc, _, err := jobs.NewService(jobs.Config{
+		Dir:         cfg.DataDir,
+		Workers:     jobWorkers,
+		QueueDepth:  cfg.QueueDepth,
+		QueueBytes:  cfg.QueueBytes,
+		MaxAttempts: cfg.JobRetries,
+		JobTimeout:  cfg.SolveTimeout,
+		Seed:        1,
+		Metrics:     s.reg,
+		Logger:      logger,
+		Store:       jobs.StoreOptions{NoSync: cfg.JobStoreNoSync},
+	}, s.runJob)
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = svc
+	return s, nil
 }
 
 // mux builds the HTTP API.
@@ -160,7 +237,13 @@ func (s *server) mux(pprofOn bool) *http.ServeMux {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		if err := s.reg.WritePrometheus(w); err != nil {
@@ -217,11 +300,14 @@ func (s *server) telemetry(next http.Handler) http.Handler {
 // collapse into one series so clients cannot explode label cardinality).
 func routeLabel(path string) string {
 	switch path {
-	case "/solve", "/healthz", "/metrics", "/debug/vars":
+	case "/solve", "/healthz", "/readyz", "/metrics", "/debug/vars", "/jobs":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof/") {
 		return "/debug/pprof/"
+	}
+	if strings.HasPrefix(path, "/jobs/") {
+		return "/jobs/{id}"
 	}
 	return "other"
 }
@@ -347,6 +433,16 @@ func toCtxVectors(vecs [][][]float64) [][]embed.Vector {
 	return out
 }
 
+// httpError carries the HTTP status a solve-core failure maps to; errors
+// without one fall through to 500 (or the cancel paths).
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	logger := obs.Logger(ctx)
@@ -357,35 +453,85 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Synchronous solves share the async scheduler's admission budget: the
+	// request must hold a solver slot for its whole pipeline, and once the
+	// wait line reaches the queue-depth cap it gets 429 like an over-cap
+	// job submission would — not an unbounded queue on the worker pool.
+	release, err := s.admitSync(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The client hung up while waiting for a slot; nobody to answer.
+			s.reg.Counter("phocus_http_canceled_total", "route", "/solve").Inc()
+			logger.Warn("client canceled while waiting for a solve slot", "err", err)
+			return
+		}
+		obs.RecordJobRejected(s.reg)
+		s.rejectSaturated(w, err)
+		return
+	}
+	defer release()
+
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	resp, err := s.solveCore(ctx, r.Body, params, s.solveTimeout)
+	if err != nil {
+		var he *httpError
+		switch {
+		case errors.As(err, &he):
+			http.Error(w, he.Error(), he.status)
+		case r.Context().Err() != nil:
+			// The client is gone; there is nobody to answer.
+			s.reg.Counter("phocus_http_canceled_total", "route", "/solve").Inc()
+			logger.Warn("client canceled during solve", "err", err)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, "solve timed out", http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+
+	_, encodeSpan := obs.StartSpan(ctx, "encode")
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.reg.Counter("phocus_http_encode_errors_total").Inc()
+		logger.Error("encode response", "err", err)
+	}
+	encodeSpan.End()
+}
+
+// solveCore is the decode → prepare → solve pipeline shared by the
+// synchronous /solve handler and the async job runner: it streams the body
+// through sha256 into the prepared-instance cache key, prepares through the
+// cache's singleflight (concurrent identical archives prepare once), runs
+// the solver under ctx (plus timeout when positive), and reports the shared
+// solve metrics. Failures that have a defined HTTP status come back as
+// *httpError; context errors come back verbatim for the caller to classify.
+func (s *server) solveCore(ctx context.Context, body io.Reader, params solveParams, timeout time.Duration) (*solveResponse, error) {
 	ctx, decodeSpan := obs.StartSpan(ctx, "decode")
 	// The body streams through sha256 while decoding: the digest keys the
 	// prepared-instance cache without a second serialization pass.
 	hasher := sha256.New()
-	inst, vecs, err := par.ReadJSONVectors(io.TeeReader(r.Body, hasher))
+	inst, vecs, err := par.ReadJSONVectors(io.TeeReader(body, hasher))
 	if err != nil {
 		decodeSpan.End("err", err.Error())
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
-				http.StatusRequestEntityTooLarge)
-			return
+			return nil, &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)}
 		}
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return nil, &httpError{http.StatusBadRequest, err}
 	}
 	decodeSpan.End("photos", inst.NumPhotos(), "subsets", len(inst.Subsets))
 
 	if params.budget > 0 {
 		inst.Budget = params.budget
 		if err := inst.Finalize(); err != nil {
-			http.Error(w, fmt.Sprintf("invalid budget %g: %v", params.budget, err), http.StatusBadRequest)
-			return
+			return nil, &httpError{http.StatusBadRequest,
+				fmt.Errorf("invalid budget %g: %v", params.budget, err)}
 		}
 	}
 	if params.lsh && vecs == nil {
-		http.Error(w, phocus.ErrNoCtxVectors.Error(), http.StatusBadRequest)
-		return
+		return nil, &httpError{http.StatusBadRequest, phocus.ErrNoCtxVectors}
 	}
 
 	ds := &dataset.Dataset{Instance: inst, CtxVectors: toCtxVectors(vecs)}
@@ -397,37 +543,17 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		InstanceDigest: hex.EncodeToString(hasher.Sum(nil)),
 		Metrics:        s.reg,
 	}
-	// The cache key excludes the budget (a Run parameter), so a budget
-	// sweep over one archive prepares exactly once.
-	key := phocus.FingerprintFor(popts.InstanceDigest, popts)
-	var prep *phocus.Prepared
-	if s.cache != nil {
-		p, ok := s.cache.Get(key)
-		obs.RecordPrepareCache(s.reg, ok)
-		if ok {
-			prep = p
-		}
-	}
-	if prep == nil {
+	prepare := func() (*phocus.Prepared, error) {
 		var span *obs.Span
 		if params.tau > 0 {
 			_, span = obs.StartSpan(ctx, "sparsify")
 		}
-		prep, err = phocus.Prepare(ctx, ds, popts)
+		prep, err := phocus.Prepare(ctx, ds, popts)
 		if err != nil {
 			if span != nil {
 				span.End("err", err.Error())
 			}
-			switch {
-			case ctx.Err() != nil:
-				s.reg.Counter("phocus_http_canceled_total", "route", "/solve").Inc()
-				logger.Warn("client canceled before solve", "err", err)
-			case errors.Is(err, phocus.ErrNoCtxVectors):
-				http.Error(w, err.Error(), http.StatusBadRequest)
-			default:
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
-			return
+			return nil, err
 		}
 		if span != nil {
 			span.End("tau", params.tau, "lsh", params.lsh,
@@ -437,17 +563,35 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.reg.Gauge("phocus_sparsify_keep_ratio").
 				Set(float64(prep.SparsifiedPairs) / float64(prep.OriginalPairs))
 		}
-		if s.cache != nil {
-			obs.RecordPrepareCacheEvictions(s.reg, int64(s.cache.Put(key, prep)))
+		return prep, nil
+	}
+	// The cache key excludes the budget (a Run parameter), so a budget
+	// sweep over one archive prepares exactly once; the singleflight means
+	// a burst of jobs over one archive does too.
+	var prep *phocus.Prepared
+	if s.cache != nil {
+		key := phocus.FingerprintFor(popts.InstanceDigest, popts)
+		var hit bool
+		var evicted int
+		prep, hit, evicted, err = s.cache.GetOrPrepare(key, prepare)
+		if err == nil {
+			obs.RecordPrepareCache(s.reg, hit)
+			obs.RecordPrepareCacheEvictions(s.reg, int64(evicted))
 		}
+	} else {
+		prep, err = prepare()
+	}
+	if err != nil {
+		if errors.Is(err, phocus.ErrNoCtxVectors) {
+			return nil, &httpError{http.StatusBadRequest, err}
+		}
+		return nil, err
 	}
 
-	// The solve is the expensive stage: if the client already hung up,
+	// The solve is the expensive stage: if the caller already went away,
 	// stop here instead of burning CPU on an unwanted answer.
 	if err := ctx.Err(); err != nil {
-		s.reg.Counter("phocus_http_canceled_total", "route", "/solve").Inc()
-		logger.Warn("client canceled before solve", "err", err)
-		return
+		return nil, err
 	}
 
 	stats := &solveStats{}
@@ -471,28 +615,19 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	solveCtx := ctx
-	if s.solveTimeout > 0 {
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		solveCtx, cancel = context.WithTimeout(ctx, s.solveTimeout)
+		solveCtx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	solveCtx, solveSpan := obs.StartSpan(solveCtx, "solve")
 	res, err := prep.Run(solveCtx, ropts)
 	if err != nil {
 		solveSpan.End("algo", params.algo.DisplayName(), "err", err.Error())
-		switch {
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			obs.RecordSolveCanceled(s.reg, params.algo.DisplayName())
-			if r.Context().Err() != nil {
-				// The client is gone; there is nobody to answer.
-				logger.Warn("client canceled during solve", "err", err)
-				return
-			}
-			http.Error(w, "solve timed out", http.StatusServiceUnavailable)
-		default:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
-		return
+		return nil, err
 	}
 	elapsed := solveSpan.End("algo", res.Algorithm, "score", res.Solution.Score)
 	stats.ElapsedMS = float64(elapsed.Microseconds()) / 1000
@@ -513,10 +648,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if archive == nil {
 		archive = []par.PhotoID{}
 	}
-
-	_, encodeSpan := obs.StartSpan(ctx, "encode")
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(solveResponse{
+	return &solveResponse{
 		RequestID:   obs.RequestID(ctx),
 		Algorithm:   res.Algorithm,
 		Retain:      res.Solution.Photos,
@@ -526,9 +658,5 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Budget:      inst.Budget,
 		OnlineBound: res.OnlineBound,
 		Stats:       stats,
-	}); err != nil {
-		s.reg.Counter("phocus_http_encode_errors_total").Inc()
-		logger.Error("encode response", "err", err)
-	}
-	encodeSpan.End()
+	}, nil
 }

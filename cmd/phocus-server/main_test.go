@@ -22,15 +22,33 @@ import (
 
 // newTestServer builds a server with the default body limit logging to
 // logs (io.Discard when nil) and returns it with its full handler chain.
-func newTestServer(logs io.Writer) (*server, http.Handler) {
+func newTestServer(t testing.TB, logs io.Writer) (*server, http.Handler) {
+	t.Helper()
 	if logs == nil {
 		logs = io.Discard
 	}
-	s := newServer(slog.New(slog.NewTextHandler(logs, nil)), serverConfig{
+	s := mustServer(t, slog.New(slog.NewTextHandler(logs, nil)), serverConfig{
 		MaxBody: 256 << 20, Workers: 2, ExactMaxNodes: 50_000_000,
 		CacheEntries: 64, CacheBytes: 1 << 30,
 	})
 	return s, s.telemetry(s.mux(false))
+}
+
+// mustServer builds a server from cfg (WAL fsync off for test speed) and
+// tears the job service down with the test.
+func mustServer(t testing.TB, logger *slog.Logger, cfg serverConfig) *server {
+	t.Helper()
+	cfg.JobStoreNoSync = true
+	s, err := newServer(logger, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.jobs.Close(ctx)
+	})
+	return s
 }
 
 func instanceBody(t *testing.T, budget float64) *bytes.Buffer {
@@ -48,7 +66,7 @@ func instanceBody(t *testing.T, budget float64) *bytes.Buffer {
 }
 
 func TestHealthz(t *testing.T) {
-	_, h := newTestServer(nil)
+	_, h := newTestServer(t, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
@@ -62,7 +80,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestSolveEndpoint(t *testing.T) {
-	_, h := newTestServer(nil)
+	_, h := newTestServer(t, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Post(srv.URL+"/solve?algo=celf", "application/json", instanceBody(t, 3.0))
@@ -100,7 +118,7 @@ func TestSolveEndpoint(t *testing.T) {
 }
 
 func TestSolveBudgetOverrideAndTau(t *testing.T) {
-	_, h := newTestServer(nil)
+	_, h := newTestServer(t, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Post(srv.URL+"/solve?budget=1.3&tau=0.6&algo=exact", "application/json", instanceBody(t, 8.2))
@@ -127,7 +145,7 @@ func TestSolveBudgetOverrideAndTau(t *testing.T) {
 }
 
 func TestSolveErrors(t *testing.T) {
-	_, h := newTestServer(nil)
+	_, h := newTestServer(t, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	cases := []struct {
@@ -156,7 +174,7 @@ func TestSolveErrors(t *testing.T) {
 }
 
 func TestMethodRouting(t *testing.T) {
-	_, h := newTestServer(nil)
+	_, h := newTestServer(t, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/solve")
@@ -171,7 +189,7 @@ func TestMethodRouting(t *testing.T) {
 
 func TestLoggingMiddleware(t *testing.T) {
 	var buf bytes.Buffer
-	_, h := newTestServer(&buf)
+	_, h := newTestServer(t, &buf)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
@@ -198,7 +216,7 @@ func TestLoggingMiddleware(t *testing.T) {
 // appears on every span log line emitted for that request.
 func TestRequestIDPropagation(t *testing.T) {
 	var buf bytes.Buffer
-	_, h := newTestServer(&buf)
+	_, h := newTestServer(t, &buf)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
@@ -245,7 +263,7 @@ func TestRequestIDPropagation(t *testing.T) {
 // TestRequestIDFromClientHeader: a client-supplied ID is reused, not
 // replaced.
 func TestRequestIDFromClientHeader(t *testing.T) {
-	_, h := newTestServer(nil)
+	_, h := newTestServer(t, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	req, err := http.NewRequest("GET", srv.URL+"/healthz", nil)
@@ -267,7 +285,7 @@ func TestRequestIDFromClientHeader(t *testing.T) {
 // /solve, GET /metrics exposes request-latency histogram buckets, a
 // per-algorithm solve counter, and gain-eval totals.
 func TestMetricsEndpoint(t *testing.T) {
-	_, h := newTestServer(nil)
+	_, h := newTestServer(t, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Post(srv.URL+"/solve", "application/json", instanceBody(t, 3.0))
@@ -300,7 +318,7 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestDebugVarsEndpoint(t *testing.T) {
-	_, h := newTestServer(nil)
+	_, h := newTestServer(t, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Post(srv.URL+"/solve", "application/json", instanceBody(t, 3.0))
@@ -324,7 +342,7 @@ func TestDebugVarsEndpoint(t *testing.T) {
 
 // TestMaxBodyLimit: an oversized body gets 413, not a decode error.
 func TestMaxBodyLimit(t *testing.T) {
-	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{MaxBody: 64, Workers: 2})
+	s := mustServer(t, slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{MaxBody: 64, Workers: 2})
 	srv := httptest.NewServer(s.telemetry(s.mux(false)))
 	defer srv.Close()
 	resp, err := http.Post(srv.URL+"/solve", "application/json", instanceBody(t, 3.0))
@@ -340,7 +358,7 @@ func TestMaxBodyLimit(t *testing.T) {
 // TestCancelBeforeSolve: an already-canceled request stops between the
 // sparsify and solve stages and bumps the canceled counter.
 func TestCancelBeforeSolve(t *testing.T) {
-	s, _ := newTestServer(nil)
+	s, _ := newTestServer(t, nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req := httptest.NewRequest("POST", "/solve?tau=0.6", instanceBody(t, 3.0)).WithContext(ctx)
@@ -381,7 +399,7 @@ func postSolve(t *testing.T, url, body string) solveResponse {
 // every later budget goes straight to the solver via the cache — and warm
 // results are identical to cold ones.
 func TestPrepareCacheSweep(t *testing.T) {
-	s, h := newTestServer(nil)
+	s, h := newTestServer(t, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
@@ -420,7 +438,7 @@ func TestPrepareCacheSweep(t *testing.T) {
 	}
 
 	// A warm answer must be byte-for-byte the cold answer.
-	_, coldH := newTestServer(nil)
+	_, coldH := newTestServer(t, nil)
 	coldSrv := httptest.NewServer(coldH)
 	defer coldSrv.Close()
 	cold := postSolve(t, coldSrv.URL+"/solve?tau=0.6&budget=2.6", body)
@@ -438,7 +456,7 @@ func TestPrepareCacheSweep(t *testing.T) {
 // TestPrepareCacheEvictionMetric: a one-entry cache evicts on the second
 // distinct preparation and the eviction shows up on the counter.
 func TestPrepareCacheEvictionMetric(t *testing.T) {
-	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{
+	s := mustServer(t, slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{
 		MaxBody: 1 << 20, Workers: 1, CacheEntries: 1, CacheBytes: 1 << 30,
 	})
 	srv := httptest.NewServer(s.telemetry(s.mux(false)))
@@ -455,7 +473,7 @@ func TestPrepareCacheEvictionMetric(t *testing.T) {
 // through the solver (as a client disconnect does) stops the solve mid-run,
 // bumps phocus_solve_canceled_total, and writes nothing to the gone client.
 func TestClientDisconnectDuringSolve(t *testing.T) {
-	s, _ := newTestServer(nil)
+	s, _ := newTestServer(t, nil)
 	rng := rand.New(rand.NewSource(33))
 	inst := par.Random(rng, par.RandomConfig{Photos: 60, Subsets: 20, BudgetFrac: 0.4})
 	var body bytes.Buffer
@@ -487,7 +505,7 @@ func TestClientDisconnectDuringSolve(t *testing.T) {
 // TestSolveTimeout: with -solve-timeout set, an expired deadline stops the
 // solve, answers 503, and counts into phocus_solve_canceled_total.
 func TestSolveTimeout(t *testing.T) {
-	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{
+	s := mustServer(t, slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{
 		MaxBody: 1 << 20, Workers: 2, SolveTimeout: time.Nanosecond,
 		CacheEntries: 4, CacheBytes: 1 << 30,
 	})
@@ -541,7 +559,7 @@ func vectorBody(t *testing.T, withVectors bool) (string, float64) {
 // vectors solves under LSH sparsification; the same request without vectors
 // is a 400 naming exactly what is missing.
 func TestSolveLSHParams(t *testing.T) {
-	_, h := newTestServer(nil)
+	_, h := newTestServer(t, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
@@ -575,7 +593,7 @@ func TestSolveLSHParams(t *testing.T) {
 // parseSolveParams — every rejection follows the same
 // "invalid <param> %q: want ..." shape.
 func TestSolveParamMessages(t *testing.T) {
-	_, h := newTestServer(nil)
+	_, h := newTestServer(t, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	body := instanceBody(t, 3.0).String()
@@ -665,7 +683,7 @@ func TestRouteLabel(t *testing.T) {
 // TestMiddlewareStatusClasses: the per-route counter buckets by status
 // class.
 func TestMiddlewareStatusClasses(t *testing.T) {
-	s, h := newTestServer(nil)
+	s, h := newTestServer(t, nil)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	if _, err := http.Get(srv.URL + "/healthz"); err != nil {
@@ -686,7 +704,7 @@ func TestMiddlewareStatusClasses(t *testing.T) {
 
 // TestPprofGated: /debug/pprof/ is 404 unless the flag enables it.
 func TestPprofGated(t *testing.T) {
-	s := newServer(slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{MaxBody: 1 << 20, Workers: 2})
+	s := mustServer(t, slog.New(slog.NewTextHandler(io.Discard, nil)), serverConfig{MaxBody: 1 << 20, Workers: 2})
 	off := httptest.NewServer(s.telemetry(s.mux(false)))
 	defer off.Close()
 	resp, err := http.Get(off.URL + "/debug/pprof/")

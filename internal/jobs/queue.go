@@ -1,0 +1,184 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueClosed is returned by Pop once the queue has been closed and
+// drained — the worker loop's exit signal.
+var ErrQueueClosed = errors.New("jobs: queue closed")
+
+// Queue is a bounded FIFO of job IDs with admission control: Push rejects
+// with a *QueueFullError (errors.Is ErrQueueFull) once either the depth cap
+// or the total payload-byte cap would be exceeded. Requeue bypasses the
+// caps — a job re-entering the queue (crash replay, shutdown checkpoint,
+// retry) was already admitted once and must not be lost to a full queue.
+// All methods are safe for concurrent use.
+type Queue struct {
+	mu       sync.Mutex
+	maxDepth int
+	maxBytes int64
+	items    []queueItem
+	bytes    int64
+	closed   bool
+	// signal wakes one blocked Pop per Push (capacity 1: a pending wakeup
+	// is never needed twice, poppers re-check the slice under the lock).
+	signal chan struct{}
+}
+
+type queueItem struct {
+	id    string
+	bytes int64
+}
+
+// NewQueue returns an empty queue bounded by maxDepth jobs and maxBytes
+// summed payload bytes; bounds ≤ 0 are unbounded.
+func NewQueue(maxDepth int, maxBytes int64) *Queue {
+	return &Queue{maxDepth: maxDepth, maxBytes: maxBytes, signal: make(chan struct{}, 1)}
+}
+
+// Push admits a job at the tail, or rejects with *QueueFullError when a
+// bound would be exceeded, or ErrQueueClosed after Close.
+func (q *Queue) Push(id string, bytes int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if (q.maxDepth > 0 && len(q.items) >= q.maxDepth) ||
+		(q.maxBytes > 0 && q.bytes+bytes > q.maxBytes) {
+		return &QueueFullError{Depth: len(q.items), MaxDepth: q.maxDepth, Bytes: q.bytes, MaxBytes: q.maxBytes}
+	}
+	q.push(queueItem{id: id, bytes: bytes})
+	return nil
+}
+
+// Requeue re-admits a previously admitted job at the tail regardless of the
+// bounds (admission control applies once, at first submission).
+func (q *Queue) Requeue(id string, bytes int64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	q.push(queueItem{id: id, bytes: bytes})
+	return nil
+}
+
+// push appends and wakes one waiter; callers hold q.mu.
+func (q *Queue) push(it queueItem) {
+	q.items = append(q.items, it)
+	q.bytes += it.bytes
+	select {
+	case q.signal <- struct{}{}:
+	default:
+	}
+}
+
+// Pop removes and returns the head job ID, blocking until one is
+// available, ctx is done, or the queue is closed (ErrQueueClosed). A closed
+// queue stops handing out work even while items remain — shutdown
+// checkpoints them instead of running them.
+func (q *Queue) Pop(ctx context.Context) (string, error) {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return "", ErrQueueClosed
+		}
+		if len(q.items) > 0 {
+			it := q.items[0]
+			q.items = q.items[1:]
+			q.bytes -= it.bytes
+			if len(q.items) > 0 {
+				// More work remains: keep the wakeup chain alive for the
+				// next blocked popper.
+				select {
+				case q.signal <- struct{}{}:
+				default:
+				}
+			}
+			q.mu.Unlock()
+			return it.id, nil
+		}
+		q.mu.Unlock()
+		select {
+		case <-q.signal:
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+}
+
+// Remove deletes a queued job by ID (a cancel landing before the job
+// starts), reporting whether it was present.
+func (q *Queue) Remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, it := range q.items {
+		if it.id == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			q.bytes -= it.bytes
+			return true
+		}
+	}
+	return false
+}
+
+// Position returns how many jobs sit ahead of id (0 = next to run), or -1
+// when id is not queued.
+func (q *Queue) Position(id string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, it := range q.items {
+		if it.id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Depth returns the number of queued jobs.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Bytes returns the summed payload bytes of the queued jobs.
+func (q *Queue) Bytes() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.bytes
+}
+
+// Close stops intake and work handout: blocked and future Push/Pop calls
+// return ErrQueueClosed. Items still queued stay put for Drain to
+// checkpoint. Every push's signal send holds the queue mutex, and Close
+// sets closed under the same mutex first, so no send can race the close.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.signal) // wakes every blocked popper
+}
+
+// Drain empties the queue and returns the IDs that never ran (shutdown
+// checkpointing); the queue must already be closed.
+func (q *Queue) Drain() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ids := make([]string, len(q.items))
+	for i, it := range q.items {
+		ids[i] = it.id
+	}
+	q.items = nil
+	q.bytes = 0
+	return ids
+}

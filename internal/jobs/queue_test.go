@@ -1,0 +1,226 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(0, 0)
+	for i := 0; i < 3; i++ {
+		if err := q.Push(fmt.Sprintf("j%d", i), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Depth() != 3 || q.Bytes() != 30 {
+		t.Fatalf("depth %d bytes %d, want 3/30", q.Depth(), q.Bytes())
+	}
+	for i := 0; i < 3; i++ {
+		id, err := q.Pop(context.Background())
+		if err != nil || id != fmt.Sprintf("j%d", i) {
+			t.Fatalf("pop %d = %q, %v", i, id, err)
+		}
+	}
+	if q.Depth() != 0 || q.Bytes() != 0 {
+		t.Fatalf("drained queue depth %d bytes %d", q.Depth(), q.Bytes())
+	}
+}
+
+func TestQueueDepthCap(t *testing.T) {
+	q := NewQueue(2, 0)
+	q.Push("a", 1)
+	q.Push("b", 1)
+	err := q.Push("c", 1)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-depth push err %v, want ErrQueueFull", err)
+	}
+	var full *QueueFullError
+	if !errors.As(err, &full) || full.Depth != 2 || full.MaxDepth != 2 {
+		t.Fatalf("QueueFullError %+v, want depth 2/2", full)
+	}
+}
+
+func TestQueueByteCap(t *testing.T) {
+	q := NewQueue(0, 100)
+	q.Push("a", 60)
+	err := q.Push("b", 50)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-bytes push err %v, want ErrQueueFull", err)
+	}
+	var full *QueueFullError
+	if !errors.As(err, &full) || full.MaxBytes != 100 {
+		t.Fatalf("QueueFullError %+v, want byte cap 100", full)
+	}
+	// A payload that fits is still admitted after the rejection.
+	if err := q.Push("c", 40); err != nil {
+		t.Fatalf("fitting push rejected: %v", err)
+	}
+}
+
+// TestQueueRequeueBypassesCaps: a recovered or checkpointed job re-enters
+// even when the queue is at its bound.
+func TestQueueRequeueBypassesCaps(t *testing.T) {
+	q := NewQueue(1, 10)
+	q.Push("a", 10)
+	if err := q.Requeue("recovered", 1000); err != nil {
+		t.Fatalf("requeue rejected by caps: %v", err)
+	}
+	if q.Depth() != 2 {
+		t.Fatalf("depth %d, want 2", q.Depth())
+	}
+}
+
+func TestQueueRemoveAndPosition(t *testing.T) {
+	q := NewQueue(0, 0)
+	q.Push("a", 1)
+	q.Push("b", 2)
+	q.Push("c", 3)
+	if pos := q.Position("c"); pos != 2 {
+		t.Fatalf("position(c) = %d, want 2", pos)
+	}
+	if !q.Remove("b") {
+		t.Fatal("remove(b) = false")
+	}
+	if q.Remove("b") {
+		t.Fatal("second remove(b) = true")
+	}
+	if pos := q.Position("c"); pos != 1 {
+		t.Fatalf("position(c) after remove = %d, want 1", pos)
+	}
+	if q.Bytes() != 4 {
+		t.Fatalf("bytes %d after remove, want 4", q.Bytes())
+	}
+	if pos := q.Position("ghost"); pos != -1 {
+		t.Fatalf("position(ghost) = %d, want -1", pos)
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := NewQueue(0, 0)
+	got := make(chan string, 1)
+	go func() {
+		id, _ := q.Pop(context.Background())
+		got <- id
+	}()
+	time.Sleep(10 * time.Millisecond) // let the popper block
+	q.Push("late", 1)
+	select {
+	case id := <-got:
+		if id != "late" {
+			t.Fatalf("pop woke with %q", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop never woke after push")
+	}
+}
+
+func TestQueuePopContextCancel(t *testing.T) {
+	q := NewQueue(0, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q.Pop(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pop on canceled ctx: %v", err)
+	}
+}
+
+// TestQueueCloseStopsHandout: a closed queue returns ErrQueueClosed from
+// both Push and Pop — even while items remain (shutdown checkpoints them
+// instead of running them) — and Drain returns exactly those items.
+func TestQueueCloseStopsHandout(t *testing.T) {
+	q := NewQueue(0, 0)
+	q.Push("a", 1)
+	q.Push("b", 1)
+
+	blocked := make(chan error, 1)
+	empty := NewQueue(0, 0)
+	go func() {
+		_, err := empty.Pop(context.Background())
+		blocked <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	empty.Close()
+	select {
+	case err := <-blocked:
+		if !errors.Is(err, ErrQueueClosed) {
+			t.Fatalf("blocked pop woke with %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake the blocked popper")
+	}
+
+	q.Close()
+	q.Close() // idempotent
+	if _, err := q.Pop(context.Background()); !errors.Is(err, ErrQueueClosed) {
+		t.Fatal("pop after close handed out work")
+	}
+	if err := q.Push("c", 1); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+	if err := q.Requeue("c", 1); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("requeue after close: %v", err)
+	}
+	ids := q.Drain()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("drain = %v, want [a b]", ids)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("depth %d after drain", q.Depth())
+	}
+}
+
+// TestQueueConcurrent hammers push/pop from many goroutines (run with
+// -race); every pushed ID must be popped exactly once.
+func TestQueueConcurrent(t *testing.T) {
+	q := NewQueue(0, 0)
+	const pushers, perPusher = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPusher; i++ {
+				if err := q.Push(fmt.Sprintf("p%d-%d", p, i), 1); err != nil {
+					t.Error(err)
+				}
+			}
+		}(p)
+	}
+	popped := make(chan string, pushers*perPusher)
+	var poppers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		poppers.Add(1)
+		go func() {
+			defer poppers.Done()
+			for {
+				id, err := q.Pop(context.Background())
+				if err != nil {
+					return
+				}
+				popped <- id
+			}
+		}()
+	}
+	wg.Wait()
+	// Wait for the poppers to drain, then close to release them.
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Depth() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	q.Close()
+	poppers.Wait()
+	close(popped)
+	seen := map[string]bool{}
+	for id := range popped {
+		if seen[id] {
+			t.Fatalf("id %s popped twice", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != pushers*perPusher {
+		t.Fatalf("popped %d unique ids, want %d", len(seen), pushers*perPusher)
+	}
+}

@@ -20,6 +20,15 @@ type PreparedCache struct {
 	order      *list.List // front = most recently used
 	elems      map[string]*list.Element
 	stats      CacheStats
+	flights    map[string]*flight
+}
+
+// flight is one in-progress Prepare shared by every concurrent
+// GetOrPrepare call for the same key (singleflight).
+type flight struct {
+	done chan struct{}
+	prep *Prepared
+	err  error
 }
 
 // CacheStats is the access accounting of a PreparedCache.
@@ -43,6 +52,7 @@ func NewPreparedCache(maxEntries int, maxBytes int64) *PreparedCache {
 		maxBytes:   maxBytes,
 		order:      list.New(),
 		elems:      make(map[string]*list.Element),
+		flights:    make(map[string]*flight),
 	}
 }
 
@@ -91,6 +101,49 @@ func (c *PreparedCache) Put(key string, p *Prepared) (evicted int) {
 		evicted++
 	}
 	return evicted
+}
+
+// GetOrPrepare returns the cached Prepared for key or builds it with
+// prepare, deduplicating concurrent builds: while one caller's prepare for
+// a key is in flight, other callers for the same key wait for its outcome
+// instead of preparing again (the same-archive burst pattern the async job
+// queue produces — N queued jobs over one archive prepare once, not N
+// times). A successful build is inserted under the key; hit reports whether
+// the value came from the cache or a joined flight (both avoided a
+// prepare), and evicted how many entries the insert displaced. Errors are
+// returned to every waiter of the flight and never cached.
+func (c *PreparedCache) GetOrPrepare(key string, prepare func() (*Prepared, error)) (p *Prepared, hit bool, evicted int, err error) {
+	c.mu.Lock()
+	if el, ok := c.elems[key]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		c.mu.Unlock()
+		return el.Value.(*cacheEntry).prep, true, 0, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, 0, f.err
+		}
+		// The flight owner inserted the value; joining its build still
+		// avoided a prepare, so it reports as a hit.
+		return f.prep, true, 0, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	f.prep, f.err = prepare()
+	if f.err == nil {
+		evicted = c.Put(key, f.prep)
+	}
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.prep, false, evicted, f.err
 }
 
 // Len returns the number of cached entries.

@@ -3,7 +3,10 @@ package phocus
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"phocus/internal/dataset"
 	"phocus/internal/par"
@@ -114,5 +117,90 @@ func TestPreparedCacheUnbounded(t *testing.T) {
 	}
 	if c.Len() != 100 {
 		t.Fatalf("Len = %d, want 100", c.Len())
+	}
+}
+
+// TestGetOrPrepareSingleflight: concurrent GetOrPrepare calls for one key
+// run prepare exactly once — the burst pattern the async job queue
+// produces when many jobs target the same archive.
+func TestGetOrPrepareSingleflight(t *testing.T) {
+	p := preparedFixture(t)
+	c := NewPreparedCache(4, 0)
+	var prepares atomic.Int64
+	gate := make(chan struct{})
+	const callers = 8
+	results := make(chan bool, callers) // hit flags
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, hit, _, err := c.GetOrPrepare("k", func() (*Prepared, error) {
+				prepares.Add(1)
+				<-gate // hold the flight open so every caller joins it
+				return p, nil
+			})
+			if err != nil || got != p {
+				t.Errorf("GetOrPrepare: %v %v", got, err)
+			}
+			results <- hit
+		}()
+	}
+	// Wait for the flight owner to start, then let everyone through.
+	deadline := time.Now().Add(5 * time.Second)
+	for prepares.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	close(results)
+
+	if n := prepares.Load(); n != 1 {
+		t.Fatalf("prepare ran %d times for one key, want 1", n)
+	}
+	misses := 0
+	for hit := range results {
+		if !hit {
+			misses++
+		}
+	}
+	// Exactly the flight owner is a miss; joiners avoided a prepare.
+	if misses != 1 {
+		t.Errorf("%d misses across the burst, want 1", misses)
+	}
+	// The value landed in the cache for later callers.
+	if got, ok := c.Get("k"); !ok || got != p {
+		t.Error("singleflight result not cached")
+	}
+}
+
+// TestGetOrPrepareErrorNotCached: a failed prepare propagates to every
+// waiter of the flight and leaves the cache empty, so the next caller
+// retries instead of being served a poisoned entry.
+func TestGetOrPrepareErrorNotCached(t *testing.T) {
+	c := NewPreparedCache(4, 0)
+	boom := fmt.Errorf("prepare exploded")
+	calls := 0
+	_, _, _, err := c.GetOrPrepare("k", func() (*Prepared, error) {
+		calls++
+		return nil, boom
+	})
+	if err != boom {
+		t.Fatalf("err %v, want the prepare error", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error was cached")
+	}
+	// The next call retries and can succeed.
+	p := preparedFixture(t)
+	got, hit, _, err := c.GetOrPrepare("k", func() (*Prepared, error) {
+		calls++
+		return p, nil
+	})
+	if err != nil || got != p || hit {
+		t.Fatalf("retry after error: %v %v hit=%v", got, err, hit)
+	}
+	if calls != 2 {
+		t.Fatalf("prepare calls %d, want 2", calls)
 	}
 }

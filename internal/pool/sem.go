@@ -1,0 +1,66 @@
+package pool
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Sem is a counted semaphore over solver capacity. The jobs scheduler holds
+// one slot per running job, and phocus-server's synchronous /solve path
+// acquires from the same Sem — so sync and async solves share one admission
+// budget instead of the sync path queueing unboundedly on the worker pool.
+// Waiting reports how many Acquire calls are currently blocked, which is
+// what lets the server bound the sync wait line and answer 429 beyond it.
+type Sem struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+}
+
+// NewSem returns a semaphore with n slots (n is passed through Resolve, so
+// values ≤ 0 mean one slot per CPU).
+func NewSem(n int) *Sem {
+	return &Sem{slots: make(chan struct{}, Resolve(n))}
+}
+
+// Cap returns the slot count.
+func (s *Sem) Cap() int { return cap(s.slots) }
+
+// TryAcquire takes a slot without blocking, reporting whether it got one.
+func (s *Sem) TryAcquire() bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire blocks until a slot frees or ctx is done (returning ctx's error).
+func (s *Sem) Acquire(ctx context.Context) error {
+	if s.TryAcquire() {
+		return nil
+	}
+	s.waiting.Add(1)
+	defer s.waiting.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by TryAcquire or a successful Acquire.
+func (s *Sem) Release() {
+	select {
+	case <-s.slots:
+	default:
+		panic("pool: Release without matching Acquire")
+	}
+}
+
+// Waiting returns how many Acquire calls are currently blocked.
+func (s *Sem) Waiting() int64 { return s.waiting.Load() }
+
+// InUse returns how many slots are currently held.
+func (s *Sem) InUse() int { return len(s.slots) }

@@ -1,0 +1,116 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSemTryAcquireRelease(t *testing.T) {
+	s := NewSem(2)
+	if s.Cap() != 2 {
+		t.Fatalf("cap %d, want 2", s.Cap())
+	}
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("could not take free slots")
+	}
+	if s.TryAcquire() {
+		t.Fatal("took a slot past capacity")
+	}
+	if s.InUse() != 2 {
+		t.Fatalf("in use %d, want 2", s.InUse())
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+	s.Release()
+	s.Release()
+}
+
+func TestSemAcquireBlocksAndWaitingCount(t *testing.T) {
+	s := NewSem(1)
+	s.TryAcquire()
+	acquired := make(chan struct{})
+	go func() {
+		if err := s.Acquire(context.Background()); err != nil {
+			t.Error(err)
+		}
+		close(acquired)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Waiting() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Waiting() != 1 {
+		t.Fatal("waiter never counted")
+	}
+	s.Release()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked acquire never woke")
+	}
+	if s.Waiting() != 0 {
+		t.Fatalf("waiting %d after wake, want 0", s.Waiting())
+	}
+	s.Release()
+}
+
+func TestSemAcquireContextCancel(t *testing.T) {
+	s := NewSem(1)
+	s.TryAcquire()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Acquire(ctx); err == nil {
+		t.Fatal("acquire succeeded on canceled ctx")
+	}
+	if s.Waiting() != 0 {
+		t.Fatalf("waiting %d after canceled acquire", s.Waiting())
+	}
+	s.Release()
+}
+
+func TestSemReleaseUnmatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmatched release did not panic")
+		}
+	}()
+	NewSem(1).Release()
+}
+
+// TestSemConcurrent: the semaphore never admits more than Cap holders
+// (run with -race).
+func TestSemConcurrent(t *testing.T) {
+	s := NewSem(3)
+	var mu sync.Mutex
+	holders, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			holders++
+			if holders > peak {
+				peak = holders
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			holders--
+			mu.Unlock()
+			s.Release()
+		}()
+	}
+	wg.Wait()
+	if peak > 3 {
+		t.Fatalf("peak holders %d exceeded capacity 3", peak)
+	}
+}

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# jobs_smoke.sh — end-to-end smoke test for the async /jobs API.
+#
+# Boots phocus-server with a durable -data-dir, bursts more slow jobs at it
+# than the queue admits, and asserts the contract the docs promise:
+#
+#   1. over-cap submissions are rejected with 429 + Retry-After;
+#   2. every admitted job reaches a terminal state;
+#   3. a SIGTERM mid-burst checkpoints running jobs, and a restarted server
+#      replays the WAL and finishes every admitted job — zero loss.
+#
+# Requires: go toolchain, curl. No other dependencies (JSON is picked apart
+# with sed so the script runs on a bare CI image).
+set -euo pipefail
+
+ADDR="127.0.0.1:${PHOCUS_SMOKE_PORT:-18329}"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+DATADIR="$WORKDIR/data"
+LOG1="$WORKDIR/server1.log"
+LOG2="$WORKDIR/server2.log"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- server1.log ---" >&2; cat "$LOG1" >&2 2>/dev/null || true
+  echo "--- server2.log ---" >&2; cat "$LOG2" >&2 2>/dev/null || true
+  exit 1
+}
+
+json_field() { # json_field <key> — first string value of "key" on stdin
+  sed -n "s/.*\"$1\":\"\([^\"]*\)\".*/\1/p" | head -n1
+}
+
+echo "==> building phocus-server and phocus-datagen"
+go build -o "$WORKDIR/phocus-server" ./cmd/phocus-server
+go build -o "$WORKDIR/phocus-datagen" ./cmd/phocus-datagen
+
+# A ~90-photo instance keeps algo=sviridenko busy for a few seconds per job,
+# long enough that a burst saturates two workers plus a depth-4 queue.
+"$WORKDIR/phocus-datagen" -kind public -photos 90 -seed 11 > "$WORKDIR/slow.json"
+
+start_server() { # start_server <logfile>
+  "$WORKDIR/phocus-server" -addr "$ADDR" -data-dir "$DATADIR" \
+    -job-workers 2 -queue-depth 4 -drain-timeout 2s >"$1" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz" || true)" = 200 ]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  fail "server never became ready (log $1)"
+}
+
+echo "==> booting server with -data-dir $DATADIR"
+start_server "$LOG1"
+
+echo "==> bursting 12 jobs at 2 workers + depth-4 queue"
+ADMITTED=()
+REJECTED=0
+for i in $(seq 1 12); do
+  RESP="$WORKDIR/resp$i.json"
+  CODE=$(curl -s -o "$RESP" -w '%{http_code}' -XPOST --data-binary @"$WORKDIR/slow.json" \
+    "$BASE/jobs?algo=sviridenko")
+  case "$CODE" in
+    202)
+      ID=$(json_field id < "$RESP")
+      [ -n "$ID" ] || fail "202 response without a job id: $(cat "$RESP")"
+      ADMITTED+=("$ID")
+      ;;
+    429)
+      RETRY=$(curl -s -o /dev/null -D - -XPOST --data-binary @"$WORKDIR/slow.json" \
+        "$BASE/jobs?algo=sviridenko" | tr -d '\r' | sed -n 's/^Retry-After: //Ip' | head -n1)
+      case "$RETRY" in (''|*[!0-9]*) fail "429 without a numeric Retry-After (got '$RETRY')";; esac
+      REJECTED=$((REJECTED + 1))
+      ;;
+    *)
+      fail "submit $i: unexpected status $CODE: $(cat "$RESP")"
+      ;;
+  esac
+done
+echo "    admitted ${#ADMITTED[@]}, rejected $REJECTED"
+[ "${#ADMITTED[@]}" -ge 1 ] || fail "no job was admitted"
+[ "$REJECTED" -ge 1 ] || fail "burst never saturated the queue (no 429)"
+
+echo "==> SIGTERM mid-burst (running jobs checkpoint back to the queue)"
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$SERVER_PID" 2>/dev/null && fail "server did not exit after SIGTERM"
+SERVER_PID=""
+
+echo "==> restarting on the same data dir"
+start_server "$LOG2"
+
+echo "==> waiting for every admitted job to finish after WAL replay"
+DEADLINE=$(( $(date +%s) + 180 ))
+for ID in "${ADMITTED[@]}"; do
+  while :; do
+    STATE=$(curl -s "$BASE/jobs/$ID" | json_field state)
+    [ "$STATE" = done ] && break
+    case "$STATE" in
+      failed|canceled|'') fail "job $ID is '$STATE' after restart, want done";;
+    esac
+    [ "$(date +%s)" -lt "$DEADLINE" ] || fail "job $ID stuck in '$STATE'"
+    sleep 0.5
+  done
+  curl -s "$BASE/jobs/$ID/result" | grep -q '"score"' \
+    || fail "job $ID result has no score"
+done
+
+echo "==> checking the listing agrees with the WAL"
+LISTING=$(curl -s "$BASE/jobs?limit=100")
+TOTAL=$(echo "$LISTING" | sed -n 's/.*"total":\([0-9]*\).*/\1/p')
+[ "$TOTAL" = "${#ADMITTED[@]}" ] || fail "listing total $TOTAL, want ${#ADMITTED[@]}"
+DONE_COUNT=$(echo "$LISTING" | grep -o '"state":"done"' | wc -l)
+[ "$DONE_COUNT" = "${#ADMITTED[@]}" ] || fail "listing shows $DONE_COUNT done, want ${#ADMITTED[@]}"
+
+echo "==> clean shutdown"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "PASS: ${#ADMITTED[@]} admitted jobs survived SIGTERM + restart; $REJECTED rejected with 429"
