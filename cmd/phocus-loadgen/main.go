@@ -1,0 +1,656 @@
+// Command phocus-loadgen drives a running phocus-server through a
+// deterministic multi-phase workload — synchronous /solve sweeps, async job
+// bursts, cancellations, oversized-body rejects and (in managed mode) a
+// crash/restart durability check — and emits a structured JSON run report
+// with client-side latency percentiles, throughput and 429 rates per phase,
+// plus the server's own GET /slo verdict.
+//
+// The request schedule is a pure function of -seed (see schedule.go): two
+// runs with the same configuration report the same schedule_digest. Use
+// -plan to print the digest without sending traffic.
+//
+// Usage against an already-running server:
+//
+//	phocus-loadgen -base-url http://127.0.0.1:8080 -sync 50 -async 20 -out report.json
+//
+// Managed mode (loadgen owns the server process; enables the crash phase):
+//
+//	phocus-loadgen -server-cmd "./phocus-server -addr 127.0.0.1:9111 -data-dir /tmp/jobs" \
+//	  -base-url http://127.0.0.1:9111 -crash -out report.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"phocus/internal/dataset"
+	"phocus/internal/obs"
+	"phocus/internal/par"
+)
+
+// runConfig is the schedule-shaping configuration; it is embedded verbatim
+// in the report so a run is reproducible from its own artifact.
+type runConfig struct {
+	Seed          int64  `json:"seed"`
+	Tenants       int    `json:"tenants"`
+	Photos        int    `json:"photos"`
+	Sync          int    `json:"sync"`
+	Async         int    `json:"async"`
+	Cancel        int    `json:"cancel"`
+	Oversize      int    `json:"oversize"`
+	Crash         bool   `json:"crash"`
+	CrashJobs     int    `json:"crash_jobs"`
+	Algo          string `json:"algo"`
+	CrashAlgo     string `json:"crash_algo"`
+	Concurrency   int    `json:"concurrency"`
+	OversizeBytes int64  `json:"oversize_bytes"`
+}
+
+// runtimeOptions is everything that does not shape the schedule.
+type runtimeOptions struct {
+	baseURL   string
+	serverCmd string
+	out       string
+	timeout   time.Duration
+	poll      time.Duration
+	deadline  time.Duration
+	plan      bool
+}
+
+func main() {
+	var cfg runConfig
+	var opt runtimeOptions
+	flag.Int64Var(&cfg.Seed, "seed", 1, "schedule seed; same seed = same request plan")
+	flag.IntVar(&cfg.Tenants, "tenants", 4, "simulated tenant population (one archive each)")
+	flag.IntVar(&cfg.Photos, "photos", 60, "photos per tenant archive")
+	flag.IntVar(&cfg.Sync, "sync", 40, "sync_solve phase: POST /solve requests with swept budgets")
+	flag.IntVar(&cfg.Async, "async", 20, "async_burst phase: POST /jobs submissions")
+	flag.IntVar(&cfg.Cancel, "cancel", 10, "cancel phase: jobs submitted then (about half) canceled")
+	flag.IntVar(&cfg.Oversize, "oversize", 5, "oversize phase: bodies expected to be rejected 413")
+	flag.BoolVar(&cfg.Crash, "crash", false, "run the crash_restart phase (requires -server-cmd)")
+	flag.IntVar(&cfg.CrashJobs, "crash-jobs", 8, "crash_restart phase: jobs in flight across the restart")
+	flag.StringVar(&cfg.Algo, "algo", "celf", "solver algorithm for sync/async/cancel ops")
+	flag.StringVar(&cfg.CrashAlgo, "crash-algo", "celf", "solver algorithm for crash-phase ops")
+	flag.IntVar(&cfg.Concurrency, "concurrency", 8, "concurrent client workers per phase")
+	flag.Int64Var(&cfg.OversizeBytes, "oversize-bytes", 1<<20, "oversize phase body size; must exceed the server's -max-body")
+	flag.StringVar(&opt.baseURL, "base-url", "http://127.0.0.1:8080", "server base URL")
+	flag.StringVar(&opt.serverCmd, "server-cmd", "", "managed mode: full server command line (split on whitespace, no shell quoting); loadgen starts, crashes and restarts it")
+	flag.StringVar(&opt.out, "out", "-", "report path (- = stdout)")
+	flag.DurationVar(&opt.timeout, "timeout", 60*time.Second, "per-request client timeout")
+	flag.DurationVar(&opt.poll, "poll", 50*time.Millisecond, "job status poll interval")
+	flag.DurationVar(&opt.deadline, "deadline", 3*time.Minute, "per-phase deadline waiting for jobs to settle")
+	flag.BoolVar(&opt.plan, "plan", false, "print the schedule digest and op counts, send no traffic")
+	flag.Parse()
+
+	if err := run(cfg, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "phocus-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg runConfig, opt runtimeOptions) error {
+	if cfg.Tenants <= 0 || cfg.Concurrency <= 0 {
+		return fmt.Errorf("-tenants and -concurrency must be positive")
+	}
+	sched := buildSchedule(cfg)
+	if opt.plan {
+		fmt.Printf("schedule_digest: %s\n", sched.digest())
+		counts := map[string]int{}
+		for _, o := range sched.Ops {
+			counts[o.Phase]++
+		}
+		phases := make([]string, 0, len(counts))
+		for p := range counts {
+			phases = append(phases, p)
+		}
+		sort.Strings(phases)
+		for _, p := range phases {
+			fmt.Printf("%s: %d ops\n", p, counts[p])
+		}
+		return nil
+	}
+	if cfg.Crash && opt.serverCmd == "" {
+		return fmt.Errorf("-crash requires -server-cmd (loadgen must own the process to crash it)")
+	}
+
+	var mgr *managedServer
+	if opt.serverCmd != "" {
+		mgr = &managedServer{cmdline: opt.serverCmd, baseURL: opt.baseURL}
+		if err := mgr.start(); err != nil {
+			return err
+		}
+		defer mgr.stop()
+	}
+
+	lg := &loadgen{
+		cfg:    cfg,
+		opt:    opt,
+		client: &http.Client{Timeout: opt.timeout},
+		mgr:    mgr,
+	}
+	if err := lg.buildTenants(); err != nil {
+		return err
+	}
+	if err := lg.waitReady(opt.deadline); err != nil {
+		return err
+	}
+
+	rep, err := lg.execute(sched)
+	if err != nil {
+		return err
+	}
+	if err := writeReport(opt.out, rep); err != nil {
+		return err
+	}
+	var totalErrs int
+	for _, p := range rep.Phases {
+		totalErrs += p.Errors
+	}
+	if totalErrs > 0 {
+		return fmt.Errorf("%d request errors across phases (see report)", totalErrs)
+	}
+	return nil
+}
+
+func writeReport(path string, rep *report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// tenant is one simulated archive owner: a fixed instance body plus its
+// total cost, so budget fractions translate to absolute byte budgets.
+type tenant struct {
+	body      []byte
+	totalCost float64
+}
+
+type loadgen struct {
+	cfg     runConfig
+	opt     runtimeOptions
+	client  *http.Client
+	tenants []tenant
+	mgr     *managedServer
+
+	mu         sync.Mutex
+	doneJobIDs []string // terminal "done" jobs, for the trace sample
+}
+
+// buildTenants generates each tenant's archive instance deterministically
+// from the run seed.
+func (lg *loadgen) buildTenants() error {
+	lg.tenants = make([]tenant, lg.cfg.Tenants)
+	for t := 0; t < lg.cfg.Tenants; t++ {
+		ds, err := dataset.GeneratePublic(dataset.PublicSpec{
+			Name:      fmt.Sprintf("tenant-%d", t),
+			NumPhotos: lg.cfg.Photos,
+			Seed:      lg.cfg.Seed + int64(t),
+		})
+		if err != nil {
+			return fmt.Errorf("tenant %d: %w", t, err)
+		}
+		total := ds.Instance.TotalCost()
+		if err := ds.SetBudget(0.2 * total); err != nil {
+			return fmt.Errorf("tenant %d: %w", t, err)
+		}
+		var buf bytes.Buffer
+		if err := par.WriteJSON(&buf, ds.Instance); err != nil {
+			return fmt.Errorf("tenant %d: %w", t, err)
+		}
+		lg.tenants[t] = tenant{body: buf.Bytes(), totalCost: total}
+	}
+	return nil
+}
+
+// waitReady polls GET /readyz until the server accepts work.
+func (lg *loadgen) waitReady(deadline time.Duration) error {
+	stop := time.Now().Add(deadline)
+	for {
+		resp, err := lg.client.Get(lg.opt.baseURL + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(stop) {
+			return fmt.Errorf("server at %s not ready within %s", lg.opt.baseURL, deadline)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// execute runs every phase in order and assembles the report.
+func (lg *loadgen) execute(sched *schedule) (*report, error) {
+	started := time.Now()
+	rep := &report{
+		SchemaVersion:  reportSchemaVersion,
+		Seed:           lg.cfg.Seed,
+		BaseURL:        lg.opt.baseURL,
+		ScheduleDigest: sched.digest(),
+		StartedAt:      started,
+		Config:         lg.cfg,
+	}
+	type phaseRun struct {
+		name string
+		ops  []op
+		run  func(*collector, []op)
+	}
+	runs := []phaseRun{
+		{phaseSync, sched.phaseOps(phaseSync), lg.runSync},
+		{phaseAsync, sched.phaseOps(phaseAsync), lg.runAsync},
+		{phaseCancel, sched.phaseOps(phaseCancel), lg.runCancel},
+		{phaseOversize, sched.phaseOps(phaseOversize), lg.runOversize},
+	}
+	if lg.cfg.Crash {
+		runs = append(runs, phaseRun{phaseCrash, sched.phaseOps(phaseCrash), lg.runCrash})
+	}
+	for _, pr := range runs {
+		if len(pr.ops) == 0 {
+			continue
+		}
+		col := newCollector(pr.name)
+		pr.run(col, pr.ops)
+		rep.Phases = append(rep.Phases, col.finish())
+		// Sample a completed job's trace per phase, before a later crash
+		// phase wipes the server's in-memory trace store.
+		lg.captureTraceSample(rep)
+	}
+	rep.DurationSecs = time.Since(started).Seconds()
+
+	// Server-side view: the /slo verdict after the run, and one sample job
+	// trace proving the span timeline survived end to end.
+	if slo, err := lg.fetchSLO(); err == nil {
+		rep.SLO = slo
+	}
+	lg.captureTraceSample(rep)
+	return rep, nil
+}
+
+// eachOp fans ops across the worker pool and blocks until all complete.
+func (lg *loadgen) eachOp(ops []op, f func(op)) {
+	ch := make(chan op)
+	var wg sync.WaitGroup
+	for w := 0; w < lg.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := range ch {
+				f(o)
+			}
+		}()
+	}
+	for _, o := range ops {
+		ch <- o
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// budgetBytes converts an op's budget fraction into the tenant's absolute
+// byte budget.
+func (lg *loadgen) budgetBytes(o op) float64 {
+	return o.BudgetFrac * lg.tenants[o.Tenant%len(lg.tenants)].totalCost
+}
+
+// solveQuery renders the solve/submit query string. The budget must be
+// fixed-notation: %g would emit 1.6e+06 whose '+' decodes to a space
+// server-side.
+func solveQuery(algo string, budget float64) string {
+	q := url.Values{}
+	q.Set("algo", algo)
+	q.Set("budget", strconv.FormatFloat(budget, 'f', -1, 64))
+	return q.Encode()
+}
+
+func (lg *loadgen) tenantBody(o op) []byte {
+	return lg.tenants[o.Tenant%len(lg.tenants)].body
+}
+
+// post issues one POST and records the client-observed latency + status.
+// A transport failure records an error and returns ok=false.
+func (lg *loadgen) post(col *collector, path string, body []byte) (status int, respBody []byte, ok bool) {
+	start := time.Now()
+	resp, err := lg.client.Post(lg.opt.baseURL+path, "application/json", bytes.NewReader(body))
+	elapsed := time.Since(start)
+	if err != nil {
+		col.err()
+		col.add("transport_failures", 1)
+		return 0, nil, false
+	}
+	defer resp.Body.Close()
+	respBody, _ = io.ReadAll(resp.Body)
+	col.request(elapsed, resp.StatusCode)
+	return resp.StatusCode, respBody, true
+}
+
+// runSync is the sync_solve phase: budget-swept POST /solve traffic. 200 is
+// success, 429 is expected backpressure; anything else is an error.
+func (lg *loadgen) runSync(col *collector, ops []op) {
+	lg.eachOp(ops, func(o op) {
+		path := "/solve?" + solveQuery(o.Algo, lg.budgetBytes(o))
+		status, _, ok := lg.post(col, path, lg.tenantBody(o))
+		if !ok {
+			return
+		}
+		switch status {
+		case http.StatusOK:
+			col.add("solved", 1)
+		case http.StatusTooManyRequests:
+			col.add("rejected", 1)
+		default:
+			col.err()
+		}
+	})
+}
+
+// submitJob posts one async job; 202 yields the job ID.
+func (lg *loadgen) submitJob(col *collector, o op) (id string, status int, ok bool) {
+	path := "/jobs?" + solveQuery(o.Algo, lg.budgetBytes(o))
+	status, body, ok := lg.post(col, path, lg.tenantBody(o))
+	if !ok {
+		return "", 0, false
+	}
+	if status != http.StatusAccepted {
+		return "", status, true
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil || doc.ID == "" {
+		col.err()
+		return "", status, true
+	}
+	return doc.ID, status, true
+}
+
+// jobState fetches one job's current state ("" on transport failure).
+func (lg *loadgen) jobState(id string) (state string, httpStatus int) {
+	resp, err := lg.client.Get(lg.opt.baseURL + "/jobs/" + id)
+	if err != nil {
+		return "", 0
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", resp.StatusCode
+	}
+	var doc struct {
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return "", resp.StatusCode
+	}
+	return doc.State, resp.StatusCode
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "canceled"
+}
+
+// awaitJob polls one job to a terminal state within the phase deadline.
+func (lg *loadgen) awaitJob(id string) (state string, lost bool) {
+	stop := time.Now().Add(lg.opt.deadline)
+	for {
+		state, status := lg.jobState(id)
+		if terminal(state) {
+			if state == "done" {
+				lg.mu.Lock()
+				lg.doneJobIDs = append(lg.doneJobIDs, id)
+				lg.mu.Unlock()
+			}
+			return state, false
+		}
+		if status == http.StatusNotFound {
+			return "", true // the server forgot a job it admitted
+		}
+		if time.Now().After(stop) {
+			return state, true
+		}
+		time.Sleep(lg.opt.poll)
+	}
+}
+
+// runAsync is the async_burst phase: submit every op as fast as the pool
+// allows, then ride each admitted job to a terminal state. A job that fails,
+// vanishes, or never settles is an error; 429 rejections are expected.
+func (lg *loadgen) runAsync(col *collector, ops []op) {
+	lg.eachOp(ops, func(o op) {
+		submitted := time.Now()
+		id, status, ok := lg.submitJob(col, o)
+		if !ok || id == "" {
+			if ok && status != http.StatusTooManyRequests {
+				col.err()
+			}
+			if ok && status == http.StatusTooManyRequests {
+				col.add("rejected", 1)
+			}
+			return
+		}
+		col.add("admitted", 1)
+		state, lost := lg.awaitJob(id)
+		col.endToEnd(time.Since(submitted))
+		switch {
+		case lost:
+			col.err()
+			col.add("lost", 1)
+		case state == "done":
+			col.add("completed", 1)
+		default:
+			col.err()
+			col.add("failed", 1)
+		}
+	})
+}
+
+// runCancel is the cancel phase: submit, then DELETE the marked jobs. A
+// canceled job must settle as canceled; an unmarked one as done. Jobs that
+// finish before the DELETE lands answer 409 — that is the cancel-after-done
+// contract, counted but not an error.
+func (lg *loadgen) runCancel(col *collector, ops []op) {
+	lg.eachOp(ops, func(o op) {
+		id, status, ok := lg.submitJob(col, o)
+		if !ok || id == "" {
+			if ok && status == http.StatusTooManyRequests {
+				col.add("rejected", 1)
+			} else if ok {
+				col.err()
+			}
+			return
+		}
+		if o.Cancel {
+			start := time.Now()
+			req, _ := http.NewRequest(http.MethodDelete, lg.opt.baseURL+"/jobs/"+id, nil)
+			resp, err := lg.client.Do(req)
+			if err != nil {
+				col.err()
+				col.add("transport_failures", 1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			col.request(time.Since(start), resp.StatusCode)
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				col.add("cancel_accepted", 1)
+			case http.StatusConflict:
+				col.add("cancel_after_done", 1)
+			default:
+				col.err()
+			}
+		}
+		state, lost := lg.awaitJob(id)
+		if lost {
+			col.err()
+			col.add("lost", 1)
+			return
+		}
+		switch state {
+		case "canceled":
+			col.add("canceled", 1)
+		case "done":
+			col.add("completed", 1)
+		default:
+			col.err()
+			col.add("failed", 1)
+		}
+	})
+}
+
+// runOversize is the oversize phase: bodies larger than the server's
+// -max-body must be rejected 413 deterministically. Anything else — *
+// including a 202 that would mean the cap is not enforced — is an error.
+func (lg *loadgen) runOversize(col *collector, ops []op) {
+	junk := bytes.Repeat([]byte("x"), int(lg.cfg.OversizeBytes))
+	lg.eachOp(ops, func(o op) {
+		status, _, ok := lg.post(col, "/jobs?algo="+o.Algo, junk)
+		if !ok {
+			return
+		}
+		if status == http.StatusRequestEntityTooLarge {
+			col.add("rejected_413", 1)
+		} else {
+			col.err()
+		}
+	})
+}
+
+// runCrash is the crash_restart phase (managed mode only): submit a batch of
+// jobs, SIGTERM the server mid-flight so the drain checkpoints unfinished
+// work to the WAL, restart it, and verify every admitted job still exists
+// and settles. Any admitted job the restarted server has forgotten or cannot
+// finish counts as lost — the durability contract this phase exists to test.
+func (lg *loadgen) runCrash(col *collector, ops []op) {
+	var mu sync.Mutex
+	var admitted []string
+	submittedAt := map[string]time.Time{}
+	lg.eachOp(ops, func(o op) {
+		id, status, ok := lg.submitJob(col, o)
+		if !ok || id == "" {
+			if ok && status == http.StatusTooManyRequests {
+				col.add("rejected", 1)
+			} else if ok {
+				col.err()
+			}
+			return
+		}
+		mu.Lock()
+		admitted = append(admitted, id)
+		submittedAt[id] = time.Now()
+		mu.Unlock()
+	})
+	col.add("admitted", float64(len(admitted)))
+	if len(admitted) == 0 {
+		return
+	}
+
+	// Give the scheduler a moment to start chewing, then bounce the server.
+	time.Sleep(150 * time.Millisecond)
+	if err := lg.mgr.restart(); err != nil {
+		col.err()
+		col.add("restart_failures", 1)
+		return
+	}
+	if err := lg.waitReady(lg.opt.deadline); err != nil {
+		col.err()
+		col.add("restart_failures", 1)
+		return
+	}
+	col.add("restarts", 1)
+
+	for _, id := range admitted {
+		state, lost := lg.awaitJob(id)
+		col.endToEnd(time.Since(submittedAt[id]))
+		switch {
+		case lost:
+			col.err()
+			col.add("lost", 1)
+		case state == "done":
+			col.add("completed", 1)
+		case state == "canceled":
+			// The drain may cancel jobs only if the operator asked; a
+			// graceful checkpoint should not. Count it as loss of work.
+			col.err()
+			col.add("lost", 1)
+		default:
+			col.err()
+			col.add("failed", 1)
+		}
+	}
+}
+
+// captureTraceSample fills rep.SampleTraceSpans from the most recently
+// completed job whose span timeline is still retrievable. No-op once set.
+func (lg *loadgen) captureTraceSample(rep *report) {
+	if rep.SampleTraceSpans > 0 {
+		return
+	}
+	lg.mu.Lock()
+	done := append([]string(nil), lg.doneJobIDs...)
+	lg.mu.Unlock()
+	for i := len(done) - 1; i >= 0; i-- {
+		if tr, err := lg.fetchTrace(done[i]); err == nil && len(tr.Spans) > 0 {
+			rep.SampleTraceSpans = len(tr.Spans)
+			return
+		}
+	}
+}
+
+// fetchSLO reads the server's own objective evaluation.
+func (lg *loadgen) fetchSLO() (*obs.SLOReport, error) {
+	resp, err := lg.client.Get(lg.opt.baseURL + "/slo")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/slo status %d", resp.StatusCode)
+	}
+	var rep obs.SLOReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// fetchTrace reads one job's span timeline.
+func (lg *loadgen) fetchTrace(id string) (*obs.Trace, error) {
+	resp, err := lg.client.Get(lg.opt.baseURL + "/jobs/" + id + "/trace")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("trace status %d", resp.StatusCode)
+	}
+	var tr obs.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// splitCmdline splits a -server-cmd value on whitespace. Deliberately no
+// shell quoting: paths with spaces are not supported in managed mode.
+func splitCmdline(s string) []string {
+	return strings.Fields(s)
+}

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"phocus/internal/obs"
+)
+
+// stubServer speaks just enough of the phocus-server wire protocol for the
+// loadgen client logic to run an end-to-end pass without a real solver.
+type stubServer struct {
+	mu      sync.Mutex
+	nextID  int
+	states  map[string]string
+	maxBody int64
+	// submit429After starts rejecting submissions with 429 once this many
+	// jobs have been admitted (0 = never).
+	submit429After int
+}
+
+func newStubServer(maxBody int64) *stubServer {
+	return &stubServer{states: map[string]string{}, maxBody: maxBody}
+}
+
+func (st *stubServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /solve", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		writeJSONStub(w, http.StatusOK, map[string]any{"score": 1.0})
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if int64(len(body)) > st.maxBody {
+			http.Error(w, "too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		st.mu.Lock()
+		if st.submit429After > 0 && st.nextID >= st.submit429After {
+			st.mu.Unlock()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "queue full", http.StatusTooManyRequests)
+			return
+		}
+		st.nextID++
+		id := fmt.Sprintf("job-%d", st.nextID)
+		st.states[id] = "done" // jobs finish instantly in the stub
+		st.mu.Unlock()
+		writeJSONStub(w, http.StatusAccepted, map[string]any{"id": id, "state": "queued"})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		state, ok := st.states[r.PathValue("id")]
+		st.mu.Unlock()
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		writeJSONStub(w, http.StatusOK, map[string]any{"id": r.PathValue("id"), "state": state})
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		id := r.PathValue("id")
+		if _, ok := st.states[id]; !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		st.states[id] = "canceled"
+		writeJSONStub(w, http.StatusAccepted, map[string]any{"id": id, "state": "canceled"})
+	})
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONStub(w, http.StatusOK, obs.SLOReport{Status: obs.SLOOK})
+	})
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONStub(w, http.StatusOK, obs.Trace{
+			ID: r.PathValue("id"),
+			Spans: []obs.SpanRecord{
+				{Name: "enqueue"}, {Name: "queue-wait"}, {Name: "run"},
+			},
+		})
+	})
+	return mux
+}
+
+func writeJSONStub(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func testRunConfig() runConfig {
+	return runConfig{
+		Seed: 7, Tenants: 2, Photos: 8,
+		Sync: 6, Async: 4, Cancel: 4, Oversize: 2,
+		Algo: "celf", CrashAlgo: "celf",
+		Concurrency: 3, OversizeBytes: 64 << 10,
+	}
+}
+
+// runAgainstStub executes a full loadgen run against the stub and returns
+// the parsed report.
+func runAgainstStub(t *testing.T, st *stubServer, cfg runConfig) (*report, error) {
+	t.Helper()
+	srv := httptest.NewServer(st.handler())
+	t.Cleanup(srv.Close)
+	out := filepath.Join(t.TempDir(), "report.json")
+	opt := runtimeOptions{
+		baseURL:  srv.URL,
+		out:      out,
+		timeout:  10 * time.Second,
+		poll:     time.Millisecond,
+		deadline: 30 * time.Second,
+	}
+	err := run(cfg, opt)
+	b, rerr := os.ReadFile(out)
+	if rerr != nil {
+		t.Fatalf("report missing: %v (run err: %v)", rerr, err)
+	}
+	var rep report
+	if jerr := json.Unmarshal(b, &rep); jerr != nil {
+		t.Fatalf("report unmarshal: %v", jerr)
+	}
+	return &rep, err
+}
+
+func TestEndToEndAgainstStub(t *testing.T) {
+	cfg := testRunConfig()
+	st := newStubServer(32 << 10) // oversize bodies (64 KiB) exceed this cap
+	rep, err := runAgainstStub(t, st, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	if rep.SchemaVersion != reportSchemaVersion {
+		t.Errorf("schema version %d", rep.SchemaVersion)
+	}
+	if rep.ScheduleDigest != buildSchedule(cfg).digest() {
+		t.Error("report digest does not match the schedule built from its config")
+	}
+
+	sync := rep.phase(phaseSync)
+	if sync == nil || sync.Requests != cfg.Sync {
+		t.Fatalf("sync phase = %+v, want %d requests", sync, cfg.Sync)
+	}
+	if sync.Errors != 0 || sync.Rate429 != 0 {
+		t.Errorf("sync errors=%d rate429=%g, want 0", sync.Errors, sync.Rate429)
+	}
+	if sync.Latency.P99 <= 0 || sync.ThroughputRPS <= 0 {
+		t.Errorf("sync latency/throughput not populated: %+v", sync)
+	}
+
+	async := rep.phase(phaseAsync)
+	if async == nil || async.Extra["completed"] != float64(cfg.Async) {
+		t.Errorf("async phase = %+v, want %d completed", async, cfg.Async)
+	}
+	if async.EndToEnd == nil {
+		t.Error("async end_to_end summary missing")
+	}
+
+	cancel := rep.phase(phaseCancel)
+	if cancel == nil {
+		t.Fatal("cancel phase missing")
+	}
+	if got := cancel.Extra["canceled"] + cancel.Extra["completed"]; got != float64(cfg.Cancel) {
+		t.Errorf("cancel settled %g jobs, want %d", got, cfg.Cancel)
+	}
+
+	over := rep.phase(phaseOversize)
+	if over == nil || over.Extra["rejected_413"] != float64(cfg.Oversize) {
+		t.Errorf("oversize phase = %+v, want %d rejected_413", over, cfg.Oversize)
+	}
+
+	if rep.SLO == nil || rep.SLO.Status != obs.SLOOK {
+		t.Errorf("server SLO verdict missing or not ok: %+v", rep.SLO)
+	}
+	if rep.SampleTraceSpans == 0 {
+		t.Error("sample trace spans not captured")
+	}
+}
+
+func TestEndToEnd429sAreNotErrors(t *testing.T) {
+	cfg := testRunConfig()
+	cfg.Cancel, cfg.Oversize = 0, 0
+	st := newStubServer(32 << 10)
+	st.submit429After = 2 // admit 2 jobs, then reject the rest
+	rep, err := runAgainstStub(t, st, cfg)
+	if err != nil {
+		t.Fatalf("run returned error despite only-429 failures: %v", err)
+	}
+	async := rep.phase(phaseAsync)
+	if async == nil {
+		t.Fatal("async phase missing")
+	}
+	if async.Rate429 == 0 {
+		t.Error("stub rejected submissions but rate_429 = 0")
+	}
+	if async.Errors != 0 {
+		t.Errorf("429 rejections counted as errors: %d", async.Errors)
+	}
+	if async.Extra["rejected"] != float64(cfg.Async-2) {
+		t.Errorf("rejected = %g, want %d", async.Extra["rejected"], cfg.Async-2)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := testRunConfig()
+	cfg.Crash = true
+	err := run(cfg, runtimeOptions{baseURL: "http://127.0.0.1:0"})
+	if err == nil {
+		t.Fatal("crash without -server-cmd did not fail")
+	}
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"phocus/internal/obs"
+)
+
+// reportSchemaVersion identifies the run-report wire format; the CI gate
+// (cmd/phocus-slogate) refuses to compare reports across versions.
+const reportSchemaVersion = 1
+
+// latencySummary is a client-side latency distribution in milliseconds.
+// Percentiles are exact (nearest-rank over every recorded sample), not
+// bucket-interpolated like the server's histograms.
+type latencySummary struct {
+	P50  float64 `json:"p50_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+}
+
+// phaseReport is one workload phase's client-side measurements.
+type phaseReport struct {
+	Name     string `json:"name"`
+	Requests int    `json:"requests"`
+	// Errors counts transport failures and contract violations (unexpected
+	// statuses, lost jobs); expected backpressure (429) is not an error.
+	Errors          int            `json:"errors"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	ThroughputRPS   float64        `json:"throughput_rps"`
+	Latency         latencySummary `json:"latency"`
+	// EndToEnd is submit → terminal-state latency (async phases only).
+	EndToEnd *latencySummary `json:"end_to_end,omitempty"`
+	// Status counts responses by HTTP status code.
+	Status map[string]int `json:"status"`
+	// Rate429 is the fraction of requests answered 429.
+	Rate429 float64 `json:"rate_429"`
+	// Extra carries phase-specific scalars (admitted, canceled, lost, ...).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// report is the structured JSON document one loadgen run emits.
+type report struct {
+	SchemaVersion  int           `json:"schema_version"`
+	Seed           int64         `json:"seed"`
+	BaseURL        string        `json:"base_url"`
+	ScheduleDigest string        `json:"schedule_digest"`
+	StartedAt      time.Time     `json:"started_at"`
+	DurationSecs   float64       `json:"duration_seconds"`
+	Config         runConfig     `json:"config"`
+	Phases         []phaseReport `json:"phases"`
+	// SLO is the server's own GET /slo verdict at the end of the run, so
+	// client-side and server-side views land in one artifact.
+	SLO *obs.SLOReport `json:"slo,omitempty"`
+	// SampleTraceSpans counts the span timeline of one completed job
+	// (GET /jobs/{id}/trace), proving trace coverage end to end.
+	SampleTraceSpans int `json:"sample_trace_spans,omitempty"`
+}
+
+// phase finds a phase report by name (nil when absent).
+func (r *report) phase(name string) *phaseReport {
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// collector accumulates one phase's samples from concurrent workers.
+type collector struct {
+	mu       sync.Mutex
+	name     string
+	started  time.Time
+	lat      []float64 // ms, client-observed per request
+	e2e      []float64 // ms, submit → terminal (async)
+	status   map[string]int
+	errors   int
+	requests int
+	extra    map[string]float64
+}
+
+func newCollector(name string) *collector {
+	return &collector{
+		name:    name,
+		started: time.Now(),
+		status:  make(map[string]int),
+		extra:   make(map[string]float64),
+	}
+}
+
+// request records one request's client-observed latency and status.
+func (c *collector) request(d time.Duration, status int) {
+	c.mu.Lock()
+	c.requests++
+	c.lat = append(c.lat, float64(d.Microseconds())/1000)
+	c.status[fmt.Sprintf("%d", status)]++
+	c.mu.Unlock()
+}
+
+// endToEnd records one submit→terminal duration.
+func (c *collector) endToEnd(d time.Duration) {
+	c.mu.Lock()
+	c.e2e = append(c.e2e, float64(d.Microseconds())/1000)
+	c.mu.Unlock()
+}
+
+// err records one contract violation (with a status already counted via
+// request, or standalone for transport failures).
+func (c *collector) err() {
+	c.mu.Lock()
+	c.errors++
+	c.mu.Unlock()
+}
+
+// add bumps a phase-specific scalar.
+func (c *collector) add(key string, v float64) {
+	c.mu.Lock()
+	c.extra[key] += v
+	c.mu.Unlock()
+}
+
+// finish renders the phase report.
+func (c *collector) finish() phaseReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elapsed := time.Since(c.started).Seconds()
+	pr := phaseReport{
+		Name:            c.name,
+		Requests:        c.requests,
+		Errors:          c.errors,
+		DurationSeconds: elapsed,
+		Latency:         summarize(c.lat),
+		Status:          c.status,
+	}
+	if elapsed > 0 {
+		pr.ThroughputRPS = float64(c.requests) / elapsed
+	}
+	if len(c.e2e) > 0 {
+		s := summarize(c.e2e)
+		pr.EndToEnd = &s
+	}
+	if c.requests > 0 {
+		pr.Rate429 = float64(c.status["429"]) / float64(c.requests)
+	}
+	if len(c.extra) > 0 {
+		pr.Extra = c.extra
+	}
+	return pr
+}
+
+// summarize computes the exact nearest-rank percentile summary of samples
+// (in ms). Empty input yields zeros.
+func summarize(samples []float64) latencySummary {
+	if len(samples) == 0 {
+		return latencySummary{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return latencySummary{
+		P50:  rank(s, 0.50),
+		P95:  rank(s, 0.95),
+		P99:  rank(s, 0.99),
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+	}
+}
+
+// rank is the nearest-rank percentile of a sorted sample set.
+func rank(sorted []float64, q float64) float64 {
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSummarizeNearestRank(t *testing.T) {
+	// 100 samples 1..100 ms: nearest-rank percentiles are exact.
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i + 1)
+	}
+	s := summarize(samples)
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 || s.Max != 100 {
+		t.Errorf("percentiles = %+v, want p50=50 p95=95 p99=99 max=100", s)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Errorf("mean = %g, want 50.5", s.Mean)
+	}
+}
+
+func TestSummarizeSmall(t *testing.T) {
+	if s := summarize(nil); s.P99 != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v, want zeros", s)
+	}
+	s := summarize([]float64{7})
+	if s.P50 != 7 || s.P99 != 7 || s.Max != 7 || s.Mean != 7 {
+		t.Errorf("single-sample summary = %+v, want all 7", s)
+	}
+	// summarize must not mutate its input.
+	in := []float64{3, 1, 2}
+	summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("summarize reordered its input: %v", in)
+	}
+}
+
+func TestCollectorFinish(t *testing.T) {
+	c := newCollector("p")
+	c.request(10*time.Millisecond, 200)
+	c.request(20*time.Millisecond, 200)
+	c.request(5*time.Millisecond, 429)
+	c.request(50*time.Millisecond, 500)
+	c.err()
+	c.endToEnd(100 * time.Millisecond)
+	c.add("admitted", 2)
+	c.add("admitted", 1)
+
+	pr := c.finish()
+	if pr.Requests != 4 {
+		t.Errorf("requests = %d, want 4", pr.Requests)
+	}
+	if pr.Errors != 1 {
+		t.Errorf("errors = %d, want 1", pr.Errors)
+	}
+	if pr.Status["200"] != 2 || pr.Status["429"] != 1 || pr.Status["500"] != 1 {
+		t.Errorf("status map = %v", pr.Status)
+	}
+	if math.Abs(pr.Rate429-0.25) > 1e-9 {
+		t.Errorf("rate_429 = %g, want 0.25", pr.Rate429)
+	}
+	if pr.EndToEnd == nil || pr.EndToEnd.Max != 100 {
+		t.Errorf("end_to_end = %+v, want max 100ms", pr.EndToEnd)
+	}
+	if pr.Extra["admitted"] != 3 {
+		t.Errorf("extra admitted = %g, want 3", pr.Extra["admitted"])
+	}
+	if pr.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %g, want > 0", pr.ThroughputRPS)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := newCollector("p")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.request(time.Millisecond, 200)
+				c.add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	pr := c.finish()
+	if pr.Requests != 4000 || pr.Status["200"] != 4000 || pr.Extra["n"] != 4000 {
+		t.Errorf("requests=%d status200=%d n=%g, want 4000 each",
+			pr.Requests, pr.Status["200"], pr.Extra["n"])
+	}
+}
+
+func TestReportPhaseLookup(t *testing.T) {
+	r := &report{Phases: []phaseReport{{Name: "a"}, {Name: "b"}}}
+	if p := r.phase("b"); p == nil || p.Name != "b" {
+		t.Errorf("phase(b) = %+v", p)
+	}
+	if p := r.phase("nope"); p != nil {
+		t.Errorf("phase(nope) = %+v, want nil", p)
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	mrand "math/rand"
+)
+
+// The request schedule is a pure function of the run configuration: every
+// op (which tenant, which algorithm, which budget fraction, whether a job
+// gets canceled) is drawn from one seeded RNG before any traffic flows.
+// Two runs with the same seed therefore issue the identical request
+// population — only the wall-clock timings differ — and the report's
+// schedule_digest (sha256 over the canonical JSON of the ops) proves it.
+
+// Phase names, in execution order.
+const (
+	phaseSync     = "sync_solve"
+	phaseAsync    = "async_burst"
+	phaseCancel   = "cancel"
+	phaseOversize = "oversize"
+	phaseCrash    = "crash_restart"
+)
+
+// op is one scheduled request.
+type op struct {
+	Phase string `json:"phase"`
+	Seq   int    `json:"seq"`
+	// Tenant selects which tenant's archive body the request carries.
+	Tenant int    `json:"tenant"`
+	Algo   string `json:"algo"`
+	// BudgetFrac scales the tenant archive's total size into the request
+	// budget (sync and async solve ops).
+	BudgetFrac float64 `json:"budget_frac,omitempty"`
+	// Cancel marks a cancel-phase job for DELETE after submission.
+	Cancel bool `json:"cancel,omitempty"`
+}
+
+// schedule is the full deterministic request plan of one run.
+type schedule struct {
+	Ops []op `json:"ops"`
+}
+
+// phaseOps returns the ops of one phase, in sequence order.
+func (s *schedule) phaseOps(phase string) []op {
+	var out []op
+	for _, o := range s.Ops {
+		if o.Phase == phase {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// digest returns the canonical sha256 of the schedule.
+func (s *schedule) digest() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Marshaling a plain struct slice cannot fail; keep the signature
+		// clean and degrade loudly if it ever does.
+		return fmt.Sprintf("marshal-err:%v", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// buildSchedule draws the whole run's request plan from cfg.Seed.
+func buildSchedule(cfg runConfig) *schedule {
+	rng := mrand.New(mrand.NewSource(cfg.Seed))
+	s := &schedule{}
+	draw := func(phase string, n int, f func(i int) op) {
+		for i := 0; i < n; i++ {
+			o := f(i)
+			o.Phase = phase
+			o.Seq = i
+			s.Ops = append(s.Ops, o)
+		}
+	}
+	budget := func() float64 { return 0.05 + 0.5*rng.Float64() }
+	tenant := func() int { return rng.Intn(cfg.Tenants) }
+
+	draw(phaseSync, cfg.Sync, func(i int) op {
+		return op{Tenant: tenant(), Algo: cfg.Algo, BudgetFrac: budget()}
+	})
+	draw(phaseAsync, cfg.Async, func(i int) op {
+		return op{Tenant: tenant(), Algo: cfg.Algo, BudgetFrac: budget()}
+	})
+	draw(phaseCancel, cfg.Cancel, func(i int) op {
+		return op{Tenant: tenant(), Algo: cfg.Algo, BudgetFrac: budget(),
+			// Roughly half the cancel-phase jobs are actually canceled; the
+			// rest run to completion so the phase also covers the
+			// cancel-after-done 409 path.
+			Cancel: rng.Float64() < 0.5}
+	})
+	draw(phaseOversize, cfg.Oversize, func(i int) op {
+		return op{Tenant: tenant(), Algo: cfg.Algo}
+	})
+	if cfg.Crash {
+		draw(phaseCrash, cfg.CrashJobs, func(i int) op {
+			return op{Tenant: tenant(), Algo: cfg.CrashAlgo, BudgetFrac: budget()}
+		})
+	}
+	return s
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testConfig() runConfig {
+	return runConfig{
+		Seed: 42, Tenants: 3, Photos: 10,
+		Sync: 7, Async: 5, Cancel: 4, Oversize: 2,
+		Crash: true, CrashJobs: 3,
+		Algo: "celf", CrashAlgo: "sviridenko",
+		Concurrency: 2, OversizeBytes: 1024,
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	// The acceptance contract: two runs with the same seed produce the
+	// identical request schedule, proven by the digest.
+	a := buildSchedule(testConfig())
+	b := buildSchedule(testConfig())
+	if !reflect.DeepEqual(a.Ops, b.Ops) {
+		t.Fatal("same seed produced different op sequences")
+	}
+	if a.digest() != b.digest() {
+		t.Fatalf("same seed produced different digests: %s vs %s", a.digest(), b.digest())
+	}
+
+	cfg := testConfig()
+	cfg.Seed = 43
+	c := buildSchedule(cfg)
+	if c.digest() == a.digest() {
+		t.Fatal("different seeds produced the same digest")
+	}
+}
+
+func TestSchedulePhaseCounts(t *testing.T) {
+	cfg := testConfig()
+	s := buildSchedule(cfg)
+	wants := map[string]int{
+		phaseSync:     cfg.Sync,
+		phaseAsync:    cfg.Async,
+		phaseCancel:   cfg.Cancel,
+		phaseOversize: cfg.Oversize,
+		phaseCrash:    cfg.CrashJobs,
+	}
+	for phase, want := range wants {
+		ops := s.phaseOps(phase)
+		if len(ops) != want {
+			t.Errorf("%s: %d ops, want %d", phase, len(ops), want)
+		}
+		for i, o := range ops {
+			if o.Seq != i {
+				t.Errorf("%s[%d]: seq %d", phase, i, o.Seq)
+			}
+			if o.Tenant < 0 || o.Tenant >= cfg.Tenants {
+				t.Errorf("%s[%d]: tenant %d out of range", phase, i, o.Tenant)
+			}
+		}
+	}
+	// Crash-phase ops use the crash algorithm.
+	for _, o := range s.phaseOps(phaseCrash) {
+		if o.Algo != cfg.CrashAlgo {
+			t.Errorf("crash op algo %q, want %q", o.Algo, cfg.CrashAlgo)
+		}
+	}
+}
+
+func TestScheduleCrashDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.Crash = false
+	s := buildSchedule(cfg)
+	if got := s.phaseOps(phaseCrash); len(got) != 0 {
+		t.Errorf("crash disabled but %d crash ops scheduled", len(got))
+	}
+}
+
+func TestScheduleBudgetRange(t *testing.T) {
+	s := buildSchedule(testConfig())
+	for _, o := range s.Ops {
+		if o.Phase == phaseOversize {
+			continue
+		}
+		if o.BudgetFrac < 0.05 || o.BudgetFrac >= 0.55 {
+			t.Errorf("%s[%d]: budget fraction %g outside [0.05, 0.55)", o.Phase, o.Seq, o.BudgetFrac)
+		}
+	}
+}

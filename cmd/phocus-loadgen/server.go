@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// managedServer owns a phocus-server process in managed mode. The command
+// line is re-run verbatim on restart, so the crash phase exercises the real
+// boot path: WAL replay, readiness gating, queue resumption.
+type managedServer struct {
+	cmdline string
+	baseURL string
+	cmd     *exec.Cmd
+}
+
+func (m *managedServer) start() error {
+	argv := splitCmdline(m.cmdline)
+	if len(argv) == 0 {
+		return fmt.Errorf("-server-cmd is empty")
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stdout = os.Stderr // keep the report on stdout clean
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %q: %w", m.cmdline, err)
+	}
+	m.cmd = cmd
+	return nil
+}
+
+// stop SIGTERMs the server and waits for a graceful exit, escalating to
+// SIGKILL after a grace period.
+func (m *managedServer) stop() error {
+	if m.cmd == nil || m.cmd.Process == nil {
+		return nil
+	}
+	proc := m.cmd.Process
+	_ = proc.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- m.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		_ = proc.Kill()
+		<-done
+	}
+	m.cmd = nil
+	return nil
+}
+
+// restart bounces the process: graceful SIGTERM (so the drain checkpoints
+// running jobs), then a fresh start of the same command line.
+func (m *managedServer) restart() error {
+	if err := m.stop(); err != nil {
+		return err
+	}
+	return m.start()
+}

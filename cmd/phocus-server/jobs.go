@@ -148,6 +148,26 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(j.Result)
 }
 
+// handleJobTrace is GET /jobs/{id}/trace: the retained span timeline of a
+// job (or, since job IDs double as request IDs, of any recent request). 404
+// when the ID was never traced or its timeline has been evicted.
+func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.trace.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no trace for %q (unknown ID, or evicted)", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+// handleSLO is GET /slo: every objective evaluated over its short and long
+// burn-rate horizons, plus the worst-of overall status. The same evaluation
+// refreshes the phocus_slo_* gauges so /metrics agrees with what it served.
+func (s *server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.Export(s.reg))
+}
+
 // handleJobCancel is DELETE /jobs/{id}: a queued job cancels immediately,
 // a running one when the solver unwinds (202 — poll the status); already
 // terminal jobs answer 409.

@@ -72,6 +72,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxBody := flag.Int64("max-body", 256<<20, "maximum /solve request body size in bytes")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	workers := flag.Int("workers", 0, "solve pipeline worker-pool size per request (≤ 0 means one per CPU, 1 forces the sequential path)")
 	exactMaxNodes := flag.Int64("exact-max-nodes", 50_000_000, "node budget for algo=exact branch-and-bound (≤ 0 = unlimited)")
 	solveTimeout := flag.Duration("solve-timeout", 0, "per-request solve deadline (0 = none); expired solves stop mid-run and return 503")
@@ -83,8 +84,18 @@ func main() {
 	queueBytes := flag.Int64("queue-bytes", 1<<30, "job queue total payload byte cap (0 = unbounded)")
 	jobRetries := flag.Int("job-retries", 3, "max runner attempts per job for transient failures")
 	drainTimeout := flag.Duration("drain-timeout", 20*time.Second, "graceful-shutdown budget for running jobs before they are checkpointed back to the queue")
+	sloSolveP95 := flag.Duration("slo-solve-p95", 2*time.Second, "SLO: solve-stage p95 latency objective")
+	sloJobWaitP99 := flag.Duration("slo-job-wait-p99", 30*time.Second, "SLO: async job queue-wait p99 objective")
+	sloHTTPP99 := flag.Duration("slo-http-p99", 5*time.Second, "SLO: whole-request HTTP p99 latency objective")
+	slo429Rate := flag.Float64("slo-429-rate", 0.05, "SLO: admitted-traffic 429-rate objective (fraction of POST /solve + POST /jobs)")
+	sloWindow := flag.Duration("slo-window", 30*time.Second, "SLO evaluation window granularity (long horizon = 20 windows, short = 4)")
+	traceCapacity := flag.Int("trace-capacity", obs.DefaultTraceCapacity, "retained request/job trace timelines for GET /jobs/{id}/trace")
 	flag.Parse()
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	logger, err := newLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phocus-server:", err)
+		os.Exit(1)
+	}
 
 	s, err := newServer(logger, serverConfig{
 		MaxBody:       *maxBody,
@@ -98,6 +109,12 @@ func main() {
 		QueueDepth:    *queueDepth,
 		QueueBytes:    *queueBytes,
 		JobRetries:    *jobRetries,
+		SLOSolveP95:   *sloSolveP95,
+		SLOJobWaitP99: *sloJobWaitP99,
+		SLOHTTPP99:    *sloHTTPP99,
+		SLO429Rate:    *slo429Rate,
+		SLOWindow:     *sloWindow,
+		TraceCapacity: *traceCapacity,
 	})
 	if err != nil {
 		logger.Error("startup", "err", err)
@@ -172,6 +189,16 @@ type serverConfig struct {
 	JobRetries int
 	// JobStoreNoSync skips the per-append WAL fsync (tests/benchmarks).
 	JobStoreNoSync bool
+	// SLOSolveP95 / SLOJobWaitP99 / SLOHTTPP99 / SLO429Rate are the SLO
+	// objective thresholds (≤ 0 picks the flag defaults).
+	SLOSolveP95   time.Duration
+	SLOJobWaitP99 time.Duration
+	SLOHTTPP99    time.Duration
+	SLO429Rate    float64
+	// SLOWindow is the sliding-window granularity (≤ 0 = 30s).
+	SLOWindow time.Duration
+	// TraceCapacity bounds retained trace timelines (≤ 0 = obs default).
+	TraceCapacity int
 }
 
 // server bundles the handler dependencies: logger, metrics registry,
@@ -179,6 +206,8 @@ type serverConfig struct {
 type server struct {
 	logger        *slog.Logger
 	reg           *obs.Registry
+	slo           *obs.SLOTracker
+	trace         *obs.TraceStore
 	maxBody       int64
 	workers       int
 	exactMaxNodes int64
@@ -186,6 +215,17 @@ type server struct {
 	cache         *phocus.PreparedCache
 	jobs          *jobs.Service
 	queueDepth    int
+}
+
+// newLogger builds the process logger in the requested format.
+func newLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q: want text or json", format)
 }
 
 func newServer(logger *slog.Logger, cfg serverConfig) (*server, error) {
@@ -206,6 +246,27 @@ func newServer(logger *slog.Logger, cfg serverConfig) (*server, error) {
 	}
 	s.reg.Gauge("phocus_workers").Set(float64(s.workers))
 
+	// SLO engine: sliding-window series fed by the request path and the job
+	// scheduler, evaluated on GET /slo and mirrored into /metrics gauges.
+	if cfg.SLOSolveP95 <= 0 {
+		cfg.SLOSolveP95 = 2 * time.Second
+	}
+	if cfg.SLOJobWaitP99 <= 0 {
+		cfg.SLOJobWaitP99 = 30 * time.Second
+	}
+	if cfg.SLOHTTPP99 <= 0 {
+		cfg.SLOHTTPP99 = 5 * time.Second
+	}
+	if cfg.SLO429Rate <= 0 || cfg.SLO429Rate > 1 {
+		cfg.SLO429Rate = 0.05
+	}
+	s.slo = obs.NewSLOTracker(obs.SLOTrackerOptions{WindowDur: cfg.SLOWindow})
+	s.slo.AddLatencyObjective("solve_p95", obs.SLOSolveLatency, 0.95, cfg.SLOSolveP95)
+	s.slo.AddLatencyObjective("http_p99", obs.SLOHTTPLatency, 0.99, cfg.SLOHTTPP99)
+	s.slo.AddLatencyObjective("job_wait_p99", obs.SLOJobWait, 0.99, cfg.SLOJobWaitP99)
+	s.slo.AddRateObjective("reject_429_rate", obs.SLORejectRate, cfg.SLO429Rate)
+	s.trace = obs.NewTraceStore(cfg.TraceCapacity)
+
 	// The job service opens last: its workers may immediately resume
 	// recovered jobs through s.runJob, so the server must be fully wired.
 	jobWorkers := cfg.JobWorkers
@@ -221,6 +282,8 @@ func newServer(logger *slog.Logger, cfg serverConfig) (*server, error) {
 		JobTimeout:  cfg.SolveTimeout,
 		Seed:        1,
 		Metrics:     s.reg,
+		SLO:         s.slo,
+		Trace:       s.trace,
 		Logger:      logger,
 		Store:       jobs.StoreOptions{NoSync: cfg.JobStoreNoSync},
 	}, s.runJob)
@@ -243,8 +306,13 @@ func (s *server) mux(pprofOn bool) *http.ServeMux {
 	mux.HandleFunc("GET /jobs", s.handleJobList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /slo", s.handleSLO)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Refresh the phocus_slo_* gauges on every scrape so /metrics and
+		// /slo always tell the same story.
+		s.slo.Export(s.reg)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		if err := s.reg.WritePrometheus(w); err != nil {
 			s.logger.Error("write metrics", "err", err)
@@ -280,6 +348,7 @@ func (s *server) telemetry(next http.Handler) http.Handler {
 		w.Header().Set("X-Request-ID", reqID)
 		ctx := obs.WithRequestID(r.Context(), reqID)
 		ctx = obs.WithLogger(ctx, s.logger.With("req_id", reqID))
+		ctx = obs.WithTraceStore(ctx, s.trace)
 
 		lw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(lw, r.WithContext(ctx))
@@ -290,6 +359,12 @@ func (s *server) telemetry(next http.Handler) http.Handler {
 			"route", route, "class", statusClass(lw.status)).Inc()
 		s.reg.Histogram("phocus_http_request_seconds", nil, "route", route).
 			Observe(elapsed.Seconds())
+		s.slo.Latency(obs.SLOHTTPLatency).Observe(elapsed.Seconds())
+		// The 429-rate objective covers exactly the admission-controlled
+		// surface: solve and job submissions.
+		if r.Method == http.MethodPost && (route == "/solve" || route == "/jobs") {
+			s.slo.Rate(obs.SLORejectRate).Observe(lw.status == http.StatusTooManyRequests)
+		}
 		s.logger.Info("request",
 			"method", r.Method, "path", r.URL.Path, "status", lw.status,
 			"req_id", reqID, "duration", elapsed.Round(time.Millisecond))
@@ -300,7 +375,7 @@ func (s *server) telemetry(next http.Handler) http.Handler {
 // collapse into one series so clients cannot explode label cardinality).
 func routeLabel(path string) string {
 	switch path {
-	case "/solve", "/healthz", "/readyz", "/metrics", "/debug/vars", "/jobs":
+	case "/solve", "/healthz", "/readyz", "/metrics", "/debug/vars", "/jobs", "/slo":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof/") {
@@ -634,6 +709,7 @@ func (s *server) solveCore(ctx context.Context, body io.Reader, params solvePara
 
 	obs.RecordSolve(s.reg, res.Algorithm, solveWorkers, prep.NumPhotos(),
 		stats.GainEvals, stats.PQPops, elapsed)
+	s.slo.Latency(obs.SLOSolveLatency).Observe(elapsed.Seconds())
 	if inst.Budget > 0 {
 		s.reg.Histogram("phocus_solve_budget_utilization", obs.RatioBuckets).
 			Observe(res.Solution.Cost / inst.Budget)

@@ -1,0 +1,212 @@
+// Command phocus-slogate is the CI regression gate over phocus-loadgen run
+// reports. It compares a candidate report against a checked-in baseline and
+// exits nonzero when any tracked percentile regresses beyond tolerance:
+//
+//	phocus-slogate -baseline bench/baseline_loadgen.json -candidate report.json -tolerance 0.5
+//
+// Checks, per phase present in the baseline:
+//
+//   - latency p50/p95/p99 (and end-to-end p95/p99 when both reports have
+//     them) must not exceed baseline*(1+tolerance) + abs-slack
+//   - throughput must not drop below baseline*(1-tolerance)
+//   - the 429 rate must not rise more than abs-429 above baseline
+//   - the candidate phase must have zero errors
+//
+// -selftest proves the gate can actually fail: the baseline passes against
+// itself at tolerance 0, and a synthetically inflated copy must be rejected.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// gateLatency mirrors the loadgen latencySummary wire format.
+type gateLatency struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+}
+
+// gatePhase mirrors the subset of the loadgen phaseReport the gate tracks.
+type gatePhase struct {
+	Name          string       `json:"name"`
+	Requests      int          `json:"requests"`
+	Errors        int          `json:"errors"`
+	ThroughputRPS float64      `json:"throughput_rps"`
+	Latency       gateLatency  `json:"latency"`
+	EndToEnd      *gateLatency `json:"end_to_end"`
+	Rate429       float64      `json:"rate_429"`
+}
+
+// gateReport mirrors the loadgen report envelope.
+type gateReport struct {
+	SchemaVersion int         `json:"schema_version"`
+	Seed          int64       `json:"seed"`
+	Phases        []gatePhase `json:"phases"`
+}
+
+func (r *gateReport) phase(name string) *gatePhase {
+	for i := range r.Phases {
+		if r.Phases[i].Name == name {
+			return &r.Phases[i]
+		}
+	}
+	return nil
+}
+
+// gateConfig tunes the comparison.
+type gateConfig struct {
+	tolerance  float64 // relative latency/throughput headroom (0.5 = +50%)
+	absSlackMS float64 // absolute latency slack added on top (CI noise floor)
+	abs429     float64 // absolute allowed 429-rate increase
+}
+
+// violation is one failed check.
+type violation struct {
+	Phase, Metric string
+	Base, Cand    float64
+	Limit         float64
+}
+
+func (v violation) String() string {
+	return fmt.Sprintf("%-14s %-18s baseline=%.3f candidate=%.3f limit=%.3f",
+		v.Phase, v.Metric, v.Base, v.Cand, v.Limit)
+}
+
+// compare evaluates every check and returns the violations.
+func compare(base, cand *gateReport, cfg gateConfig) []violation {
+	var out []violation
+	fail := func(phase, metric string, b, c, limit float64) {
+		out = append(out, violation{Phase: phase, Metric: metric, Base: b, Cand: c, Limit: limit})
+	}
+	if base.SchemaVersion != cand.SchemaVersion {
+		fail("report", "schema_version", float64(base.SchemaVersion), float64(cand.SchemaVersion), float64(base.SchemaVersion))
+		return out
+	}
+	for _, bp := range base.Phases {
+		cp := cand.phase(bp.Name)
+		if cp == nil {
+			fail(bp.Name, "phase_present", 1, 0, 1)
+			continue
+		}
+		if cp.Errors > 0 {
+			fail(bp.Name, "errors", float64(bp.Errors), float64(cp.Errors), 0)
+		}
+		lat := func(metric string, b, c float64) {
+			limit := b*(1+cfg.tolerance) + cfg.absSlackMS
+			if c > limit {
+				fail(bp.Name, metric, b, c, limit)
+			}
+		}
+		lat("latency_p50_ms", bp.Latency.P50, cp.Latency.P50)
+		lat("latency_p95_ms", bp.Latency.P95, cp.Latency.P95)
+		lat("latency_p99_ms", bp.Latency.P99, cp.Latency.P99)
+		if bp.EndToEnd != nil && cp.EndToEnd != nil {
+			lat("e2e_p95_ms", bp.EndToEnd.P95, cp.EndToEnd.P95)
+			lat("e2e_p99_ms", bp.EndToEnd.P99, cp.EndToEnd.P99)
+		}
+		if floor := bp.ThroughputRPS * (1 - cfg.tolerance); cp.ThroughputRPS < floor {
+			fail(bp.Name, "throughput_rps", bp.ThroughputRPS, cp.ThroughputRPS, floor)
+		}
+		if limit := bp.Rate429 + cfg.abs429; cp.Rate429 > limit {
+			fail(bp.Name, "rate_429", bp.Rate429, cp.Rate429, limit)
+		}
+	}
+	return out
+}
+
+func loadReport(path string) (*gateReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r gateReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Phases) == 0 {
+		return nil, fmt.Errorf("%s: no phases — not a loadgen report?", path)
+	}
+	return &r, nil
+}
+
+// inflate returns a copy of the report with every latency percentile
+// multiplied by factor — the injected regression for -selftest.
+func inflate(r *gateReport, factor float64) *gateReport {
+	out := *r
+	out.Phases = append([]gatePhase(nil), r.Phases...)
+	for i := range out.Phases {
+		p := &out.Phases[i]
+		p.Latency.P50 *= factor
+		p.Latency.P95 *= factor
+		p.Latency.P99 *= factor
+		if p.EndToEnd != nil {
+			e := *p.EndToEnd
+			e.P95 *= factor
+			e.P99 *= factor
+			p.EndToEnd = &e
+		}
+	}
+	return &out
+}
+
+// selftest proves the gate mechanism on a single report: identity must pass
+// at tolerance 0, an inflated copy must fail.
+func selftest(base *gateReport) error {
+	strict := gateConfig{tolerance: 0, absSlackMS: 0, abs429: 0}
+	if v := compare(base, base, strict); len(v) != 0 {
+		return fmt.Errorf("baseline does not pass against itself at tolerance 0: %v", v)
+	}
+	if v := compare(base, inflate(base, 2), strict); len(v) == 0 {
+		return fmt.Errorf("2x-inflated candidate passed at tolerance 0 — the gate cannot fail")
+	}
+	fmt.Println("selftest ok: baseline passes itself at tolerance 0; 2x-inflated copy is rejected")
+	return nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "bench/baseline_loadgen.json", "baseline loadgen report")
+	candidate := flag.String("candidate", "", "candidate loadgen report to gate")
+	tolerance := flag.Float64("tolerance", 0.5, "relative regression headroom (0.5 = candidate may be 50% worse)")
+	absSlack := flag.Float64("abs-slack-ms", 5, "absolute latency slack in ms added on top of the relative headroom")
+	abs429 := flag.Float64("abs-429", 0.05, "absolute allowed increase of the 429 rate")
+	self := flag.Bool("selftest", false, "verify the gate fails on an injected 2x latency regression, then exit")
+	flag.Parse()
+
+	if err := run(*baseline, *candidate, *self, gateConfig{*tolerance, *absSlack, *abs429}); err != nil {
+		fmt.Fprintln(os.Stderr, "phocus-slogate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, candidatePath string, self bool, cfg gateConfig) error {
+	base, err := loadReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	if self {
+		return selftest(base)
+	}
+	if candidatePath == "" {
+		return fmt.Errorf("-candidate is required (or use -selftest)")
+	}
+	cand, err := loadReport(candidatePath)
+	if err != nil {
+		return err
+	}
+	violations := compare(base, cand, cfg)
+	if len(violations) == 0 {
+		fmt.Printf("slo gate ok: %s within tolerance %.0f%% of %s (%d phases checked)\n",
+			candidatePath, cfg.tolerance*100, baselinePath, len(base.Phases))
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "slo gate FAILED: %d regression(s) beyond tolerance %.0f%%\n",
+		len(violations), cfg.tolerance*100)
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "  ", v)
+	}
+	return fmt.Errorf("%d violation(s)", len(violations))
+}

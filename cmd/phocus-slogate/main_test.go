@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baseReport() *gateReport {
+	e2e := gateLatency{P50: 100, P95: 300, P99: 500}
+	return &gateReport{
+		SchemaVersion: 1,
+		Seed:          1,
+		Phases: []gatePhase{
+			{Name: "sync_solve", Requests: 40, ThroughputRPS: 20,
+				Latency: gateLatency{P50: 10, P95: 40, P99: 80}, Rate429: 0.02},
+			{Name: "async_burst", Requests: 20, ThroughputRPS: 10,
+				Latency:  gateLatency{P50: 5, P95: 15, P99: 25},
+				EndToEnd: &e2e, Rate429: 0.1},
+		},
+	}
+}
+
+func strict() gateConfig { return gateConfig{tolerance: 0, absSlackMS: 0, abs429: 0} }
+
+func TestCompareIdentityPasses(t *testing.T) {
+	b := baseReport()
+	if v := compare(b, b, strict()); len(v) != 0 {
+		t.Fatalf("identity comparison at tolerance 0 failed: %v", v)
+	}
+}
+
+func TestCompareLatencyRegression(t *testing.T) {
+	b := baseReport()
+	c := inflate(b, 2)
+	v := compare(b, c, strict())
+	if len(v) == 0 {
+		t.Fatal("2x latency inflation passed at tolerance 0")
+	}
+	// Every latency metric of both phases regressed: 3 + 3 + 2 e2e.
+	if len(v) != 8 {
+		t.Errorf("%d violations, want 8: %v", len(v), v)
+	}
+	// The same inflation passes once tolerance covers it.
+	if v := compare(b, c, gateConfig{tolerance: 1.5, absSlackMS: 0, abs429: 0}); len(v) != 0 {
+		t.Errorf("2x inflation failed at tolerance 150%%: %v", v)
+	}
+}
+
+func TestCompareAbsoluteSlack(t *testing.T) {
+	b := baseReport()
+	c := baseReport()
+	c.Phases[0].Latency.P99 += 3 // +3ms on an 80ms baseline
+	if v := compare(b, c, gateConfig{tolerance: 0, absSlackMS: 5, abs429: 0}); len(v) != 0 {
+		t.Errorf("+3ms failed with 5ms absolute slack: %v", v)
+	}
+	if v := compare(b, c, strict()); len(v) != 1 {
+		t.Errorf("+3ms at zero slack: %v, want 1 violation", v)
+	}
+}
+
+func TestCompareThroughputAndRate(t *testing.T) {
+	b := baseReport()
+	c := baseReport()
+	c.Phases[0].ThroughputRPS = 8 // 60% drop
+	c.Phases[1].Rate429 = 0.5
+	v := compare(b, c, gateConfig{tolerance: 0.5, absSlackMS: 0, abs429: 0.05})
+	metrics := map[string]bool{}
+	for _, x := range v {
+		metrics[x.Metric] = true
+	}
+	if !metrics["throughput_rps"] || !metrics["rate_429"] {
+		t.Errorf("violations %v, want throughput_rps and rate_429", v)
+	}
+}
+
+func TestCompareErrorsAndMissingPhase(t *testing.T) {
+	b := baseReport()
+	c := baseReport()
+	c.Phases[0].Errors = 2
+	c.Phases = c.Phases[:1] // drop async_burst
+	v := compare(b, c, gateConfig{tolerance: 10, absSlackMS: 1000, abs429: 1})
+	metrics := map[string]bool{}
+	for _, x := range v {
+		metrics[x.Metric] = true
+	}
+	if !metrics["errors"] || !metrics["phase_present"] {
+		t.Errorf("violations %v, want errors and phase_present", v)
+	}
+}
+
+func TestCompareSchemaMismatch(t *testing.T) {
+	b := baseReport()
+	c := baseReport()
+	c.SchemaVersion = 2
+	v := compare(b, c, gateConfig{tolerance: 10, absSlackMS: 1000, abs429: 1})
+	if len(v) != 1 || v[0].Metric != "schema_version" {
+		t.Errorf("violations %v, want single schema_version", v)
+	}
+}
+
+func TestSelftest(t *testing.T) {
+	if err := selftest(baseReport()); err != nil {
+		t.Fatalf("selftest: %v", err)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, r *gateReport) string {
+		t.Helper()
+		b, _ := json.Marshal(r)
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	basePath := write("base.json", baseReport())
+	goodPath := write("good.json", baseReport())
+	badPath := write("bad.json", inflate(baseReport(), 3))
+
+	if err := run(basePath, goodPath, false, gateConfig{0.5, 5, 0.05}); err != nil {
+		t.Errorf("good candidate rejected: %v", err)
+	}
+	if err := run(basePath, badPath, false, gateConfig{0.5, 5, 0.05}); err == nil {
+		t.Error("3x-inflated candidate passed the gate")
+	}
+	if err := run(basePath, "", true, gateConfig{}); err != nil {
+		t.Errorf("selftest via run: %v", err)
+	}
+	if err := run(basePath, "", false, gateConfig{}); err == nil {
+		t.Error("missing -candidate did not fail")
+	}
+	if err := run(filepath.Join(dir, "absent.json"), goodPath, false, gateConfig{}); err == nil {
+		t.Error("missing baseline did not fail")
+	}
+}

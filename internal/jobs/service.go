@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"math"
 	mrand "math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,13 @@ type Config struct {
 	Seed int64
 	// Metrics receives the phocus_jobs_* series (nil = a private registry).
 	Metrics *obs.Registry
+	// SLO, when set, receives the job-wait sliding-window series
+	// (obs.SLOJobWait) so wait-time objectives see async pressure live.
+	SLO *obs.SLOTracker
+	// Trace, when set, receives per-job lifecycle span timelines (enqueue,
+	// queue-wait, run attempts, retries, drain checkpoints) keyed by job
+	// ID, alongside whatever spans the Runner itself records.
+	Trace *obs.TraceStore
 	// Logger receives job lifecycle events (nil = discard).
 	Logger *slog.Logger
 	// Store tunes WAL durability.
@@ -215,6 +223,13 @@ func (s *Service) Submit(params string, body []byte) (Job, error) {
 		return Job{}, err
 	}
 	obs.RecordJobEnqueued(s.reg, s.queue.Depth(), s.queue.Bytes())
+	s.cfg.Trace.Add(job.ID, obs.SpanRecord{
+		Name: "enqueue", Start: job.SubmittedAt,
+		Attrs: map[string]string{
+			"depth": strconv.Itoa(s.queue.Depth()),
+			"bytes": strconv.FormatInt(job.BodyBytes, 10),
+		},
+	})
 	s.logger.Info("job enqueued", "job_id", job.ID, "bytes", job.BodyBytes, "depth", s.queue.Depth())
 	return *job, nil
 }
@@ -340,8 +355,26 @@ func (s *Service) runJob(id string) {
 	s.mu.Unlock()
 
 	obs.RecordJobStart(s.reg, j.Wait())
+	if s.cfg.SLO != nil {
+		s.cfg.SLO.Latency(obs.SLOJobWait).Observe(j.Wait().Seconds())
+	}
+	// The queue-wait stage ended the moment the job started; record it as a
+	// synthetic span so the job's trace timeline covers submit → start.
+	s.cfg.Trace.Add(id, obs.SpanRecord{
+		Name: "queue-wait", Start: j.SubmittedAt,
+		DurationMS: float64(j.Wait().Microseconds()) / 1000,
+	})
 	obs.SetJobsRunning(s.reg, s.running.Add(1))
 	s.logger.Info("job running", "job_id", id, "attempt", attempts, "wait", j.Wait().Round(time.Millisecond))
+
+	// Job attempts run under the same obs plumbing as a synchronous request:
+	// the job ID doubles as the request ID, spans the Runner starts land in
+	// the shared trace store, and every span log line carries the job ID.
+	jctx = obs.WithRequestID(jctx, id)
+	jctx = obs.WithLogger(jctx, s.logger.With("job_id", id))
+	if s.cfg.Trace != nil {
+		jctx = obs.WithTraceStore(jctx, s.cfg.Trace)
+	}
 
 	runCtx := jctx
 	var timeoutCancel context.CancelFunc
@@ -352,7 +385,13 @@ func (s *Service) runJob(id string) {
 	var result []byte
 	var runErr error
 	for {
-		result, runErr = s.runner(runCtx, j)
+		attemptCtx, attemptSpan := obs.StartSpan(runCtx, "run")
+		result, runErr = s.runner(attemptCtx, j)
+		if runErr != nil {
+			attemptSpan.End("attempt", attempts, "err", runErr.Error())
+		} else {
+			attemptSpan.End("attempt", attempts)
+		}
 		if runErr == nil || runCtx.Err() != nil {
 			break
 		}
@@ -361,6 +400,14 @@ func (s *Service) runJob(id string) {
 		}
 		delay := s.backoff(attempts)
 		obs.RecordJobRetried(s.reg)
+		s.cfg.Trace.Add(id, obs.SpanRecord{
+			Name: "retry", Start: time.Now(),
+			DurationMS: float64(delay.Microseconds()) / 1000,
+			Attrs: map[string]string{
+				"attempt": strconv.Itoa(attempts),
+				"err":     runErr.Error(),
+			},
+		})
 		s.logger.Warn("job retrying", "job_id", id, "attempt", attempts, "delay", delay, "err", runErr)
 		select {
 		case <-runCtx.Done():
@@ -414,6 +461,10 @@ func (s *Service) runJob(id string) {
 	switch up.State {
 	case StateQueued:
 		obs.RecordJobRequeued(s.reg, 1)
+		s.cfg.Trace.Add(id, obs.SpanRecord{
+			Name: "drain-checkpoint", Start: time.Now(),
+			Attrs: map[string]string{"attempt": strconv.Itoa(attempts)},
+		})
 		s.logger.Info("job checkpointed", "job_id", id, "attempt", attempts)
 	default:
 		obs.RecordJobDone(s.reg, string(up.State), final.Run())

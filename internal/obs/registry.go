@@ -139,7 +139,10 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 	var cum int64
 	for i, c := range h.counts {
 		cum += c
-		if float64(cum) < rank {
+		// Empty buckets never answer a quantile: a boundary rank (q=0, or a
+		// rank landing exactly on a cumulative count) skips ahead to the
+		// first populated bucket instead of reporting an empty bound.
+		if float64(cum) < rank || c == 0 {
 			continue
 		}
 		if i == len(h.bounds) { // +Inf bucket
@@ -150,9 +153,6 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 			lo = h.bounds[i-1]
 		}
 		hi := h.bounds[i]
-		if c == 0 {
-			return hi
-		}
 		frac := (rank - float64(cum-c)) / float64(c)
 		return lo + frac*(hi-lo)
 	}

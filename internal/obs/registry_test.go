@@ -87,6 +87,57 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+
+	// Empty histogram: every q is NaN, including the extremes.
+	empty := r.Histogram("edge_empty", []float64{1, 2})
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("empty Quantile(%g) = %g, want NaN", q, got)
+		}
+	}
+
+	// q=0 and q=1 bracket the populated buckets; out-of-range q clamps.
+	h := r.Histogram("edge_range", []float64{1, 2, 4})
+	h.Observe(1.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	if got := h.Quantile(0); got < 1 || got > 2 {
+		t.Errorf("Quantile(0) = %g, want within the first populated bucket (1,2]", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %g, want upper bound 4 of the last populated bucket", got)
+	}
+	if got, clamped := h.Quantile(-3), h.Quantile(0); got != clamped {
+		t.Errorf("Quantile(-3) = %g, want clamp to Quantile(0) = %g", got, clamped)
+	}
+	if got, clamped := h.Quantile(7), h.Quantile(1); got != clamped {
+		t.Errorf("Quantile(7) = %g, want clamp to Quantile(1) = %g", got, clamped)
+	}
+
+	// All mass in the +Inf overflow bucket: every quantile clamps to the
+	// highest finite bound instead of inventing an infinite latency.
+	over := r.Histogram("edge_overflow", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		over.Observe(1e9)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := over.Quantile(q); got != 2 {
+			t.Errorf("all-overflow Quantile(%g) = %g, want 2", q, got)
+		}
+	}
+
+	// A single sample answers every quantile from its own bucket.
+	one := r.Histogram("edge_single", []float64{1, 2})
+	one.Observe(0.5)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(q); got < 0 || got > 1 {
+			t.Errorf("single-sample Quantile(%g) = %g, want in [0,1]", q, got)
+		}
+	}
+}
+
 func TestExpBuckets(t *testing.T) {
 	got := ExpBuckets(1, 10, 4)
 	want := []float64{1, 10, 100, 1000}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// SLO objective evaluation. An SLOTracker owns a set of named sliding-window
+// series (latency histograms and bad/total rates) plus the objectives
+// defined over them, and renders each objective's health as ok / warn /
+// breach using the two-window burn-rate scheme from SRE practice:
+//
+//   - the measured value (a latency quantile, or a bad-event fraction) is
+//     computed over a short horizon and a long horizon;
+//   - burn = value / threshold for each horizon (how fast the objective's
+//     budget is being consumed; 1.0 = exactly at the objective);
+//   - breach  when both horizons burn ≥ 1 — the violation is sustained;
+//     warn    when exactly one does — a fresh spike (short only) or a
+//             recovering incident (long only);
+//     ok      otherwise, including when a horizon has no samples yet.
+//
+// Requiring both horizons to agree before "breach" is what keeps the signal
+// actionable: a single slow request cannot page, and a resolved incident
+// decays to warn as soon as the short window clears.
+
+// Series names shared between the server, the job service and /slo, so
+// every producer and every objective agree on what they are measuring.
+const (
+	SLOSolveLatency = "solve_latency_seconds" // sync+async solve stage latency
+	SLOHTTPLatency  = "http_latency_seconds"  // whole-request HTTP latency
+	SLOJobWait      = "job_wait_seconds"      // async job submit → start
+	SLORejectRate   = "http_429_rate"         // 429s per admission-controlled request
+)
+
+// SLOStatus is an objective's health verdict.
+type SLOStatus string
+
+const (
+	SLOOK     SLOStatus = "ok"
+	SLOWarn   SLOStatus = "warn"
+	SLOBreach SLOStatus = "breach"
+)
+
+// sloKind distinguishes the two objective shapes.
+type sloKind string
+
+const (
+	kindLatency sloKind = "latency"
+	kindRate    sloKind = "rate"
+)
+
+// sloObjective is one registered objective.
+type sloObjective struct {
+	name      string
+	kind      sloKind
+	source    string  // series name
+	quantile  float64 // latency objectives only
+	threshold float64 // seconds (latency) or fraction (rate)
+}
+
+// WindowEval is the measured state of one objective over one horizon.
+type WindowEval struct {
+	// HorizonSeconds is the evaluation window length.
+	HorizonSeconds float64 `json:"horizon_seconds"`
+	// Value is the measured quantile (seconds) or bad fraction; omitted
+	// when the horizon holds no samples.
+	Value float64 `json:"value"`
+	// BurnRate is Value/threshold (0 with no samples).
+	BurnRate float64 `json:"burn_rate"`
+	// Samples is the number of observations in the horizon.
+	Samples int64 `json:"samples"`
+}
+
+// ObjectiveStatus is one objective's rendered health, the unit of GET /slo.
+type ObjectiveStatus struct {
+	Name      string     `json:"name"`
+	Kind      string     `json:"kind"`
+	Source    string     `json:"source"`
+	Quantile  float64    `json:"quantile,omitempty"`
+	Threshold float64    `json:"threshold"`
+	Short     WindowEval `json:"short_window"`
+	Long      WindowEval `json:"long_window"`
+	Status    SLOStatus  `json:"status"`
+}
+
+// SLOReport is the GET /slo payload.
+type SLOReport struct {
+	// Status is the worst objective status (ok < warn < breach).
+	Status     SLOStatus         `json:"status"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// SLOTrackerOptions shape a tracker's ring geometry.
+type SLOTrackerOptions struct {
+	// WindowDur is one ring slot's duration (default 30s).
+	WindowDur time.Duration
+	// NumWindows is the ring length; the long horizon (default 20 → 10m
+	// with the default WindowDur).
+	NumWindows int
+	// ShortWindows is the short horizon in slots (default 4 → 2m).
+	ShortWindows int
+	// Buckets configures latency series bounds (nil = DefBuckets).
+	Buckets []float64
+}
+
+// SLOTracker owns windowed series and the objectives evaluated over them.
+// All methods are safe for concurrent use; producers grab a series handle
+// once and Observe lock-free of the tracker afterwards.
+type SLOTracker struct {
+	opts SLOTrackerOptions
+
+	mu         sync.Mutex
+	hists      map[string]*WindowedHistogram
+	rates      map[string]*WindowedRate
+	objectives []sloObjective
+}
+
+// NewSLOTracker returns a tracker with the given ring geometry.
+func NewSLOTracker(opts SLOTrackerOptions) *SLOTracker {
+	if opts.WindowDur <= 0 {
+		opts.WindowDur = 30 * time.Second
+	}
+	if opts.NumWindows <= 0 {
+		opts.NumWindows = 20
+	}
+	if opts.ShortWindows <= 0 || opts.ShortWindows > opts.NumWindows {
+		opts.ShortWindows = 4
+		if opts.ShortWindows > opts.NumWindows {
+			opts.ShortWindows = opts.NumWindows
+		}
+	}
+	return &SLOTracker{
+		opts:  opts,
+		hists: make(map[string]*WindowedHistogram),
+		rates: make(map[string]*WindowedRate),
+	}
+}
+
+// setClock substitutes the time source of every existing series (tests
+// only; create the series before calling).
+func (t *SLOTracker) setClock(now windowClock) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, h := range t.hists {
+		h.setClock(now)
+	}
+	for _, r := range t.rates {
+		r.setClock(now)
+	}
+}
+
+// Latency returns (creating on first use) the windowed latency series with
+// the given name.
+func (t *SLOTracker) Latency(name string) *WindowedHistogram {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.hists[name]
+	if h == nil {
+		h = NewWindowedHistogram(t.opts.Buckets, t.opts.WindowDur, t.opts.NumWindows)
+		t.hists[name] = h
+	}
+	return h
+}
+
+// Rate returns (creating on first use) the windowed rate series with the
+// given name.
+func (t *SLOTracker) Rate(name string) *WindowedRate {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.rates[name]
+	if r == nil {
+		r = NewWindowedRate(t.opts.WindowDur, t.opts.NumWindows)
+		t.rates[name] = r
+	}
+	return r
+}
+
+// AddLatencyObjective registers "quantile q of series source stays under
+// threshold". Threshold must be positive.
+func (t *SLOTracker) AddLatencyObjective(name, source string, q float64, threshold time.Duration) {
+	if threshold <= 0 || q <= 0 || q > 1 {
+		panic("obs: AddLatencyObjective needs threshold > 0 and q in (0,1]")
+	}
+	t.Latency(source) // materialize so /slo shows the objective before traffic
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.objectives = append(t.objectives, sloObjective{
+		name: name, kind: kindLatency, source: source,
+		quantile: q, threshold: threshold.Seconds(),
+	})
+}
+
+// AddRateObjective registers "the bad fraction of series source stays under
+// threshold" (a fraction in (0,1]).
+func (t *SLOTracker) AddRateObjective(name, source string, threshold float64) {
+	if threshold <= 0 || threshold > 1 {
+		panic("obs: AddRateObjective needs threshold in (0,1]")
+	}
+	t.Rate(source)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.objectives = append(t.objectives, sloObjective{
+		name: name, kind: kindRate, source: source, threshold: threshold,
+	})
+}
+
+// evalWindow measures one objective over one horizon.
+func (t *SLOTracker) evalWindow(o sloObjective, horizon time.Duration) WindowEval {
+	ev := WindowEval{HorizonSeconds: horizon.Seconds()}
+	var value float64
+	switch o.kind {
+	case kindLatency:
+		v := t.Latency(o.source).Merged(horizon)
+		ev.Samples = v.Count()
+		value = v.Quantile(o.quantile)
+	case kindRate:
+		value, ev.Samples = t.Rate(o.source).Rate(horizon)
+	}
+	if ev.Samples == 0 || math.IsNaN(value) {
+		return ev
+	}
+	ev.Value = value
+	ev.BurnRate = value / o.threshold
+	return ev
+}
+
+// Report evaluates every objective. Objectives are reported in registration
+// order; the report's Status is the worst objective's.
+func (t *SLOTracker) Report() SLOReport {
+	t.mu.Lock()
+	objectives := append([]sloObjective(nil), t.objectives...)
+	short := time.Duration(t.opts.ShortWindows) * t.opts.WindowDur
+	long := time.Duration(t.opts.NumWindows) * t.opts.WindowDur
+	t.mu.Unlock()
+
+	rep := SLOReport{Status: SLOOK, Objectives: make([]ObjectiveStatus, 0, len(objectives))}
+	for _, o := range objectives {
+		st := ObjectiveStatus{
+			Name: o.name, Kind: string(o.kind), Source: o.source,
+			Quantile: o.quantile, Threshold: o.threshold,
+			Short: t.evalWindow(o, short),
+			Long:  t.evalWindow(o, long),
+		}
+		shortHot := st.Short.Samples > 0 && st.Short.BurnRate >= 1
+		longHot := st.Long.Samples > 0 && st.Long.BurnRate >= 1
+		switch {
+		case shortHot && longHot:
+			st.Status = SLOBreach
+		case shortHot || longHot:
+			st.Status = SLOWarn
+		default:
+			st.Status = SLOOK
+		}
+		if sloRank(st.Status) > sloRank(rep.Status) {
+			rep.Status = st.Status
+		}
+		rep.Objectives = append(rep.Objectives, st)
+	}
+	return rep
+}
+
+// sloRank orders statuses for worst-of aggregation.
+func sloRank(s SLOStatus) int {
+	switch s {
+	case SLOBreach:
+		return 2
+	case SLOWarn:
+		return 1
+	}
+	return 0
+}
+
+// Export evaluates every objective and mirrors the verdicts into reg so
+// /metrics carries the SLO state next to the raw series:
+//
+//	phocus_slo_status{objective}             0 ok, 1 warn, 2 breach
+//	phocus_slo_burn_rate{objective,window}   value/threshold per horizon
+//
+// It returns the report it rendered, so /slo and /metrics agree.
+func (t *SLOTracker) Export(reg *Registry) SLOReport {
+	rep := t.Report()
+	for _, o := range rep.Objectives {
+		reg.Gauge("phocus_slo_status", "objective", o.Name).Set(float64(sloRank(o.Status)))
+		reg.Gauge("phocus_slo_burn_rate", "objective", o.Name, "window", "short").Set(o.Short.BurnRate)
+		reg.Gauge("phocus_slo_burn_rate", "objective", o.Name, "window", "long").Set(o.Long.BurnRate)
+	}
+	return rep
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestTracker returns a tracker with 1-minute windows (short horizon 2m,
+// long 10m) on a fake clock.
+func newTestTracker() (*SLOTracker, *fakeClock) {
+	t := NewSLOTracker(SLOTrackerOptions{
+		WindowDur: time.Minute, NumWindows: 10, ShortWindows: 2,
+	})
+	clk := newFakeClock()
+	t.Latency(SLOSolveLatency)
+	t.Rate(SLORejectRate)
+	t.setClock(clk.Now)
+	return t, clk
+}
+
+func TestSLONoTrafficIsOK(t *testing.T) {
+	tr, _ := newTestTracker()
+	tr.AddLatencyObjective("solve_p95", SLOSolveLatency, 0.95, 500*time.Millisecond)
+	tr.AddRateObjective("reject_rate", SLORejectRate, 0.05)
+	rep := tr.Report()
+	if rep.Status != SLOOK {
+		t.Fatalf("status with no traffic = %q, want ok", rep.Status)
+	}
+	if len(rep.Objectives) != 2 {
+		t.Fatalf("objectives = %d, want 2", len(rep.Objectives))
+	}
+	for _, o := range rep.Objectives {
+		if o.Status != SLOOK || o.Short.Samples != 0 || o.Long.Samples != 0 {
+			t.Errorf("objective %s = %+v, want ok with no samples", o.Name, o)
+		}
+	}
+}
+
+func TestSLOLatencyBurnTransitions(t *testing.T) {
+	tr, clk := newTestTracker()
+	tr.AddLatencyObjective("solve_p95", SLOSolveLatency, 0.95, 100*time.Millisecond)
+	lat := tr.Latency(SLOSolveLatency)
+
+	// Healthy traffic: well under the threshold → ok.
+	for i := 0; i < 20; i++ {
+		lat.Observe(0.010)
+	}
+	if rep := tr.Report(); rep.Status != SLOOK {
+		t.Fatalf("healthy status = %q, want ok", rep.Status)
+	}
+
+	// A slow burst now: the short window burns but the long window (which
+	// still holds mostly healthy samples) does not → warn... unless the
+	// burst dominates the whole horizon too. Seed enough old healthy
+	// samples across older windows first.
+	clk.Advance(5 * time.Minute)
+	for i := 0; i < 200; i++ {
+		lat.Observe(0.010)
+	}
+	clk.Advance(4 * time.Minute)
+	for i := 0; i < 10; i++ {
+		lat.Observe(1.0) // 10 slow of 210 total: long p95 stays healthy
+	}
+	rep := tr.Report()
+	if got := rep.Objectives[0].Status; got != SLOWarn {
+		t.Fatalf("fresh-spike status = %q, want warn (short=%+v long=%+v)",
+			got, rep.Objectives[0].Short, rep.Objectives[0].Long)
+	}
+
+	// Sustained slowness: old healthy samples age out, slow ones dominate
+	// both horizons → breach.
+	clk.Advance(9 * time.Minute)
+	for i := 0; i < 50; i++ {
+		lat.Observe(1.0)
+	}
+	rep = tr.Report()
+	o := rep.Objectives[0]
+	if o.Status != SLOBreach {
+		t.Fatalf("sustained status = %q, want breach (short=%+v long=%+v)", o.Status, o.Short, o.Long)
+	}
+	if o.Short.BurnRate < 1 || o.Long.BurnRate < 1 {
+		t.Errorf("breach burn rates = %v/%v, want both ≥ 1", o.Short.BurnRate, o.Long.BurnRate)
+	}
+	if rep.Status != SLOBreach {
+		t.Errorf("report status = %q, want breach", rep.Status)
+	}
+
+	// Recovery: the short window clears while the long one still remembers
+	// the incident → back to warn, then ok once everything ages out. The
+	// half-minute offset keeps the slow window strictly outside the short
+	// horizon (a window ending exactly on the cutoff still counts).
+	clk.Advance(3*time.Minute + 30*time.Second)
+	for i := 0; i < 50; i++ {
+		lat.Observe(0.010)
+	}
+	if got := tr.Report().Objectives[0].Status; got != SLOWarn {
+		t.Fatalf("recovering status = %q, want warn", got)
+	}
+	clk.Advance(11 * time.Minute)
+	for i := 0; i < 20; i++ {
+		lat.Observe(0.010)
+	}
+	if got := tr.Report().Objectives[0].Status; got != SLOOK {
+		t.Fatalf("recovered status = %q, want ok", got)
+	}
+}
+
+func TestSLORateObjective(t *testing.T) {
+	tr, _ := newTestTracker()
+	tr.AddRateObjective("reject_rate", SLORejectRate, 0.10)
+	rate := tr.Rate(SLORejectRate)
+	for i := 0; i < 100; i++ {
+		rate.Observe(i < 25) // 25% rejected, threshold 10%
+	}
+	rep := tr.Report()
+	o := rep.Objectives[0]
+	if o.Status != SLOBreach {
+		t.Fatalf("status = %q, want breach", o.Status)
+	}
+	if o.Short.Value != 0.25 || o.Short.BurnRate != 2.5 {
+		t.Errorf("short = %+v, want value 0.25 burn 2.5", o.Short)
+	}
+}
+
+func TestSLOExportGauges(t *testing.T) {
+	tr, _ := newTestTracker()
+	tr.AddRateObjective("reject_rate", SLORejectRate, 0.10)
+	rate := tr.Rate(SLORejectRate)
+	for i := 0; i < 10; i++ {
+		rate.Observe(true)
+	}
+	reg := NewRegistry()
+	rep := tr.Export(reg)
+	if rep.Status != SLOBreach {
+		t.Fatalf("report status = %q, want breach", rep.Status)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`phocus_slo_status{objective="reject_rate"} 2`,
+		`phocus_slo_burn_rate{objective="reject_rate",window="short"} 10`,
+		`phocus_slo_burn_rate{objective="reject_rate",window="long"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSLOReportJSONShape(t *testing.T) {
+	tr, _ := newTestTracker()
+	tr.AddLatencyObjective("solve_p95", SLOSolveLatency, 0.95, time.Second)
+	tr.Latency(SLOSolveLatency).Observe(0.1)
+	b, err := json.Marshal(tr.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"status":"ok"`, `"name":"solve_p95"`, `"kind":"latency"`,
+		`"quantile":0.95`, `"threshold":1`, `"short_window"`, `"long_window"`,
+		`"burn_rate"`, `"samples":1`,
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("report JSON missing %s:\n%s", want, b)
+		}
+	}
+}
+
+func TestSLOObjectiveValidation(t *testing.T) {
+	tr, _ := newTestTracker()
+	for name, fn := range map[string]func(){
+		"latency q=0":      func() { tr.AddLatencyObjective("x", "s", 0, time.Second) },
+		"latency thresh=0": func() { tr.AddLatencyObjective("x", "s", 0.95, 0) },
+		"rate thresh=0":    func() { tr.AddRateObjective("x", "s", 0) },
+		"rate thresh>1":    func() { tr.AddRateObjective("x", "s", 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

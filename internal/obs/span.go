@@ -63,6 +63,7 @@ type Span struct {
 	parent string
 	reqID  string
 	logger *slog.Logger
+	trace  *TraceStore
 	start  time.Time
 }
 
@@ -79,6 +80,7 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		parent: parent,
 		reqID:  RequestID(ctx),
 		logger: Logger(ctx),
+		trace:  traceStoreFrom(ctx),
 		start:  time.Now(),
 	}
 	return context.WithValue(ctx, spanKey, s), s
@@ -92,8 +94,20 @@ func (s *Span) ID() string { return s.id }
 
 // End emits the span's structured log event — name, req_id, span_id,
 // parent_id, duration, plus any extra attrs — and returns the duration.
+// When the span's context carried a TraceStore (WithTraceStore) the span is
+// also recorded into the request's retrievable timeline.
 func (s *Span) End(attrs ...any) time.Duration {
 	d := time.Since(s.start)
+	if s.trace != nil {
+		s.trace.Add(s.reqID, SpanRecord{
+			Name:       s.name,
+			SpanID:     s.id,
+			ParentID:   s.parent,
+			Start:      s.start,
+			DurationMS: float64(d.Microseconds()) / 1000,
+			Attrs:      renderAttrs(attrs),
+		})
+	}
 	args := make([]any, 0, 10+len(attrs))
 	args = append(args,
 		"span", s.name,

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceStoreSpanRecording(t *testing.T) {
+	ts := NewTraceStore(8)
+	ctx := WithLogger(context.Background(), slog.New(slog.NewTextHandler(io.Discard, nil)))
+	ctx = WithRequestID(ctx, "req1")
+	ctx = WithTraceStore(ctx, ts)
+
+	ctx, outer := StartSpan(ctx, "solve")
+	_, inner := StartSpan(ctx, "sparsify")
+	inner.End("pairs", 7)
+	outer.End()
+
+	tr, ok := ts.Get("req1")
+	if !ok {
+		t.Fatal("trace req1 not found")
+	}
+	if len(tr.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(tr.Spans))
+	}
+	// Completion order: inner first, carrying the parent link and attrs.
+	if tr.Spans[0].Name != "sparsify" || tr.Spans[0].ParentID != outer.ID() {
+		t.Errorf("inner span = %+v", tr.Spans[0])
+	}
+	if tr.Spans[0].Attrs["pairs"] != "7" {
+		t.Errorf("inner attrs = %v, want pairs=7", tr.Spans[0].Attrs)
+	}
+	if tr.Spans[1].Name != "solve" || tr.Spans[1].ParentID != "" {
+		t.Errorf("outer span = %+v", tr.Spans[1])
+	}
+	if tr.Spans[0].DurationMS < 0 {
+		t.Errorf("negative duration %v", tr.Spans[0].DurationMS)
+	}
+}
+
+func TestTraceStoreNoStoreNoRequestID(t *testing.T) {
+	// Spans without a store, and spans with a store but no request ID, must
+	// be inert (no panic, nothing recorded).
+	ctx := WithLogger(context.Background(), slog.New(slog.NewTextHandler(io.Discard, nil)))
+	_, s := StartSpan(ctx, "orphan")
+	s.End()
+
+	ts := NewTraceStore(4)
+	_, s2 := StartSpan(WithTraceStore(ctx, ts), "anon")
+	s2.End()
+	if ts.Len() != 0 {
+		t.Errorf("store retained %d traces, want 0", ts.Len())
+	}
+}
+
+func TestTraceStoreLRUEviction(t *testing.T) {
+	ts := NewTraceStore(3)
+	for i := 0; i < 3; i++ {
+		ts.Add(fmt.Sprintf("t%d", i), SpanRecord{Name: "run"})
+	}
+	// Touch t0 so t1 becomes the LRU victim.
+	if _, ok := ts.Get("t0"); !ok {
+		t.Fatal("t0 missing before eviction")
+	}
+	ts.Add("t3", SpanRecord{Name: "run"})
+	if _, ok := ts.Get("t1"); ok {
+		t.Error("t1 survived past capacity, want LRU eviction")
+	}
+	for _, id := range []string{"t0", "t2", "t3"} {
+		if _, ok := ts.Get(id); !ok {
+			t.Errorf("%s evicted, want retained", id)
+		}
+	}
+	if ts.Len() != 3 {
+		t.Errorf("len = %d, want 3", ts.Len())
+	}
+}
+
+func TestTraceStorePerTraceCap(t *testing.T) {
+	ts := NewTraceStore(2)
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		ts.Add("big", SpanRecord{Name: "retry", Start: time.Now()})
+	}
+	tr, _ := ts.Get("big")
+	if len(tr.Spans) != maxSpansPerTrace {
+		t.Errorf("spans = %d, want capped at %d", len(tr.Spans), maxSpansPerTrace)
+	}
+	if tr.Dropped != 10 {
+		t.Errorf("dropped = %d, want 10", tr.Dropped)
+	}
+}
+
+func TestTraceStoreConcurrent(t *testing.T) {
+	ts := NewTraceStore(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("req%d", g%4)
+			for i := 0; i < 500; i++ {
+				ts.Add(id, SpanRecord{Name: "stage"})
+				if i%32 == 0 {
+					ts.Get(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if ts.Len() != 4 {
+		t.Errorf("len = %d, want 4", ts.Len())
+	}
+}
+
+func TestRenderAttrs(t *testing.T) {
+	if m := renderAttrs(nil); m != nil {
+		t.Errorf("nil attrs = %v", m)
+	}
+	m := renderAttrs([]any{"k", 1, "s", "v", "odd"})
+	if m["k"] != "1" || m["s"] != "v" || m["extra"] != "odd" {
+		t.Errorf("attrs = %v", m)
+	}
+}

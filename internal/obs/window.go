@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The sliding-window primitives below are the SLO engine's data plane. The
+// cumulative Registry histograms answer "what happened since boot"; SLOs
+// need "what happened in the last N minutes", so WindowedHistogram and
+// WindowedRate keep a ring of fixed-duration windows and merge the live
+// ones on read. Writes touch exactly one window (the current one), reads
+// merge at most the ring length — both O(buckets), no per-sample storage.
+
+// windowClock is the injectable time source; tests substitute a fake so
+// rotation is deterministic.
+type windowClock func() time.Time
+
+// histWindow is one time slice of a WindowedHistogram.
+type histWindow struct {
+	start  time.Time // zero = never used
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+// WindowedHistogram buckets observations like Histogram but into a ring of
+// fixed-duration windows, so quantiles can be computed over a recent
+// horizon instead of process lifetime. All methods are safe for concurrent
+// use.
+type WindowedHistogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf bucket implicit
+	dur    time.Duration
+	wins   []histWindow // ring; wins[cur] is the open window
+	cur    int
+	now    windowClock
+}
+
+// NewWindowedHistogram returns a histogram of n windows of dur each (so the
+// longest queryable horizon is n*dur). buckets nil means DefBuckets.
+func NewWindowedHistogram(buckets []float64, dur time.Duration, n int) *WindowedHistogram {
+	if dur <= 0 || n < 1 {
+		panic("obs: NewWindowedHistogram needs dur > 0, n ≥ 1")
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	h := &WindowedHistogram{
+		bounds: bounds,
+		dur:    dur,
+		wins:   make([]histWindow, n),
+		now:    time.Now,
+	}
+	for i := range h.wins {
+		h.wins[i].counts = make([]int64, len(bounds)+1)
+	}
+	return h
+}
+
+// setClock substitutes the time source (tests only).
+func (h *WindowedHistogram) setClock(now windowClock) {
+	h.mu.Lock()
+	h.now = now
+	h.mu.Unlock()
+}
+
+// rotateLocked advances the ring so wins[cur] covers now. A long idle gap
+// clears every stale window it skipped over.
+func (h *WindowedHistogram) rotateLocked(now time.Time) {
+	w := &h.wins[h.cur]
+	if w.start.IsZero() {
+		w.start = now.Truncate(h.dur)
+		return
+	}
+	for !now.Before(w.start.Add(h.dur)) {
+		h.cur = (h.cur + 1) % len(h.wins)
+		next := &h.wins[h.cur]
+		start := w.start.Add(h.dur)
+		// Skip whole empty periods in one hop instead of looping per window.
+		if now.Sub(start) >= time.Duration(len(h.wins))*h.dur {
+			start = now.Truncate(h.dur)
+		}
+		next.start = start
+		next.sum, next.count = 0, 0
+		for i := range next.counts {
+			next.counts[i] = 0
+		}
+		w = next
+	}
+}
+
+// Observe records one sample into the current window.
+func (h *WindowedHistogram) Observe(v float64) {
+	h.mu.Lock()
+	h.rotateLocked(h.now())
+	w := &h.wins[h.cur]
+	w.counts[sort.SearchFloat64s(h.bounds, v)]++
+	w.sum += v
+	w.count++
+	h.mu.Unlock()
+}
+
+// HistogramView is an immutable merged snapshot of one or more windows;
+// Quantile runs the same interpolation as Histogram.Quantile.
+type HistogramView struct {
+	bounds []float64
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+// Count returns the merged observation count.
+func (v *HistogramView) Count() int64 { return v.count }
+
+// Sum returns the merged value sum.
+func (v *HistogramView) Sum() float64 { return v.sum }
+
+// Quantile estimates the q-quantile of the merged windows; NaN when empty.
+func (v *HistogramView) Quantile(q float64) float64 {
+	h := Histogram{bounds: v.bounds, counts: v.counts, sum: v.sum, count: v.count}
+	return h.quantileLocked(q)
+}
+
+// Merged returns a snapshot of every window that started within horizon of
+// now (the open window always qualifies once it has samples).
+func (h *WindowedHistogram) Merged(horizon time.Duration) *HistogramView {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.now()
+	h.rotateLocked(now)
+	v := &HistogramView{
+		bounds: h.bounds,
+		counts: make([]int64, len(h.bounds)+1),
+	}
+	cutoff := now.Add(-horizon)
+	for i := range h.wins {
+		w := &h.wins[i]
+		if w.start.IsZero() || w.count == 0 || w.start.Add(h.dur).Before(cutoff) {
+			continue
+		}
+		for j, c := range w.counts {
+			v.counts[j] += c
+		}
+		v.sum += w.sum
+		v.count += w.count
+	}
+	return v
+}
+
+// rateWindow is one time slice of a WindowedRate.
+type rateWindow struct {
+	start time.Time
+	bad   int64
+	total int64
+}
+
+// WindowedRate tracks a bad/total ratio (e.g. 429s per request) over the
+// same ring-of-windows scheme as WindowedHistogram. All methods are safe
+// for concurrent use.
+type WindowedRate struct {
+	mu   sync.Mutex
+	dur  time.Duration
+	wins []rateWindow
+	cur  int
+	now  windowClock
+}
+
+// NewWindowedRate returns a rate tracker of n windows of dur each.
+func NewWindowedRate(dur time.Duration, n int) *WindowedRate {
+	if dur <= 0 || n < 1 {
+		panic("obs: NewWindowedRate needs dur > 0, n ≥ 1")
+	}
+	return &WindowedRate{dur: dur, wins: make([]rateWindow, n), now: time.Now}
+}
+
+// setClock substitutes the time source (tests only).
+func (r *WindowedRate) setClock(now windowClock) {
+	r.mu.Lock()
+	r.now = now
+	r.mu.Unlock()
+}
+
+func (r *WindowedRate) rotateLocked(now time.Time) {
+	w := &r.wins[r.cur]
+	if w.start.IsZero() {
+		w.start = now.Truncate(r.dur)
+		return
+	}
+	for !now.Before(w.start.Add(r.dur)) {
+		r.cur = (r.cur + 1) % len(r.wins)
+		next := &r.wins[r.cur]
+		start := w.start.Add(r.dur)
+		if now.Sub(start) >= time.Duration(len(r.wins))*r.dur {
+			start = now.Truncate(r.dur)
+		}
+		next.start = start
+		next.bad, next.total = 0, 0
+		w = next
+	}
+}
+
+// Observe records one event; bad marks it as counting against the SLO.
+func (r *WindowedRate) Observe(bad bool) {
+	r.mu.Lock()
+	r.rotateLocked(r.now())
+	w := &r.wins[r.cur]
+	w.total++
+	if bad {
+		w.bad++
+	}
+	r.mu.Unlock()
+}
+
+// Rate returns the bad fraction and total event count over the horizon.
+// With no events the fraction is NaN.
+func (r *WindowedRate) Rate(horizon time.Duration) (frac float64, total int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	r.rotateLocked(now)
+	cutoff := now.Add(-horizon)
+	var bad int64
+	for i := range r.wins {
+		w := &r.wins[i]
+		if w.start.IsZero() || w.total == 0 || w.start.Add(r.dur).Before(cutoff) {
+			continue
+		}
+		bad += w.bad
+		total += w.total
+	}
+	if total == 0 {
+		return math.NaN(), 0
+	}
+	return float64(bad) / float64(total), total
+}

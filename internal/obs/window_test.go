@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded settable clock for window-rotation tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestWindowedHistogramMergeHorizons(t *testing.T) {
+	clk := newFakeClock()
+	h := NewWindowedHistogram([]float64{1, 10, 100}, time.Minute, 10)
+	h.setClock(clk.Now)
+
+	// Minute 0: fast samples. Minute 5: slow samples.
+	h.Observe(0.5)
+	h.Observe(0.5)
+	clk.Advance(5 * time.Minute)
+	h.Observe(50)
+	h.Observe(50)
+
+	// A 2-minute horizon only sees the slow burst.
+	short := h.Merged(2 * time.Minute)
+	if short.Count() != 2 {
+		t.Fatalf("short count = %d, want 2", short.Count())
+	}
+	if q := short.Quantile(0.5); q < 10 || q > 100 {
+		t.Errorf("short p50 = %v, want in (10,100]", q)
+	}
+	// The full horizon sees both.
+	long := h.Merged(10 * time.Minute)
+	if long.Count() != 4 {
+		t.Fatalf("long count = %d, want 4", long.Count())
+	}
+	if s := long.Sum(); s != 101 {
+		t.Errorf("long sum = %v, want 101", s)
+	}
+	// Advancing past the ring length expires everything (a window ending
+	// exactly on the cutoff still counts, so go strictly past it).
+	clk.Advance(12 * time.Minute)
+	if c := h.Merged(10 * time.Minute).Count(); c != 0 {
+		t.Errorf("expired count = %d, want 0", c)
+	}
+}
+
+func TestWindowedHistogramRingReuse(t *testing.T) {
+	clk := newFakeClock()
+	h := NewWindowedHistogram([]float64{1}, time.Minute, 3)
+	h.setClock(clk.Now)
+	// Wrap the 3-slot ring twice; old windows must be cleared on reuse.
+	for i := 0; i < 6; i++ {
+		h.Observe(0.5)
+		clk.Advance(time.Minute)
+	}
+	// The final advance opened a fresh (empty) current window, reusing the
+	// oldest slot — so two populated windows remain live in the ring.
+	v := h.Merged(3 * time.Minute)
+	if v.Count() != 2 {
+		t.Fatalf("count after wrap = %d, want 2 (ring reuses the oldest slot)", v.Count())
+	}
+}
+
+func TestWindowedHistogramIdleGap(t *testing.T) {
+	clk := newFakeClock()
+	h := NewWindowedHistogram([]float64{1}, time.Minute, 4)
+	h.setClock(clk.Now)
+	h.Observe(0.5)
+	// A gap far longer than the ring must not loop per skipped window and
+	// must leave only the fresh sample visible.
+	clk.Advance(24 * time.Hour)
+	h.Observe(0.5)
+	if c := h.Merged(4 * time.Minute).Count(); c != 1 {
+		t.Errorf("count after idle gap = %d, want 1", c)
+	}
+}
+
+func TestWindowedRate(t *testing.T) {
+	clk := newFakeClock()
+	r := NewWindowedRate(time.Minute, 10)
+	r.setClock(clk.Now)
+
+	frac, total := r.Rate(10 * time.Minute)
+	if !math.IsNaN(frac) || total != 0 {
+		t.Fatalf("empty rate = %v/%d, want NaN/0", frac, total)
+	}
+	// Minute 0: 1 bad of 4. Minute 5: 0 bad of 4.
+	for i := 0; i < 4; i++ {
+		r.Observe(i == 0)
+	}
+	clk.Advance(5 * time.Minute)
+	for i := 0; i < 4; i++ {
+		r.Observe(false)
+	}
+	if frac, total = r.Rate(2 * time.Minute); frac != 0 || total != 4 {
+		t.Errorf("short rate = %v/%d, want 0/4", frac, total)
+	}
+	if frac, total = r.Rate(10 * time.Minute); frac != 0.125 || total != 8 {
+		t.Errorf("long rate = %v/%d, want 0.125/8", frac, total)
+	}
+}
+
+// TestWindowedHistogramConcurrentObserve hammers Observe and Merged from
+// many goroutines (run under -race in CI) across live window rotations and
+// checks no samples are lost or double-counted at the end.
+func TestWindowedHistogramConcurrentObserve(t *testing.T) {
+	h := NewWindowedHistogram(DefBuckets, 50*time.Millisecond, 64)
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%100) / 1000)
+				if i%64 == 0 {
+					v := h.Merged(time.Hour)
+					if v.Count() < 0 {
+						t.Error("negative merged count")
+					}
+					_ = v.Quantile(0.95)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	v := h.Merged(time.Hour)
+	if v.Count() != goroutines*perG {
+		t.Fatalf("merged count = %d, want %d", v.Count(), goroutines*perG)
+	}
+}
+
+func TestWindowedRateConcurrentObserve(t *testing.T) {
+	r := NewWindowedRate(50*time.Millisecond, 64)
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Observe(i%4 == 0)
+				if i%128 == 0 {
+					r.Rate(time.Hour)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	frac, total := r.Rate(time.Hour)
+	if total != goroutines*perG {
+		t.Fatalf("total = %d, want %d", total, goroutines*perG)
+	}
+	if frac != 0.25 {
+		t.Errorf("bad fraction = %v, want 0.25", frac)
+	}
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# loadgen_smoke.sh — end-to-end smoke test for phocus-loadgen and the SLO
+# regression gate.
+#
+# Boots a real phocus-server, runs the full deterministic workload (sync
+# sweeps, async burst, cancellations, oversized-body rejects, crash/restart)
+# in managed mode, and asserts:
+#
+#   1. the run completes with zero request errors and emits a JSON report
+#      with per-phase percentiles, throughput and 429 rates;
+#   2. two -plan invocations with the same seed print the same
+#      schedule_digest, and a different seed changes it (determinism);
+#   3. GET /slo answered and landed in the report;
+#   4. phocus-slogate passes the fresh report against the checked-in
+#      baseline at a wide CI tolerance, and its -selftest proves the gate
+#      rejects an injected 2x regression at tolerance 0.
+#
+# Requires: go toolchain. JSON is picked apart with sed/grep so the script
+# runs on a bare CI image. The report lands at $LOADGEN_REPORT (default
+# loadgen_report.json) for artifact upload.
+set -euo pipefail
+
+ADDR="127.0.0.1:${PHOCUS_LOADGEN_PORT:-18431}"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+REPORT="${LOADGEN_REPORT:-loadgen_report.json}"
+BASELINE="${LOADGEN_BASELINE:-bench/baseline_loadgen.json}"
+
+cleanup() { rm -rf "$WORKDIR"; }
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+echo "==> building phocus-server, phocus-loadgen, phocus-slogate"
+go build -o "$WORKDIR/phocus-server" ./cmd/phocus-server
+go build -o "$WORKDIR/phocus-loadgen" ./cmd/phocus-loadgen
+go build -o "$WORKDIR/phocus-slogate" ./cmd/phocus-slogate
+
+SEED="${LOADGEN_SEED:-1}"
+LG_ARGS=(-seed "$SEED" -tenants 3 -photos 40
+  -sync 24 -async 10 -cancel 6 -oversize 3 -crash -crash-jobs 4
+  -concurrency 6 -oversize-bytes $((1<<21)))
+
+echo "==> schedule determinism: same seed, same digest"
+D1=$("$WORKDIR/phocus-loadgen" "${LG_ARGS[@]}" -plan | sed -n 's/^schedule_digest: //p')
+D2=$("$WORKDIR/phocus-loadgen" "${LG_ARGS[@]}" -plan | sed -n 's/^schedule_digest: //p')
+D3=$("$WORKDIR/phocus-loadgen" "${LG_ARGS[@]}" -seed $((SEED + 1)) -plan | sed -n 's/^schedule_digest: //p')
+[ -n "$D1" ] || fail "-plan printed no digest"
+[ "$D1" = "$D2" ] || fail "same seed produced digests $D1 vs $D2"
+[ "$D1" != "$D3" ] || fail "different seeds produced the same digest"
+echo "    digest $D1 (stable across runs; seed+1 differs)"
+
+# -max-body 1 MiB makes the 2 MiB oversize bodies deterministic 413s; a
+# small queue makes the async burst actually exercise 429 backpressure.
+SERVER_CMD="$WORKDIR/phocus-server -addr $ADDR -data-dir $WORKDIR/data \
+  -max-body $((1<<20)) -job-workers 2 -queue-depth 8 -drain-timeout 5s"
+
+echo "==> full managed run (crash/restart included) against $BASE"
+"$WORKDIR/phocus-loadgen" "${LG_ARGS[@]}" \
+  -server-cmd "$SERVER_CMD" -base-url "$BASE" -out "$REPORT" \
+  || fail "loadgen run reported errors (see $REPORT)"
+
+echo "==> report sanity"
+grep -q '"schedule_digest": "'"$D1"'"' "$REPORT" || fail "report digest != planned digest $D1"
+for phase in sync_solve async_burst cancel oversize crash_restart; do
+  grep -q "\"name\": \"$phase\"" "$REPORT" || fail "phase $phase missing from report"
+done
+grep -q '"p95_ms"' "$REPORT" || fail "report has no latency percentiles"
+grep -q '"slo"' "$REPORT" || fail "report is missing the server /slo verdict"
+grep -q '"rejected_413": 3' "$REPORT" || fail "oversize phase did not reject all 3 bodies with 413"
+
+echo "==> SLO gate: fresh report vs checked-in baseline (wide CI tolerance)"
+"$WORKDIR/phocus-slogate" -baseline "$BASELINE" -candidate "$REPORT" \
+  -tolerance "${LOADGEN_TOLERANCE:-8.0}" -abs-slack-ms 250 -abs-429 0.5 \
+  || fail "slo gate rejected the fresh report against $BASELINE"
+
+echo "==> SLO gate selftest: injected 2x regression must fail at tolerance 0"
+"$WORKDIR/phocus-slogate" -baseline "$BASELINE" -selftest \
+  || fail "gate selftest failed"
+
+echo "PASS: loadgen run clean, schedule deterministic, SLO gate enforced ($REPORT)"
