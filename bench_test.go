@@ -288,6 +288,83 @@ func BenchmarkPreparedSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkSnapshotP100K measures the warm-restart trade of the persistent
+// snapshot format on the P-100K public dataset at the bench suite's reduced
+// scale: "coldprepare" re-runs the full Prepare stage (finalize +
+// τ-sparsify + kernel compile), "decode" rebuilds the Prepared from the
+// encoded snapshot bytes (every section checksum-verified — this is the CPU
+// cost a warm restart pays per cached instance), and "load" is the same
+// through a file read. The coldprepare/decode ratio is the headline
+// recorded in BENCH_snapshot.json (≥ 10×, and it grows with instance size:
+// Prepare's similarity work is superlinear, the decode one linear verified
+// pass); "load" additionally includes storage I/O and tracks the disk, not
+// the codec. Workers are pinned to 1 on every path so the ratio compares
+// algorithmic work, not pool sizes.
+func BenchmarkSnapshotP100K(b *testing.B) {
+	spec := dataset.PublicSpecs(0.05)[4] // P-100K shape, 5000 photos
+	ds, err := dataset.GeneratePublic(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := phocus.PrepareOptions{Tau: 0.4, Workers: 1, InstanceDigest: "bench-snapshot"}
+
+	// coldprepare runs before any other Prepare in this benchmark so its
+	// first iteration pays the fresh-heap cost a real process restart pays
+	// (a pre-grown heap flatters Prepare's slab allocations considerably).
+	var p *phocus.Prepared
+	b.Run("coldprepare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q, err := phocus.Prepare(ctx, ds, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p = q
+		}
+	})
+	if p == nil { // coldprepare filtered out of the run
+		var err error
+		if p, err = phocus.Prepare(ctx, ds, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	store, err := phocus.OpenSnapshotStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, size, err := store.Save(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, err := phocus.EncodeSnapshot(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			q, err := phocus.DecodeSnapshot(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if q.NumPhotos() != p.NumPhotos() {
+				b.Fatalf("decoded %d photos, want %d", q.NumPhotos(), p.NumPhotos())
+			}
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			if _, err := phocus.LoadSnapshot(path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSimHashSignature measures signature computation for one
 // 32-dimensional embedding.
 func BenchmarkSimHashSignature(b *testing.B) {

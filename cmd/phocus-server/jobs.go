@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -79,9 +80,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // handleReadyz is the load-balancer readiness gate: 200 only once WAL
-// replay has finished and the queue is accepting; 503 before that and
-// during the graceful-shutdown drain (so routing stops before intake does).
+// replay has finished, the snapshot warm-fill (when -snapshot-dir is set)
+// has refilled the prepare cache, and the queue is accepting; 503 before
+// that and during the graceful-shutdown drain (so routing stops before
+// intake does).
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.snapWarmed.Load() {
+		http.Error(w, "warming prepared-instance cache", http.StatusServiceUnavailable)
+		return
+	}
 	if s.jobs.Ready() {
 		fmt.Fprintln(w, "ok")
 		return
@@ -290,23 +297,35 @@ func (s *server) rejectSaturated(w http.ResponseWriter, err error) {
 
 // retryAfterSeconds estimates how long a rejected client should back off:
 // the time for the scheduler to chew through a full queue at the observed
-// mean job run time, clamped to [1s, 60s].
+// mean job run time, clamped to [1s, 60s]. Every input is guarded — an
+// empty or poisoned histogram (NaN/Inf sums), a zero worker pool, or an
+// uncapped queue must still produce a sane positive header, never 0 or
+// garbage (conversion of NaN/Inf to int is platform-defined in Go).
 func (s *server) retryAfterSeconds() int {
 	h := s.reg.Histogram("phocus_jobs_run_seconds", obs.DefBuckets)
 	mean := 1.0
 	if n := h.Count(); n > 0 {
-		mean = h.Sum() / float64(n)
+		if m := h.Sum() / float64(n); m > 0 && !math.IsInf(m, 1) && !math.IsNaN(m) {
+			mean = m
+		}
 	}
 	depth := s.jobs.QueueDepthCap()
 	if depth <= 0 {
 		depth = 1
 	}
-	est := int(mean*float64(depth)/float64(s.jobs.Sem().Cap())) + 1
-	if est < 1 {
-		est = 1
+	slots := s.jobs.Sem().Cap()
+	if slots <= 0 {
+		slots = 1
 	}
-	if est > 60 {
-		est = 60
+	est := mean * float64(depth) / float64(slots)
+	// The float comparison rejects NaN too (any comparison with NaN is
+	// false, so est stays inside the clamp before the int conversion).
+	sec := 60
+	if est < 59 {
+		sec = int(est) + 1
 	}
-	return est
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
 }

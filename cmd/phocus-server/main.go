@@ -54,6 +54,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -79,6 +80,7 @@ func main() {
 	cacheEntries := flag.Int("prepare-cache-entries", 64, "prepared-instance cache entry bound (0 with a zero byte bound disables the cache)")
 	cacheBytes := flag.Int64("prepare-cache-bytes", 1<<30, "prepared-instance cache byte bound")
 	dataDir := flag.String("data-dir", "", "durable job-store directory for the async /jobs API (empty = in-memory jobs, no crash recovery)")
+	snapshotDir := flag.String("snapshot-dir", "", "prepared-instance snapshot directory for warm restarts (empty = snapshots off)")
 	jobWorkers := flag.Int("job-workers", 0, "async job scheduler worker count (0 = the -workers value)")
 	queueDepth := flag.Int("queue-depth", 32, "job queue depth cap; over it submissions get 429 (0 = unbounded)")
 	queueBytes := flag.Int64("queue-bytes", 1<<30, "job queue total payload byte cap (0 = unbounded)")
@@ -105,6 +107,7 @@ func main() {
 		CacheEntries:  *cacheEntries,
 		CacheBytes:    *cacheBytes,
 		DataDir:       *dataDir,
+		SnapshotDir:   *snapshotDir,
 		JobWorkers:    *jobWorkers,
 		QueueDepth:    *queueDepth,
 		QueueBytes:    *queueBytes,
@@ -156,7 +159,7 @@ func main() {
 
 	logger.Info("phocus-server listening", "addr", *addr, "max_body", *maxBody, "pprof", *pprofOn,
 		"workers", s.workers, "exact_max_nodes", s.exactMaxNodes, "solve_timeout", s.solveTimeout,
-		"data_dir", *dataDir, "queue_depth", *queueDepth)
+		"data_dir", *dataDir, "snapshot_dir", *snapshotDir, "queue_depth", *queueDepth)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("serve", "err", err)
 		os.Exit(1)
@@ -180,6 +183,10 @@ type serverConfig struct {
 	CacheBytes   int64
 	// DataDir is the async job store's durable directory ("" = in-memory).
 	DataDir string
+	// SnapshotDir is the prepared-instance snapshot directory; non-empty
+	// enables write-back of cold Prepares and warm-fill of the prepare
+	// cache at startup ("" = snapshots off).
+	SnapshotDir string
 	// JobWorkers sizes the async scheduler's worker pool (0 = Workers).
 	JobWorkers int
 	// QueueDepth / QueueBytes bound job admission (≤ 0 = unbounded).
@@ -215,6 +222,11 @@ type server struct {
 	cache         *phocus.PreparedCache
 	jobs          *jobs.Service
 	queueDepth    int
+	snaps         *phocus.SnapshotStore
+	// snapWarmed flips once the startup warm-fill of the prepare cache has
+	// finished (immediately when snapshots are off); /readyz reports 503
+	// until then so a restarted replica only takes traffic warm.
+	snapWarmed atomic.Bool
 }
 
 // newLogger builds the process logger in the requested format.
@@ -267,6 +279,16 @@ func newServer(logger *slog.Logger, cfg serverConfig) (*server, error) {
 	s.slo.AddRateObjective("reject_429_rate", obs.SLORejectRate, cfg.SLO429Rate)
 	s.trace = obs.NewTraceStore(cfg.TraceCapacity)
 
+	// The snapshot store opens before the job service: resumed jobs go
+	// through solveCore, which consults s.snaps on cache misses.
+	if cfg.SnapshotDir != "" {
+		store, err := phocus.OpenSnapshotStore(cfg.SnapshotDir)
+		if err != nil {
+			return nil, err
+		}
+		s.snaps = store
+	}
+
 	// The job service opens last: its workers may immediately resume
 	// recovered jobs through s.runJob, so the server must be fully wired.
 	jobWorkers := cfg.JobWorkers
@@ -291,6 +313,14 @@ func newServer(logger *slog.Logger, cfg serverConfig) (*server, error) {
 		return nil, err
 	}
 	s.jobs = svc
+
+	// Warm-fill runs in the background so startup stays fast; /readyz keeps
+	// answering 503 until the persisted snapshots are back in the cache.
+	if s.snaps != nil && s.cache != nil {
+		go s.warmFill()
+	} else {
+		s.snapWarmed.Store(true)
+	}
 	return s, nil
 }
 
@@ -640,21 +670,30 @@ func (s *server) solveCore(ctx context.Context, body io.Reader, params solvePara
 		}
 		return prep, nil
 	}
+	// With a snapshot store attached, a cache miss tries the persisted
+	// snapshot before paying for a cold Prepare; a cold Prepare writes its
+	// snapshot back so the next process start skips the work entirely.
+	key := phocus.FingerprintFor(popts.InstanceDigest, popts)
+	build := prepare
+	if s.snaps != nil {
+		build = func() (*phocus.Prepared, error) {
+			return s.prepareViaSnapshot(ctx, key, prepare)
+		}
+	}
 	// The cache key excludes the budget (a Run parameter), so a budget
 	// sweep over one archive prepares exactly once; the singleflight means
 	// a burst of jobs over one archive does too.
 	var prep *phocus.Prepared
 	if s.cache != nil {
-		key := phocus.FingerprintFor(popts.InstanceDigest, popts)
 		var hit bool
 		var evicted int
-		prep, hit, evicted, err = s.cache.GetOrPrepare(key, prepare)
+		prep, hit, evicted, err = s.cache.GetOrPrepare(key, build)
 		if err == nil {
 			obs.RecordPrepareCache(s.reg, hit)
 			obs.RecordPrepareCacheEvictions(s.reg, int64(evicted))
 		}
 	} else {
-		prep, err = prepare()
+		prep, err = build()
 	}
 	if err != nil {
 		if errors.Is(err, phocus.ErrNoCtxVectors) {

@@ -144,6 +144,7 @@ func NewService(cfg Config, runner Runner) (*Service, ReplayStats, error) {
 
 	obs.RecordJobWALCorrupt(s.reg, int64(replay.Corrupt))
 	obs.RecordJobRequeued(s.reg, int64(replay.Requeued))
+	obs.RecordJobTempSwept(s.reg, int64(replay.TempSwept))
 	// Recovered jobs were admitted before the crash; Requeue bypasses the
 	// caps so a tighter restart configuration cannot drop them.
 	for _, j := range store.List() {

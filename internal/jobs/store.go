@@ -67,6 +67,9 @@ type ReplayStats struct {
 	Requeued int
 	// Corrupt counts skipped WAL records (torn tail or garbage lines).
 	Corrupt int
+	// TempSwept counts orphaned snapshot temp files — a crash between
+	// compact's temp-write and rename — deleted during replay.
+	TempSwept int
 }
 
 // walRecord is one WAL line.
@@ -126,6 +129,7 @@ func Open(dir string, opts StoreOptions) (*Store, ReplayStats, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, stats, fmt.Errorf("jobs: create data dir: %w", err)
 	}
+	stats.TempSwept = s.sweepTemp()
 	if err := s.loadSnapshot(); err != nil {
 		return nil, stats, err
 	}
@@ -152,6 +156,24 @@ func Open(dir string, opts StoreOptions) (*Store, ReplayStats, error) {
 		return nil, stats, err
 	}
 	return s, stats, nil
+}
+
+// sweepTemp deletes orphaned *.tmp files in the data directory. A crash
+// between compact's temp-write and rename leaves snapshot.json.tmp behind;
+// the rename never happened, so the temp was never authoritative state —
+// without the sweep each such crash would strand one more file forever.
+func (s *Store) sweepTemp() int {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "*.tmp"))
+	if err != nil {
+		return 0
+	}
+	swept := 0
+	for _, m := range matches {
+		if os.Remove(m) == nil {
+			swept++
+		}
+	}
+	return swept
 }
 
 // loadSnapshot reads snapshot.json if present.

@@ -231,3 +231,67 @@ func TestStoreUpdateUnknownID(t *testing.T) {
 		t.Fatalf("err %v, want ErrNotFound", err)
 	}
 }
+
+// TestStoreTempFileSweep covers the crash window inside compact: the process
+// dies after writing snapshot.json.tmp but before the rename installs it.
+// The orphaned temp file must be swept (and counted) on the next Open, the
+// installed snapshot must win, and no state may be lost.
+func TestStoreTempFileSweep(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := submitN(t, s, 2)
+	if _, err := s.Update(&jobUpdate{ID: ids[0], State: StateRunning, Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update(&jobUpdate{ID: ids[0], State: StateDone, Result: []byte(`{"ok":true}`)}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash mid-compact: the temp write landed, the rename did
+	// not. The temp deliberately holds garbage — if replay ever read it
+	// instead of sweeping it, loadSnapshot would fail loudly.
+	tmp := s.snapPath() + ".tmp"
+	if err := os.WriteFile(tmp, []byte("{torn half-written snaps"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A second orphan from an older crash, with a different base name.
+	stray := filepath.Join(dir, "wal.jsonl.tmp")
+	if err := os.WriteFile(stray, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Abandon()
+
+	s2, stats, err := Open(dir, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if stats.TempSwept != 2 {
+		t.Fatalf("replay stats %+v, want 2 temp files swept", stats)
+	}
+	if stats.Jobs != 2 || stats.Queued != 1 {
+		t.Fatalf("replay stats %+v, want both jobs recovered with 1 queued", stats)
+	}
+	for _, orphan := range []string{tmp, stray} {
+		if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+			t.Errorf("orphan %s still present after replay", orphan)
+		}
+	}
+	j, ok := s2.Get(ids[0])
+	if !ok || j.State != StateDone || string(j.Result) != `{"ok":true}` {
+		t.Fatalf("done job after sweep: %+v", j)
+	}
+
+	// A clean reopen sweeps nothing: compact's own temp never outlives the
+	// rename on the non-crash path.
+	s2.Close()
+	_, stats, err = Open(dir, StoreOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TempSwept != 0 {
+		t.Fatalf("clean reopen swept %d temp files, want 0", stats.TempSwept)
+	}
+}

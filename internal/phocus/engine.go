@@ -187,7 +187,11 @@ func Prepare(ctx context.Context, ds *dataset.Dataset, opts PrepareOptions) (*Pr
 		obs.RecordKernelBuild(opts.Metrics, p.KernelBuildTime)
 	}
 	p.PrepTime = time.Since(start)
-	p.sizeBytes = instanceSizeBytes(base.Cost, base.Subsets) + subsetsSizeBytes(p.sparse) + p.KernelBytes()
+	// The sparse view's Members/Relevance slices alias the base subsets'
+	// (the sparsifier shares them), so only its similarity structures are
+	// new bytes — counting the full subsets again would bill the cache
+	// twice for memory retained once.
+	p.sizeBytes = instanceSizeBytes(base.Cost, base.Subsets) + simSizeBytes(p.sparse) + p.KernelBytes()
 	return p, nil
 }
 
@@ -395,20 +399,33 @@ func instanceSizeBytes(cost []float64, subsets []par.Subset) int64 {
 }
 
 // subsetsSizeBytes estimates the retained bytes of a subset slice: members,
-// relevances and similarity pairs (listed pairs for sparse structures, k²
-// for dense ones).
+// relevances and similarity structures.
 func subsetsSizeBytes(subsets []par.Subset) int64 {
 	var n int64
 	for qi := range subsets {
 		q := &subsets[qi]
-		k := len(q.Members)
-		n += 4*int64(k) + 8*int64(len(q.Relevance))
-		if nl, ok := q.Sim.(par.NeighborLister); ok {
-			for i := 0; i < k; i++ {
-				n += 16 * int64(len(nl.Neighbors(i)))
+		n += 4*int64(len(q.Members)) + 8*int64(len(q.Relevance))
+	}
+	return n + simSizeBytes(subsets)
+}
+
+// simSizeBytes estimates the retained bytes of the subsets' similarity
+// structures alone. Types that know their own storage (DenseSim's packed
+// triangle, SparseSim's rows, CSRSim's zero — it views a slab accounted by
+// its owner) report it exactly; other neighbor-listing types are billed 16
+// bytes per listed pair; function-backed similarities retain nothing
+// measurable and count zero rather than an invented k².
+func simSizeBytes(subsets []par.Subset) int64 {
+	var n int64
+	for qi := range subsets {
+		q := &subsets[qi]
+		switch sim := q.Sim.(type) {
+		case interface{ SizeBytes() int64 }:
+			n += sim.SizeBytes()
+		case par.NeighborLister:
+			for i := 0; i < len(q.Members); i++ {
+				n += 16 * int64(len(sim.Neighbors(i)))
 			}
-		} else {
-			n += 8 * int64(k) * int64(k)
 		}
 	}
 	return n

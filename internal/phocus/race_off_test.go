@@ -1,0 +1,5 @@
+//go:build !race
+
+package phocus
+
+const raceEnabled = false

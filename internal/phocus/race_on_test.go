@@ -1,0 +1,7 @@
+//go:build race
+
+package phocus
+
+// raceEnabled lets timing-sensitive tests skip themselves under the race
+// detector, whose instrumentation skews wall-clock ratios.
+const raceEnabled = true

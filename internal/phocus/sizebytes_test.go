@@ -1,0 +1,58 @@
+package phocus
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"phocus/internal/dataset"
+)
+
+// TestPreparedSizeBytesAccounting pins the cache's byte accounting to
+// reality: the bytes SizeBytes attributes to what Prepare allocated (sparse
+// similarity structures + compiled kernels — the base instance existed
+// before the call) must track the measured heap growth. The old accounting
+// billed the sparse view's shared Members/Relevance slices a second time
+// and dense similarities at 8k² instead of their packed-triangle storage,
+// so a cache byte bound evicted far too early; this test fails under either
+// mistake.
+func TestPreparedSizeBytesAccounting(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("heap-measurement test")
+	}
+	ds, err := dataset.GeneratePublic(dataset.PublicSpec{Name: "size-acct", NumPhotos: 1200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	p, err := Prepare(ctx, ds, PrepareOptions{Tau: 0.5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	measured := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	runtime.KeepAlive(ds)
+
+	accounted := p.SizeBytes() - instanceSizeBytes(p.base.Cost, p.base.Subsets)
+	if accounted <= 0 {
+		t.Fatalf("accounted new bytes %d: want positive (sparse sims + kernels)", accounted)
+	}
+	// Generous 2× band in both directions: allocator size classes and slice
+	// headers pad the measurement up, transient scratch freed by GC cannot
+	// pad it down, and the old double-counting overshot by far more than 2×.
+	if accounted > 2*measured {
+		t.Fatalf("SizeBytes over-counts: accounts %d new bytes, heap grew %d", accounted, measured)
+	}
+	if measured > 2*accounted {
+		t.Fatalf("SizeBytes under-counts: accounts %d new bytes, heap grew %d", accounted, measured)
+	}
+	t.Logf("accounted %d bytes for Prepare's allocations, heap grew %d (total SizeBytes %d)",
+		accounted, measured, p.SizeBytes())
+}

@@ -13,7 +13,12 @@
 #   3. GET /slo answered and landed in the report;
 #   4. phocus-slogate passes the fresh report against the checked-in
 #      baseline at a wide CI tolerance, and its -selftest proves the gate
-#      rejects an injected 2x regression at tolerance 0.
+#      rejects an injected 2x regression at tolerance 0;
+#   5. warm restarts work end to end: a solve writes a prepared-instance
+#      snapshot, a restarted server warm-fills the cache from it (readyz
+#      gated until then) and answers the same request as a cache hit with
+#      the same score; flipping one byte of the snapshot gets it
+#      quarantined and counted while the request still succeeds cold.
 #
 # Requires: go toolchain. JSON is picked apart with sed/grep so the script
 # runs on a bare CI image. The report lands at $LOADGEN_REPORT (default
@@ -26,15 +31,21 @@ WORKDIR="$(mktemp -d)"
 REPORT="${LOADGEN_REPORT:-loadgen_report.json}"
 BASELINE="${LOADGEN_BASELINE:-bench/baseline_loadgen.json}"
 
-cleanup() { rm -rf "$WORKDIR"; }
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
 trap cleanup EXIT
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
 
-echo "==> building phocus-server, phocus-loadgen, phocus-slogate"
+echo "==> building phocus-server, phocus-loadgen, phocus-slogate, phocus-datagen"
 go build -o "$WORKDIR/phocus-server" ./cmd/phocus-server
 go build -o "$WORKDIR/phocus-loadgen" ./cmd/phocus-loadgen
 go build -o "$WORKDIR/phocus-slogate" ./cmd/phocus-slogate
+go build -o "$WORKDIR/phocus-datagen" ./cmd/phocus-datagen
 
 SEED="${LOADGEN_SEED:-1}"
 LG_ARGS=(-seed "$SEED" -tenants 3 -photos 40
@@ -52,8 +63,11 @@ echo "    digest $D1 (stable across runs; seed+1 differs)"
 
 # -max-body 1 MiB makes the 2 MiB oversize bodies deterministic 413s; a
 # small queue makes the async burst actually exercise 429 backpressure.
+# -snapshot-dir means the crash/restart phase restarts into a warm-filled
+# prepare cache instead of re-running Prepare for every replayed job.
 SERVER_CMD="$WORKDIR/phocus-server -addr $ADDR -data-dir $WORKDIR/data \
-  -max-body $((1<<20)) -job-workers 2 -queue-depth 8 -drain-timeout 5s"
+  -max-body $((1<<20)) -job-workers 2 -queue-depth 8 -drain-timeout 5s \
+  -snapshot-dir $WORKDIR/snaps"
 
 echo "==> full managed run (crash/restart included) against $BASE"
 "$WORKDIR/phocus-loadgen" "${LG_ARGS[@]}" \
@@ -78,4 +92,100 @@ echo "==> SLO gate selftest: injected 2x regression must fail at tolerance 0"
 "$WORKDIR/phocus-slogate" -baseline "$BASELINE" -selftest \
   || fail "gate selftest failed"
 
-echo "PASS: loadgen run clean, schedule deterministic, SLO gate enforced ($REPORT)"
+# --- warm-restart + corruption smoke -----------------------------------
+# Self-contained server lifecycle (the managed loadgen run above owns its
+# own server); fresh data/snapshot dirs so metrics counts are exact.
+SNAPDIR="$WORKDIR/warmsnaps"
+WARMDATA="$WORKDIR/warmdata"
+
+start_snap_server() { # start_snap_server <logfile>
+  "$WORKDIR/phocus-server" -addr "$ADDR" -data-dir "$WARMDATA" \
+    -snapshot-dir "$SNAPDIR" -job-workers 2 -queue-depth 8 \
+    -drain-timeout 5s >"$1" 2>&1 &
+  SERVER_PID=$!
+  # /readyz is gated on the snapshot warm-fill, so 200 means the prepare
+  # cache already holds whatever the snapshot dir could replay.
+  for _ in $(seq 1 100); do
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz" || true)" = 200 ]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  fail "server never became ready (log $1)"
+}
+
+stop_server() {
+  kill -TERM "$SERVER_PID" 2>/dev/null || true
+  for _ in $(seq 1 100); do
+    kill -0 "$SERVER_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  kill -9 "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+}
+
+metric() { # metric <name> — current value of an unlabeled /metrics series
+  # No early exit in the awk program: closing the pipe early would SIGPIPE
+  # curl, which pipefail turns into a silent set -e death.
+  curl -s "$BASE/metrics" | awk -v m="$1" '$1 == m && !seen { print $2; seen = 1 }'
+}
+
+metric_ge() { # metric_ge <name> <floor> <what>
+  V=$(metric "$1")
+  awk -v v="${V:-0}" -v f="$2" 'BEGIN { exit (v + 0 >= f + 0) ? 0 : 1 }' \
+    || fail "$3 ($1=${V:-absent}, want >= $2)"
+}
+
+solve_score() { # solve_score <body-file> — POST /solve, print the score
+  RESP=$(curl -s -XPOST --data-binary @"$1" "$BASE/solve?tau=0.6") \
+    || fail "solve request failed"
+  SCORE=$(echo "$RESP" | sed -n 's/.*"score":\([0-9.eE+-]*\).*/\1/p')
+  [ -n "$SCORE" ] || fail "solve returned no score: $RESP"
+  echo "$SCORE"
+}
+
+wait_snap() { # wait_snap — poll until an installed *.snap lands
+  for _ in $(seq 1 100); do
+    if ls "$SNAPDIR"/*.snap >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  return 1
+}
+
+echo "==> warm restart: snapshot written, replayed, served as a cache hit"
+"$WORKDIR/phocus-datagen" -kind public -photos 40 -seed 7 > "$WORKDIR/inst.json"
+start_snap_server "$WORKDIR/warm1.log"
+COLD_SCORE=$(solve_score "$WORKDIR/inst.json")
+wait_snap || fail "no snapshot written after the cold solve"
+metric_ge phocus_snapshot_write_total 1 "cold solve never persisted a snapshot"
+stop_server
+
+start_snap_server "$WORKDIR/warm2.log"
+metric_ge phocus_snapshot_load_total 1 "restarted server loaded no snapshots"
+WARM_SCORE=$(solve_score "$WORKDIR/inst.json")
+[ "$WARM_SCORE" = "$COLD_SCORE" ] \
+  || fail "warm score $WARM_SCORE != cold score $COLD_SCORE"
+metric_ge phocus_prepare_cache_hits_total 1 "restart did not serve from the warm cache"
+echo "    snapshot replayed; score stable at $COLD_SCORE"
+stop_server
+
+echo "==> corruption injection: flipped byte quarantined, solve falls back cold"
+SNAP=$(ls "$SNAPDIR"/*.snap | head -n 1)
+SIZE=$(wc -c < "$SNAP")
+OFF=$((SIZE / 2))
+ORIG=$(dd if="$SNAP" bs=1 skip="$OFF" count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $(( (ORIG + 1) % 256 )))" \
+  | dd of="$SNAP" bs=1 seek="$OFF" count=1 conv=notrunc 2>/dev/null
+
+start_snap_server "$WORKDIR/warm3.log"
+metric_ge phocus_snapshot_corrupt_total 1 "flipped byte was not detected"
+ls "$SNAPDIR"/*.snap.corrupt >/dev/null 2>&1 \
+  || fail "corrupt snapshot was not quarantined"
+FALLBACK_SCORE=$(solve_score "$WORKDIR/inst.json")
+[ "$FALLBACK_SCORE" = "$COLD_SCORE" ] \
+  || fail "cold fallback score $FALLBACK_SCORE != original $COLD_SCORE"
+wait_snap || fail "cold fallback never re-persisted a snapshot"
+echo "    quarantined $(basename "$SNAP"); fallback answered $FALLBACK_SCORE"
+stop_server
+
+echo "PASS: loadgen run clean, schedule deterministic, SLO gate enforced, warm restart + quarantine verified ($REPORT)"
