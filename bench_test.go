@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"phocus/internal/celf"
@@ -363,6 +364,196 @@ func BenchmarkSnapshotP100K(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchChurn builds a valid churn batch against a freshly prepared inst:
+// nRemove removals (never retained photos, never the last live relevance
+// mass of a subset) and nAdd added photos with memberships and explicit
+// similarity rows. Same construction as the engine's differential tests,
+// sized here to the 1% churn rate the delta path is designed around.
+func benchChurn(rng *rand.Rand, inst *par.Instance, nRemove, nAdd int) *phocus.Delta {
+	d := &phocus.Delta{}
+	n := inst.NumPhotos()
+	pending := map[par.PhotoID]bool{}
+
+	liveMass := make([]int, len(inst.Subsets))
+	for qi := range inst.Subsets {
+		q := &inst.Subsets[qi]
+		for mi := range q.Members {
+			if q.Relevance[mi] > 0 {
+				liveMass[qi]++
+			}
+		}
+	}
+	for tries := 0; len(d.Remove) < nRemove && tries < 50*nRemove; tries++ {
+		p := par.PhotoID(rng.Intn(n))
+		if pending[p] || inst.IsRetained(p) {
+			continue
+		}
+		ok := true
+		for _, oc := range inst.Occurrences(p) {
+			if inst.Subsets[oc.Subset].Relevance[oc.Index] > 0 && liveMass[oc.Subset] < 2 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, oc := range inst.Occurrences(p) {
+			if inst.Subsets[oc.Subset].Relevance[oc.Index] > 0 {
+				liveMass[oc.Subset]--
+			}
+		}
+		pending[p] = true
+		d.Remove = append(d.Remove, p)
+	}
+
+	addedTo := map[int][]par.PhotoID{}
+	for i := 0; i < nAdd; i++ {
+		photo := par.PhotoID(n + i)
+		ap := phocus.DeltaPhoto{Cost: 0.5 + 2*rng.Float64()}
+		nq := 1 + rng.Intn(3)
+		if nq > len(inst.Subsets) {
+			nq = len(inst.Subsets)
+		}
+		qs := rng.Perm(len(inst.Subsets))[:nq]
+		sort.Ints(qs)
+		for _, qi := range qs {
+			m := phocus.DeltaMembership{Subset: qi, Relevance: 0.1 + rng.Float64()}
+			q := &inst.Subsets[qi]
+			for _, p := range q.Members {
+				if pending[p] {
+					continue
+				}
+				if rng.Float64() < 0.5 {
+					m.Neighbors = append(m.Neighbors, phocus.DeltaNeighbor{Photo: p, Sim: 0.05 + 0.9*rng.Float64()})
+				}
+			}
+			for _, p := range addedTo[qi] {
+				if rng.Float64() < 0.5 {
+					m.Neighbors = append(m.Neighbors, phocus.DeltaNeighbor{Photo: p, Sim: 0.05 + 0.9*rng.Float64()})
+				}
+			}
+			addedTo[qi] = append(addedTo[qi], photo)
+			ap.Memberships = append(ap.Memberships, m)
+		}
+		d.Add = append(d.Add, ap)
+	}
+	return d
+}
+
+// BenchmarkDeltaVsColdPrepare measures the churn-maintenance trade on the
+// P-100K public dataset at the bench suite's reduced scale: one 1% churn
+// batch (25 removals + 25 additions against 5000 photos) applied in place
+// through Prepared.ApplyDelta ("applydelta") versus re-running the full
+// Prepare stage — finalize + τ-sparsify + kernel compile — on the merged
+// post-churn instance ("coldprepare"). The coldprepare/applydelta ratio is
+// the delta path's ≥10× headline recorded in BENCH_delta.json; it grows
+// with instance size because Prepare's similarity work is superlinear while
+// an apply touches only the churned photos' rows. Each applydelta iteration
+// starts from a freshly decoded pre-churn snapshot (outside the timer) so
+// the timed region is exactly one apply. Both paths must produce
+// bit-identical Run selections — churn maintenance changes how fast the
+// post-churn instance is reached, never what it solves to — asserted
+// outside the timed regions. Workers are pinned to 1 on every path so the
+// ratio compares algorithmic work, not pool sizes.
+func BenchmarkDeltaVsColdPrepare(b *testing.B) {
+	spec := dataset.PublicSpecs(0.05)[4] // P-100K shape, 5000 photos
+	ds, err := dataset.GeneratePublic(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := phocus.PrepareOptions{Tau: 0.4, Workers: 1, InstanceDigest: "bench-delta"}
+	rng := rand.New(rand.NewSource(17))
+	d := benchChurn(rng, ds.Instance, 25, 25)
+	merged, _, err := phocus.MergeDelta(ds.Instance, nil, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// coldprepare runs before any other Prepare in this benchmark so its
+	// first iteration pays the fresh-heap cost the re-prepare alternative
+	// would pay in production (see BenchmarkSnapshotP100K).
+	var cold *phocus.Prepared
+	b.Run("coldprepare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q, err := phocus.Prepare(ctx, &dataset.Dataset{Instance: merged}, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cold = q
+		}
+	})
+	if cold == nil { // coldprepare filtered out of the run
+		if cold, err = phocus.Prepare(ctx, &dataset.Dataset{Instance: merged}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	pre, err := phocus.Prepare(ctx, ds, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf, err := phocus.EncodeSnapshot(pre)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var live *phocus.Prepared
+	apply := func(b *testing.B) *phocus.Prepared {
+		b.Helper()
+		q, err := phocus.DecodeSnapshot(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return q
+	}
+	b.Run("applydelta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			q := apply(b)
+			b.StartTimer()
+			stats, err := q.ApplyDelta(ctx, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if stats.NewFingerprint == stats.OldFingerprint {
+				b.Fatal("fingerprint did not evolve")
+			}
+			b.StartTimer()
+			live = q
+		}
+	})
+	if live == nil { // applydelta filtered out of the run
+		live = apply(b)
+		if _, err := live.ApplyDelta(ctx, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Differential gate, outside all timing: identical selections at 1% churn.
+	runOpts := phocus.RunOptions{Budget: 0.3 * merged.TotalCost(), Workers: 1, SkipBound: true}
+	rl, err := live.Run(ctx, runOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rc, err := cold.Run(ctx, runOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rl.Solution.Score != rc.Solution.Score || len(rl.Solution.Photos) != len(rc.Solution.Photos) {
+		b.Fatalf("post-churn solutions diverged: applydelta %v/%d photos, coldprepare %v/%d",
+			rl.Solution.Score, len(rl.Solution.Photos), rc.Solution.Score, len(rc.Solution.Photos))
+	}
+	for i := range rl.Solution.Photos {
+		if rl.Solution.Photos[i] != rc.Solution.Photos[i] {
+			b.Fatalf("post-churn selection diverged at %d", i)
+		}
+	}
 }
 
 // BenchmarkSimHashSignature measures signature computation for one

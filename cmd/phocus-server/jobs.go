@@ -34,6 +34,7 @@ type jobStatusDoc struct {
 	Params        string     `json:"params,omitempty"`
 	Error         string     `json:"error,omitempty"`
 	SubmittedAt   time.Time  `json:"submitted_at"`
+	NotBefore     *time.Time `json:"not_before,omitempty"`
 	StartedAt     *time.Time `json:"started_at,omitempty"`
 	FinishedAt    *time.Time `json:"finished_at,omitempty"`
 	WaitMS        float64    `json:"wait_ms,omitempty"`
@@ -56,6 +57,10 @@ func jobDoc(j jobs.Job, pos int) jobStatusDoc {
 	}
 	if j.State == jobs.StateQueued && pos >= 0 {
 		doc.QueuePosition = &pos
+	}
+	if !j.NotBefore.IsZero() {
+		t := j.NotBefore
+		doc.NotBefore = &t
 	}
 	if !j.StartedAt.IsZero() {
 		t := j.StartedAt
@@ -96,11 +101,64 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	http.Error(w, "draining", http.StatusServiceUnavailable)
 }
 
+// jobParams are the validated POST /jobs query parameters: a kind
+// discriminator plus the kind's own parameters.
+type jobParams struct {
+	// kind selects the runner path: "solve" (default — one async solve),
+	// "session" (one delta batch against a prepared instance), or
+	// "retention" (a solve that reschedules itself).
+	kind string
+	// fp is the session kind's target fingerprint.
+	fp string
+	// every / runs drive the retention kind: re-run the solve every
+	// interval, runs times in total.
+	every time.Duration
+	runs  int
+	solve solveParams
+}
+
+// parseJobParams validates the POST /jobs query string by kind.
+func parseJobParams(q url.Values) (jobParams, error) {
+	p := jobParams{kind: q.Get("kind")}
+	switch p.kind {
+	case "", "solve":
+		p.kind = "solve"
+		sp, err := parseSolveParams(q)
+		if err != nil {
+			return p, err
+		}
+		p.solve = sp
+	case "session":
+		p.fp = q.Get("fp")
+		if !validHexFP(p.fp) {
+			return p, fmt.Errorf("invalid fp %q: want the 64-hex fingerprint of a prepared instance", q.Get("fp"))
+		}
+	case "retention":
+		every, err := time.ParseDuration(q.Get("every"))
+		if err != nil || every <= 0 {
+			return p, fmt.Errorf("invalid every %q: want a positive duration (e.g. 24h)", q.Get("every"))
+		}
+		runs, err := nonNegInt(q.Get("runs"), 0)
+		if err != nil || runs < 1 {
+			return p, fmt.Errorf("invalid runs %q: want a positive run count", q.Get("runs"))
+		}
+		p.every, p.runs = every, runs
+		sp, err := parseSolveParams(q)
+		if err != nil {
+			return p, err
+		}
+		p.solve = sp
+	default:
+		return p, fmt.Errorf("unknown kind %q: want solve, session or retention", p.kind)
+	}
+	return p, nil
+}
+
 // handleJobSubmit is POST /jobs: validate params, read the payload, admit
 // it. 202 with the job document on success; 429 + Retry-After when the
 // queue caps reject it; 503 while draining.
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	if _, err := parseSolveParams(r.URL.Query()); err != nil {
+	if _, err := parseJobParams(r.URL.Query()); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -237,11 +295,24 @@ func nonNegInt(s string, def int) (int, error) {
 	return v, nil
 }
 
-// runJob is the scheduler's Runner: one job attempt through the shared
-// solveCore. The job ID doubles as the request ID so the job's spans and
-// log lines correlate exactly like a synchronous request's. The per-job
-// deadline is enforced by the scheduler's context, so no extra timeout is
-// layered here.
+// retentionResult is the stored result of one retention run: the solve
+// response plus the recurrence bookkeeping (how many runs remain and the
+// successor job carrying them).
+type retentionResult struct {
+	solveResponse
+	RunsLeft  int        `json:"runs_left"`
+	NextJobID string     `json:"next_job_id,omitempty"`
+	NextRunAt *time.Time `json:"next_run_at,omitempty"`
+}
+
+// runJob is the scheduler's Runner, dispatching on the job's kind: solve
+// jobs run one attempt through the shared solveCore, session jobs apply a
+// delta batch through applyDeltaCore, and retention jobs solve and then
+// schedule their own successor with SubmitAt (runs−1, NotBefore now+every)
+// so the chain survives restarts in the job WAL. The job ID doubles as the
+// request ID so the job's spans and log lines correlate exactly like a
+// synchronous request's. The per-job deadline is enforced by the
+// scheduler's context, so no extra timeout is layered here.
 func (s *server) runJob(ctx context.Context, job jobs.Job) ([]byte, error) {
 	ctx = obs.WithRequestID(ctx, job.ID)
 	ctx = obs.WithLogger(ctx, s.logger.With("req_id", job.ID))
@@ -249,15 +320,52 @@ func (s *server) runJob(ctx context.Context, job jobs.Job) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("job params: %w", err)
 	}
-	params, err := parseSolveParams(q)
+	params, err := parseJobParams(q)
 	if err != nil {
 		return nil, fmt.Errorf("job params: %w", err)
 	}
-	resp, err := s.solveCore(ctx, bytes.NewReader(job.Body), params, 0)
-	if err != nil {
-		return nil, err
+	switch params.kind {
+	case "session":
+		d, err := readDelta(bytes.NewReader(job.Body))
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.applyDeltaCore(ctx, params.fp, d)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
+	case "retention":
+		resp, err := s.solveCore(ctx, bytes.NewReader(job.Body), params.solve, 0)
+		if err != nil {
+			return nil, err
+		}
+		out := retentionResult{solveResponse: *resp, RunsLeft: params.runs - 1}
+		if params.runs > 1 {
+			q.Set("runs", strconv.Itoa(params.runs-1))
+			next, err := s.jobs.SubmitAt(q.Encode(), job.Body, time.Now().Add(params.every))
+			switch {
+			case errors.Is(err, jobs.ErrDraining):
+				// Shutdown raced the reschedule: end the chain rather than
+				// block the drain; this run's result still records runs_left
+				// so an operator can resubmit the remainder.
+				obs.Logger(ctx).Warn("retention reschedule skipped: draining",
+					"runs_left", out.RunsLeft)
+			case err != nil:
+				return nil, fmt.Errorf("retention reschedule: %w", err)
+			default:
+				out.NextJobID = next.ID
+				out.NextRunAt = &next.NotBefore
+			}
+		}
+		return json.Marshal(out)
+	default:
+		resp, err := s.solveCore(ctx, bytes.NewReader(job.Body), params.solve, 0)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
 	}
-	return json.Marshal(resp)
 }
 
 // admitSync acquires a solver slot from the shared semaphore for a

@@ -2,7 +2,10 @@
 // counterpart of the paper's Python/Flask solver service (Section 5.1).
 //
 //	POST   /solve?algo=celf&tau=0.75&budget=5e6   body: instance JSON (synchronous)
+//	POST   /instances/{fp}/delta                  body: delta JSON — incremental churn on a prepared instance
 //	POST   /jobs?algo=...&tau=...                 body: instance JSON → 202 + job ID (async)
+//	POST   /jobs?kind=session&fp=...              body: delta JSON → 202 (async delta batch)
+//	POST   /jobs?kind=retention&every=...&runs=N  body: instance JSON → recurring re-solve chain
 //	GET    /jobs                                  paginated job listing
 //	GET    /jobs/{id}                             job status, queue position, timings
 //	GET    /jobs/{id}/result                      solve result once the job is done
@@ -54,6 +57,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -223,6 +227,12 @@ type server struct {
 	jobs          *jobs.Service
 	queueDepth    int
 	snaps         *phocus.SnapshotStore
+	// deltaMu serializes delta application: ApplyDelta holds the Prepared's
+	// write lock anyway, and serializing here keeps the cache-rekey +
+	// snapshot-replace sequence atomic with respect to other deltas (two
+	// concurrent batches on one instance would otherwise race to remove each
+	// other's fingerprints).
+	deltaMu sync.Mutex
 	// snapWarmed flips once the startup warm-fill of the prepare cache has
 	// finished (immediately when snapshots are off); /readyz reports 503
 	// until then so a restarted replica only takes traffic warm.
@@ -332,6 +342,7 @@ func (s *server) mux(pprofOn bool) *http.ServeMux {
 	})
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /instances/{fp}/delta", s.handleDelta)
 	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /jobs", s.handleJobList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
@@ -414,6 +425,9 @@ func routeLabel(path string) string {
 	if strings.HasPrefix(path, "/jobs/") {
 		return "/jobs/{id}"
 	}
+	if strings.HasPrefix(path, "/instances/") {
+		return "/instances/{fp}/delta"
+	}
 	return "other"
 }
 
@@ -453,7 +467,10 @@ type solveStats struct {
 
 // solveResponse is the wire format of a solver result.
 type solveResponse struct {
-	RequestID   string        `json:"request_id"`
+	RequestID string `json:"request_id"`
+	// Fingerprint identifies the prepared instance the solve ran on; it is
+	// the handle POST /instances/{fp}/delta and kind=session jobs take.
+	Fingerprint string        `json:"fingerprint,omitempty"`
 	Algorithm   string        `json:"algorithm"`
 	Retain      []par.PhotoID `json:"retain"`
 	Archive     []par.PhotoID `json:"archive"`
@@ -499,8 +516,10 @@ func parseSolveParams(q url.Values) (solveParams, error) {
 		p.algo = phocus.AlgoSviridenko
 	case "exact":
 		p.algo = phocus.AlgoExact
+	case "streaming":
+		p.algo = phocus.AlgoStreaming
 	default:
-		return p, fmt.Errorf("unknown algo %q: want celf, sviridenko or exact", algo)
+		return p, fmt.Errorf("unknown algo %q: want celf, sviridenko, exact or streaming", algo)
 	}
 	switch l := q.Get("lsh"); l {
 	case "", "0":
@@ -763,8 +782,12 @@ func (s *server) solveCore(ctx context.Context, body io.Reader, params solvePara
 	if archive == nil {
 		archive = []par.PhotoID{}
 	}
+	// The fingerprint comes from the Prepared itself, not the cache key: a
+	// delta landing between the cache fetch and here would have evolved it.
+	fingerprint, _ := prep.Fingerprint()
 	return &solveResponse{
 		RequestID:   obs.RequestID(ctx),
+		Fingerprint: fingerprint,
 		Algorithm:   res.Algorithm,
 		Retain:      res.Solution.Photos,
 		Archive:     archive,

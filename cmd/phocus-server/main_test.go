@@ -601,7 +601,7 @@ func TestSolveParamMessages(t *testing.T) {
 		{"budget=-3", `invalid budget "-3": want a positive number of bytes`},
 		{"budget=nope", `invalid budget "nope": want a positive number of bytes`},
 		{"tau=7", `invalid tau "7": want a number in [0,1]`},
-		{"algo=magic", `unknown algo "magic": want celf, sviridenko or exact`},
+		{"algo=magic", `unknown algo "magic": want celf, sviridenko, exact or streaming`},
 		{"lsh=2", `invalid lsh "2": want 0 or 1`},
 		{"lsh=1", `invalid lsh "1": requires tau > 0`},
 		{"seed=x", `invalid seed "x": want an integer`},

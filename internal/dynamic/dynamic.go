@@ -5,28 +5,35 @@
 // per-arrival swap rule and escalates to a full CELF re-solve only when the
 // accumulated drift suggests the incremental decisions have degraded.
 //
-// The simulation model: the complete instance (all photos that will ever
-// exist, with their subset memberships) is built up front, and photos are
-// revealed to the maintainer one at a time. The maintainer only ever reads
-// revealed photos, so its decisions are exactly those of an online system.
+// The maintainer is built on the staged engine's delta path: it owns a
+// *phocus.Prepared and grows it one phocus.Delta at a time through
+// Prepared.ApplyDelta, so the instance, its sparsified structure and the
+// compiled gain kernels stay warm across arrivals. Every gain the arrival
+// rule evaluates runs on the compiled kernel (through Prepared.View), and a
+// drift re-solve is simply Prepared.Run — there is no second solve path to
+// keep in sync. The older simulation-only model (full instance up front,
+// photos "revealed" one at a time) survives as the Feeder in feeder.go,
+// which replays a complete instance as a delta stream.
 //
-// Per-arrival rule: compute the arrival's marginal gain w.r.t. the current
-// retained set. If it fits the leftover budget, keep it. Otherwise evict
-// the lowest-density retained photos (by gain recorded at their own
-// admission — a heuristic; submodularity only makes those records upper
-// bounds) until the arrival fits, and keep the swap only if it improves
-// the objective. Every ResolveEvery arrivals, or when the incremental
-// score falls below DriftFactor × the last full-solve score trajectory, a
-// full re-solve over all revealed photos resets the state.
+// Per-arrival rule: apply the delta, then compute the arrival's marginal
+// gain w.r.t. the current retained set. If it fits the leftover budget,
+// keep it. Otherwise evict the retained photos with the smallest CURRENT
+// marginal value per byte — re-evaluated against the present solution, not
+// the gain recorded at their own admission, which submodularity makes a
+// stale upper bound — until the arrival fits, and keep the swap only if the
+// objective improves. Every ResolveEvery arrivals, or when the incremental
+// score falls below DriftFactor × the last full-solve score, Prepared.Run
+// resets the state.
 package dynamic
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
-	"phocus/internal/celf"
 	"phocus/internal/par"
+	"phocus/internal/phocus"
 )
 
 // Options tunes the maintainer.
@@ -36,8 +43,10 @@ type Options struct {
 	ResolveEvery int
 	// DriftFactor triggers a re-solve when the maintained score drops
 	// below DriftFactor times the score a full solve achieved at the last
-	// checkpoint, scaled by revealed growth (default 0 = disabled).
+	// checkpoint (default 0 = disabled).
 	DriftFactor float64
+	// Workers bounds the re-solve's parallelism (≤ 0 means one per CPU).
+	Workers int
 }
 
 // Verdict describes what happened to one arrival.
@@ -76,94 +85,152 @@ type Stats struct {
 	ResolveTime                                     time.Duration
 }
 
-// Maintainer holds the evolving retained set.
+// Maintainer holds the evolving retained set over a delta-maintained
+// Prepared. It is not safe for concurrent use.
 type Maintainer struct {
-	inst     *par.Instance
-	opts     Options
-	revealed []bool
-	eval     *par.Evaluator
-	// admissionDensity records gain/cost at admission time per retained
-	// photo; the eviction heuristic targets the smallest.
-	admissionDensity map[par.PhotoID]float64
+	prep   *phocus.Prepared
+	budget float64
+	opts   Options
+
+	// view/eval are rebuilt after every delta: ApplyDelta renormalizes
+	// relevance and extends the kernels in place, so anything derived from
+	// the previous instance state is stale.
+	view *par.Instance
+	eval *par.Evaluator
+
 	sinceResolve     int
 	lastResolveScore float64
 	stats            Stats
 }
 
-// New returns a maintainer over the (finalized) full instance with nothing
-// revealed. Retained photos (S0) are treated as revealed and always kept.
-func New(inst *par.Instance, opts Options) *Maintainer {
-	m := &Maintainer{
-		inst:             inst,
-		opts:             opts,
-		revealed:         make([]bool, inst.NumPhotos()),
-		eval:             par.NewEvaluator(inst),
-		admissionDensity: make(map[par.PhotoID]float64),
+// New returns a maintainer over the Prepared with an empty selection (S0
+// aside). The budget is the retained-set bound B every decision honours;
+// 0 means the instance's full cost (nothing ever needs archiving).
+func New(prep *phocus.Prepared, budget float64, opts Options) (*Maintainer, error) {
+	m := &Maintainer{prep: prep, budget: budget, opts: opts}
+	if err := m.refresh(nil); err != nil {
+		return nil, err
 	}
-	m.eval.Seed()
-	for _, p := range inst.Retained {
-		m.revealed[p] = true
-	}
-	return m
+	return m, nil
 }
 
-// Solution returns the current retained set.
+// refresh rebuilds the budgeted view and the evaluator, re-adding kept (S0
+// is seeded first; duplicates are skipped). The selection is a set, so the
+// re-add order does not affect the resulting score.
+func (m *Maintainer) refresh(kept []par.PhotoID) error {
+	view, err := m.prep.View(m.budget)
+	if err != nil {
+		return err
+	}
+	eval := par.NewEvaluator(view)
+	eval.Seed()
+	for _, p := range kept {
+		if !eval.Contains(p) {
+			eval.Add(p)
+		}
+	}
+	m.view, m.eval = view, eval
+	return nil
+}
+
+// Solution returns the current retained set (engine photo IDs).
 func (m *Maintainer) Solution() par.Solution { return m.eval.Solution() }
+
+// Score returns the current objective value.
+func (m *Maintainer) Score() float64 { return m.eval.Score() }
 
 // Stats returns a copy of the activity counters.
 func (m *Maintainer) Stats() Stats { return m.stats }
 
-// Arrive reveals photo p and decides its fate.
-func (m *Maintainer) Arrive(p par.PhotoID) (Verdict, error) {
-	if p < 0 || int(p) >= m.inst.NumPhotos() {
-		return Rejected, fmt.Errorf("dynamic: photo %d out of range", p)
+// Prepared returns the underlying delta-maintained engine instance.
+func (m *Maintainer) Prepared() *phocus.Prepared { return m.prep }
+
+// Arrive applies a one-photo growth delta to the Prepared and decides the
+// newcomer's fate. The delta must add exactly one photo (its memberships and
+// any newly opened subsets ride along) and remove none — removal churn goes
+// through Prepared.ApplyDelta directly, followed by Reset.
+func (m *Maintainer) Arrive(ctx context.Context, d *phocus.Delta) (Verdict, error) {
+	if d == nil || len(d.Add) != 1 || len(d.Remove) != 0 {
+		return Rejected, fmt.Errorf("dynamic: Arrive wants exactly one added photo and no removals")
 	}
-	if m.revealed[p] {
-		return Rejected, fmt.Errorf("dynamic: photo %d already arrived", p)
+	id := par.PhotoID(m.prep.NumPhotos()) // the engine ID ApplyDelta assigns
+	kept := m.eval.Solution().Photos
+	if _, err := m.prep.ApplyDelta(ctx, d); err != nil {
+		return Rejected, err
 	}
-	m.revealed[p] = true
+	if err := m.refresh(kept); err != nil {
+		return Rejected, err
+	}
+	return m.Consider(ctx, id)
+}
+
+// Consider runs the arrival decision for a photo already present in the
+// instance but not in the selection — the path for seed photos that were
+// never streamed through Arrive, and the second half of Arrive itself.
+func (m *Maintainer) Consider(ctx context.Context, id par.PhotoID) (Verdict, error) {
+	if id < 0 || int(id) >= m.view.NumPhotos() {
+		return Rejected, fmt.Errorf("dynamic: photo %d out of range", id)
+	}
+	if m.eval.Contains(id) {
+		return Rejected, fmt.Errorf("dynamic: photo %d already retained", id)
+	}
 	m.stats.Arrivals++
 	m.sinceResolve++
 
 	if m.shouldResolve() {
-		if err := m.resolve(); err != nil {
+		if err := m.resolve(ctx); err != nil {
 			return Rejected, err
 		}
 		return Resolved, nil
 	}
 
-	gain := m.eval.Gain(p)
-	if m.eval.Fits(p) {
+	gain := m.eval.Gain(id)
+	if m.eval.Fits(id) {
 		if gain <= 0 {
 			m.stats.Rejected++
 			return Rejected, nil
 		}
-		m.admissionDensity[p] = gain / m.inst.Cost[p]
-		m.eval.Add(p)
+		m.eval.Add(id)
 		m.stats.Admitted++
 		return Admitted, nil
 	}
 
-	// Swap attempt: free room by evicting the lowest admission-density
-	// photos, then keep the swap only if the objective improved.
+	// Swap attempt: free room by evicting the photos whose CURRENT marginal
+	// value per byte is smallest. The marginal is re-evaluated here — the
+	// kernel-backed evaluator makes score(S \ {r}) cheap enough — because a
+	// gain recorded at admission time is only an upper bound on what the
+	// photo contributes today (later admissions may cover it completely).
 	current := m.eval.Solution()
-	kept := make([]par.PhotoID, len(current.Photos))
-	copy(kept, current.Photos)
-	sort.Slice(kept, func(i, j int) bool {
-		return m.admissionDensity[kept[i]] < m.admissionDensity[kept[j]]
-	})
-	needed := m.inst.Cost[p] - (m.inst.Budget - current.Cost)
+	type cand struct {
+		id      par.PhotoID
+		density float64
+	}
+	var cands []cand
+	for _, r := range current.Photos {
+		if m.view.IsRetained(r) {
+			continue // S0 is not evictable
+		}
+		without := par.NewEvaluator(m.view)
+		without.Seed()
+		for _, o := range current.Photos {
+			if o != r && !without.Contains(o) {
+				without.Add(o)
+			}
+		}
+		loss := current.Score - without.Score()
+		cands = append(cands, cand{id: r, density: loss / m.view.Cost[r]})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].density < cands[j].density })
+
+	needed := m.view.Cost[id] - (m.view.Budget - current.Cost)
 	var evict []par.PhotoID
 	var freed float64
-	for _, r := range kept {
+	for _, c := range cands {
 		if freed >= needed {
 			break
 		}
-		if m.inst.IsRetained(r) {
-			continue // S0 is not evictable
-		}
-		evict = append(evict, r)
-		freed += m.inst.Cost[r]
+		evict = append(evict, c.id)
+		freed += m.view.Cost[c.id]
 	}
 	if freed < needed {
 		m.stats.Rejected++
@@ -173,25 +240,41 @@ func (m *Maintainer) Arrive(p par.PhotoID) (Verdict, error) {
 	for _, r := range evict {
 		evictSet[r] = true
 	}
-	trial := par.NewEvaluator(m.inst)
+	trial := par.NewEvaluator(m.view)
+	trial.Seed()
 	for _, r := range current.Photos {
-		if !evictSet[r] {
+		if !evictSet[r] && !trial.Contains(r) {
 			trial.Add(r)
 		}
 	}
-	trialGain := trial.Gain(p)
-	trial.Add(p)
+	if !trial.Fits(id) {
+		m.stats.Rejected++
+		return Rejected, nil
+	}
+	trial.Add(id)
 	if trial.Score() <= current.Score {
 		m.stats.Rejected++
 		return Rejected, nil
 	}
-	for _, r := range evict {
-		delete(m.admissionDensity, r)
-	}
-	m.admissionDensity[p] = trialGain / m.inst.Cost[p]
 	m.eval = trial
 	m.stats.Swapped++
 	return Swapped, nil
+}
+
+// Reset rebuilds the maintainer's state after out-of-band churn on the
+// Prepared (removals, batch deltas applied directly). Photos in the current
+// selection that no longer exist or were husked are dropped.
+func (m *Maintainer) Reset() error {
+	kept := m.eval.Solution().Photos
+	if err := m.refresh(nil); err != nil {
+		return err
+	}
+	for _, p := range kept {
+		if int(p) < m.view.NumPhotos() && !m.eval.Contains(p) && m.eval.Fits(p) && m.eval.Gain(p) > 0 {
+			m.eval.Add(p)
+		}
+	}
+	return nil
 }
 
 // shouldResolve applies the escalation policy.
@@ -205,91 +288,27 @@ func (m *Maintainer) shouldResolve() bool {
 	return false
 }
 
-// Resolve forces a full CELF re-solve over the revealed photos.
-func (m *Maintainer) Resolve() error { return m.resolve() }
+// Resolve forces a full re-solve: one Prepared.Run over the current
+// delta-maintained instance, on the compiled kernels.
+func (m *Maintainer) Resolve(ctx context.Context) error { return m.resolve(ctx) }
 
-func (m *Maintainer) resolve() error {
+func (m *Maintainer) resolve(ctx context.Context) error {
 	start := time.Now()
-	sub := m.revealedInstance()
-	var solver celf.Solver
-	sol, err := solver.Solve(sub)
+	res, err := m.prep.Run(ctx, phocus.RunOptions{
+		Budget:    m.budget,
+		Algorithm: phocus.AlgoCELF,
+		SkipBound: true,
+		Workers:   m.opts.Workers,
+	})
 	if err != nil {
 		return err
 	}
-	// Rebuild the evaluator over the FULL instance with the chosen photos
-	// (IDs coincide: revealedInstance preserves photo IDs).
-	eval := par.NewEvaluator(m.inst)
-	m.admissionDensity = make(map[par.PhotoID]float64, len(sol.Photos))
-	for _, p := range sol.Photos {
-		g := eval.Gain(p)
-		eval.Add(p)
-		m.admissionDensity[p] = g / m.inst.Cost[p]
+	if err := m.refresh(res.Solution.Photos); err != nil {
+		return err
 	}
-	m.eval = eval
 	m.sinceResolve = 0
-	m.lastResolveScore = eval.Score()
+	m.lastResolveScore = m.eval.Score()
 	m.stats.Resolves++
 	m.stats.ResolveTime += time.Since(start)
 	return nil
 }
-
-// revealedInstance restricts the full instance to revealed photos while
-// keeping photo IDs stable: subset memberships are trimmed to revealed
-// members, and unrevealed photos are additionally made unaffordable (cost
-// above the budget) so no solver can select them.
-func (m *Maintainer) revealedInstance() *par.Instance {
-	cost := make([]float64, m.inst.NumPhotos())
-	copy(cost, m.inst.Cost)
-	for p := range cost {
-		if !m.revealed[p] {
-			cost[p] = m.inst.Budget * 10 // can never fit
-		}
-	}
-	sub := &par.Instance{
-		Cost:     cost,
-		Retained: m.inst.Retained,
-		Budget:   m.inst.Budget,
-	}
-	for qi := range m.inst.Subsets {
-		q := &m.inst.Subsets[qi]
-		var members []par.PhotoID
-		var rel []float64
-		var idx []int
-		for mi, p := range q.Members {
-			if m.revealed[p] {
-				members = append(members, p)
-				rel = append(rel, q.Relevance[mi])
-				idx = append(idx, mi)
-			}
-		}
-		if len(members) == 0 {
-			continue
-		}
-		sub.Subsets = append(sub.Subsets, par.Subset{
-			Name:      q.Name,
-			Weight:    q.Weight,
-			Members:   members,
-			Relevance: rel,
-			Sim:       remapSim{orig: q.Sim, idx: idx},
-		})
-	}
-	sub.NormalizeRelevance()
-	if err := sub.Finalize(); err != nil {
-		// The restriction of a valid instance is valid by construction;
-		// a failure here is a programming error.
-		panic("dynamic: revealed restriction invalid: " + err.Error())
-	}
-	return sub
-}
-
-// remapSim views a subset of another similarity's members.
-type remapSim struct {
-	orig par.Similarity
-	idx  []int
-}
-
-// Len implements par.Similarity.
-func (r remapSim) Len() int { return len(r.idx) }
-
-// Sim implements par.Similarity.
-func (r remapSim) Sim(i, j int) float64 { return r.orig.Sim(r.idx[i], r.idx[j]) }

@@ -1,0 +1,228 @@
+// The Feeder replays a complete instance as an arrival stream — the
+// simulation model the pre-delta maintainer hard-coded (full instance built
+// up front, photos revealed one at a time), reconstructed as a driver on
+// top of the engine's delta path. It owns the mapping between the original
+// instance's photo/subset numbering and the engine's dense arrival-order
+// numbering, and converts each reveal into the phocus.Delta the maintainer
+// applies: memberships into already-revealed subsets carry the original
+// relevance re-based onto the current normalized scale (so the revealed
+// engine instance's relevance distribution always matches the original
+// restricted to revealed members), similarities are read off the original
+// structure for live revealed members, and a membership whose subset has no
+// revealed members yet opens the subset via NewSubsets instead.
+
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"phocus/internal/dataset"
+	"phocus/internal/par"
+	"phocus/internal/phocus"
+)
+
+// Feeder converts a finalized complete instance into a seed dataset plus a
+// stream of one-photo deltas. Zero-relevance memberships are dropped (the
+// delta wire format requires positive mass; they contribute nothing to the
+// objective's relevance side).
+type Feeder struct {
+	full     *par.Instance
+	revealed []bool
+	toEngine []int         // original photo -> engine ID, -1 unrevealed
+	toOrig   []par.PhotoID // engine ID -> original photo
+	subEng   []int         // original subset -> engine subset, -1 unrevealed
+	engSubs  int
+	seedLen  int       // engine IDs below this came from the seed
+	relSum   []float64 // per original subset: Σ original relevance revealed
+}
+
+// NewFeeder builds the feeder and the seed dataset over the union of the
+// instance's retained photos and the given seed photos (in that order,
+// deduplicated — engine IDs follow it). The seed must give at least one
+// subset a revealed member with positive relevance, since an instance with
+// no subsets cannot be prepared. full must be finalized.
+func NewFeeder(full *par.Instance, seed []par.PhotoID) (*Feeder, *dataset.Dataset, error) {
+	n := full.NumPhotos()
+	f := &Feeder{
+		full:     full,
+		revealed: make([]bool, n),
+		toEngine: make([]int, n),
+		subEng:   make([]int, len(full.Subsets)),
+		relSum:   make([]float64, len(full.Subsets)),
+	}
+	for i := range f.toEngine {
+		f.toEngine[i] = -1
+	}
+	for i := range f.subEng {
+		f.subEng[i] = -1
+	}
+	reveal := func(p par.PhotoID) error {
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("dynamic: seed photo %d out of range", p)
+		}
+		if !f.revealed[p] {
+			f.revealed[p] = true
+			f.toEngine[p] = len(f.toOrig)
+			f.toOrig = append(f.toOrig, p)
+		}
+		return nil
+	}
+	for _, p := range full.Retained {
+		if err := reveal(p); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, p := range seed {
+		if err := reveal(p); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(f.toOrig) == 0 {
+		return nil, nil, fmt.Errorf("dynamic: empty seed")
+	}
+
+	inst := &par.Instance{Cost: make([]float64, len(f.toOrig))}
+	for e, p := range f.toOrig {
+		inst.Cost[e] = full.Cost[p]
+	}
+	for _, p := range full.Retained {
+		inst.Retained = append(inst.Retained, par.PhotoID(f.toEngine[p]))
+	}
+	for qi := range full.Subsets {
+		q := &full.Subsets[qi]
+		var idx []int
+		var members []par.PhotoID
+		var rel []float64
+		for mi, p := range q.Members {
+			if f.revealed[p] && q.Relevance[mi] > 0 {
+				idx = append(idx, mi)
+				members = append(members, par.PhotoID(f.toEngine[p]))
+				rel = append(rel, q.Relevance[mi])
+				f.relSum[qi] += q.Relevance[mi]
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		for i := range rel {
+			rel[i] /= f.relSum[qi]
+		}
+		f.subEng[qi] = f.engSubs
+		f.engSubs++
+		inst.Subsets = append(inst.Subsets, par.Subset{
+			Name:      q.Name,
+			Weight:    q.Weight,
+			Members:   members,
+			Relevance: rel,
+			Sim:       remapSim{orig: q.Sim, idx: idx},
+		})
+	}
+	if f.engSubs == 0 {
+		return nil, nil, fmt.Errorf("dynamic: seed covers no subset with positive relevance")
+	}
+	inst.Budget = inst.TotalCost()
+	f.seedLen = len(f.toOrig)
+	return f, &dataset.Dataset{Instance: inst}, nil
+}
+
+// Reveal marks the photo revealed and returns the one-photo delta that
+// brings the engine instance in sync. The delta MUST then be applied (the
+// feeder's bookkeeping assumes it): hand it to Maintainer.Arrive or
+// Prepared.ApplyDelta.
+func (f *Feeder) Reveal(p par.PhotoID) (*phocus.Delta, error) {
+	if p < 0 || int(p) >= f.full.NumPhotos() {
+		return nil, fmt.Errorf("dynamic: photo %d out of range", p)
+	}
+	if f.revealed[p] {
+		return nil, fmt.Errorf("dynamic: photo %d already arrived", p)
+	}
+	f.revealed[p] = true
+	engineID := par.PhotoID(len(f.toOrig))
+	f.toEngine[p] = int(engineID)
+	f.toOrig = append(f.toOrig, p)
+
+	ap := phocus.DeltaPhoto{Cost: f.full.Cost[p]}
+	d := &phocus.Delta{}
+	for _, oc := range f.full.Occurrences(p) {
+		q := &f.full.Subsets[oc.Subset]
+		r := q.Relevance[oc.Index]
+		if r <= 0 {
+			continue
+		}
+		if eq := f.subEng[oc.Subset]; eq >= 0 {
+			mem := phocus.DeltaMembership{Subset: eq, Relevance: r / f.relSum[oc.Subset]}
+			for mj, other := range q.Members {
+				if mj == oc.Index || !f.revealed[other] || f.toEngine[other] < 0 ||
+					par.PhotoID(f.toEngine[other]) == engineID || q.Relevance[mj] <= 0 {
+					continue
+				}
+				if s := q.Sim.Sim(oc.Index, mj); s > 0 {
+					mem.Neighbors = append(mem.Neighbors, phocus.DeltaNeighbor{
+						Photo: par.PhotoID(f.toEngine[other]), Sim: s,
+					})
+				}
+			}
+			ap.Memberships = append(ap.Memberships, mem)
+		} else {
+			f.subEng[oc.Subset] = f.engSubs
+			f.engSubs++
+			d.NewSubsets = append(d.NewSubsets, phocus.DeltaSubset{
+				Name:    q.Name,
+				Weight:  q.Weight,
+				Members: []phocus.DeltaSubsetMember{{Photo: engineID, Relevance: r}},
+			})
+		}
+		f.relSum[oc.Subset] += r
+	}
+	// Memberships must arrive in ascending engine-subset order; subsets were
+	// opened in reveal order, which need not follow the original numbering.
+	sort.Slice(ap.Memberships, func(i, j int) bool {
+		return ap.Memberships[i].Subset < ap.Memberships[j].Subset
+	})
+	d.Add = []phocus.DeltaPhoto{ap}
+	return d, nil
+}
+
+// EngineID returns the engine photo ID of an original photo, or -1 if it
+// has not been revealed.
+func (f *Feeder) EngineID(p par.PhotoID) par.PhotoID {
+	if p < 0 || int(p) >= len(f.toEngine) {
+		return -1
+	}
+	return par.PhotoID(f.toEngine[p])
+}
+
+// Orig maps engine photo IDs back to the original numbering.
+func (f *Feeder) Orig(ids []par.PhotoID) []par.PhotoID {
+	out := make([]par.PhotoID, len(ids))
+	for i, id := range ids {
+		out[i] = f.toOrig[id]
+	}
+	return out
+}
+
+// SeedIDs returns the engine IDs of the seed photos that are not retained —
+// the ones a driver should still run through Maintainer.Consider so every
+// photo gets an admission decision.
+func (f *Feeder) SeedIDs() []par.PhotoID {
+	var out []par.PhotoID
+	for e, p := range f.toOrig[:f.seedLen] {
+		if !f.full.IsRetained(p) {
+			out = append(out, par.PhotoID(e))
+		}
+	}
+	return out
+}
+
+// remapSim views a subset of another similarity's members.
+type remapSim struct {
+	orig par.Similarity
+	idx  []int
+}
+
+// Len implements par.Similarity.
+func (r remapSim) Len() int { return len(r.idx) }
+
+// Sim implements par.Similarity.
+func (r remapSim) Sim(i, j int) float64 { return r.orig.Sim(r.idx[i], r.idx[j]) }

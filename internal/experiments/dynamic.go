@@ -13,11 +13,14 @@ import (
 )
 
 // Dynamic evaluates the incremental-maintenance loop (internal/dynamic): a
-// P-1K archive arrives photo by photo; the maintainer's cheap per-arrival
-// rule is compared against full CELF re-solves at checkpoints, in both
-// quality and time.
+// P-1K archive arrives photo by photo as deltas applied to a live engine
+// instance; the maintainer's cheap per-arrival rule is compared against
+// full CELF re-solves at checkpoints, in both quality and time. Scores on
+// both sides are valued under the complete instance's objective so the
+// ratio is scale-free.
 func Dynamic(cfg Config, w io.Writer) error {
 	cfg.fill()
+	ctx := cfg.ctx()
 	ds, err := publicDataset(cfg, 0)
 	if err != nil {
 		return err
@@ -33,7 +36,29 @@ func Dynamic(cfg Config, w io.Writer) error {
 		order = append(order, par.PhotoID(p))
 	}
 
-	m := dynamic.New(inst, dynamic.Options{})
+	// Seed the engine with the shortest stream prefix that covers a subset,
+	// then stream the rest through the delta path.
+	seedLen := 0
+	for seedLen < len(order) {
+		p := order[seedLen]
+		seedLen++
+		if len(inst.Occurrences(p)) > 0 {
+			break
+		}
+	}
+	feeder, seedDS, err := dynamic.NewFeeder(inst, order[:seedLen])
+	if err != nil {
+		return err
+	}
+	prep, err := phocus.Prepare(ctx, seedDS, phocus.PrepareOptions{Workers: cfg.Workers})
+	if err != nil {
+		return err
+	}
+	m, err := dynamic.New(prep, inst.Budget, dynamic.Options{Workers: cfg.Workers})
+	if err != nil {
+		return err
+	}
+
 	t := metrics.Table{
 		Title:  "Dynamic maintenance: incremental swaps vs full re-solve (P-1K, 20% budget)",
 		Header: []string{"arrived", "incremental score", "re-solve score", "ratio"},
@@ -44,21 +69,31 @@ func Dynamic(cfg Config, w io.Writer) error {
 	var incTime time.Duration
 	worst := 1.0
 	revealed := make([]bool, inst.NumPhotos())
-	for i, p := range order {
+	arrive := func(i int, p par.PhotoID, seeded bool) error {
 		t0 := time.Now()
-		if _, err := m.Arrive(p); err != nil {
+		if seeded {
+			_, err = m.Consider(ctx, feeder.EngineID(p))
+		} else {
+			var d *phocus.Delta
+			if d, err = feeder.Reveal(p); err == nil {
+				_, err = m.Arrive(ctx, d)
+			}
+		}
+		if err != nil {
 			return err
 		}
 		incTime += time.Since(t0)
 		revealed[p] = true
 		if !checkpoints[i+1] {
-			continue
+			return nil
 		}
 		oracle, err := solveRevealed(inst, revealed)
 		if err != nil {
 			return err
 		}
-		got := m.Solution().Score
+		// Value the maintained selection under the full objective, the same
+		// scale the oracle reports on.
+		got := par.ScoreFast(inst, feeder.Orig(m.Solution().Photos))
 		ratio := 1.0
 		if oracle > 0 {
 			ratio = got / oracle
@@ -71,6 +106,12 @@ func Dynamic(cfg Config, w io.Writer) error {
 			fmt.Sprintf("%.4f", oracle),
 			fmt.Sprintf("%.3f", ratio))
 		cfg.logf("  dynamic %d arrived: %.4f vs %.4f", i+1, got, oracle)
+		return nil
+	}
+	for i, p := range order {
+		if err := arrive(i, p, i < seedLen); err != nil {
+			return err
+		}
 	}
 	t.Fprint(w)
 	fmt.Fprintf(w, "total incremental decision time: %v for %d arrivals\n",

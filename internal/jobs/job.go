@@ -81,6 +81,18 @@ type Job struct {
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitempty"`
 	FinishedAt  time.Time `json:"finished_at,omitempty"`
+	// NotBefore, when set, defers execution: the job sits in state queued
+	// (outside the runnable queue) until the deadline passes. Deferral
+	// survives restarts — replay re-arms a future deadline and immediately
+	// requeues a past-due one. Recurring work (phocus-server's retention
+	// jobs) is built on it: each run schedules its successor with SubmitAt.
+	NotBefore time.Time `json:"not_before,omitempty"`
+}
+
+// Deferred reports whether the job is still waiting out its NotBefore
+// deadline (relative to now).
+func (j *Job) Deferred(now time.Time) bool {
+	return j.State == StateQueued && !j.NotBefore.IsZero() && j.NotBefore.After(now)
 }
 
 // Wait returns how long the job sat queued before its (last) start; zero

@@ -74,12 +74,19 @@ type Service struct {
 	logger *slog.Logger
 	runner Runner
 
-	// mu guards the store (every read and mutation), the cancels map and
-	// the killed flag. The queue and sem have their own synchronization.
+	// mu guards the store (every read and mutation), the cancels and timers
+	// maps and the killed flag. The queue and sem have their own
+	// synchronization.
 	mu      sync.Mutex
 	store   *Store
 	cancels map[string]context.CancelCauseFunc
-	killed  bool
+	// timers holds the deferral timer of every SubmitAt job still waiting
+	// out its NotBefore deadline; firing moves the job into the runnable
+	// queue. An entry's absence after SubmitAt means the job was canceled
+	// or the service stopped (the job then stays queued in the WAL and the
+	// next boot re-arms it).
+	timers map[string]*time.Timer
+	killed bool
 
 	queue *Queue
 	// sem is the shared solve-capacity semaphore: scheduler workers hold a
@@ -136,6 +143,7 @@ func NewService(cfg Config, runner Runner) (*Service, ReplayStats, error) {
 		runner:  runner,
 		store:   store,
 		cancels: make(map[string]context.CancelCauseFunc),
+		timers:  make(map[string]*time.Timer),
 		queue:   NewQueue(cfg.QueueDepth, cfg.QueueBytes),
 		sem:     pool.NewSem(cfg.Workers),
 		rng:     mrand.New(mrand.NewSource(cfg.Seed)),
@@ -146,15 +154,28 @@ func NewService(cfg Config, runner Runner) (*Service, ReplayStats, error) {
 	obs.RecordJobRequeued(s.reg, int64(replay.Requeued))
 	obs.RecordJobTempSwept(s.reg, int64(replay.TempSwept))
 	// Recovered jobs were admitted before the crash; Requeue bypasses the
-	// caps so a tighter restart configuration cannot drop them.
+	// caps so a tighter restart configuration cannot drop them. A deferred
+	// job whose NotBefore is still ahead re-arms its timer instead; one
+	// that came due while the process was down requeues immediately.
+	now := time.Now()
+	s.mu.Lock() // a re-armed timer may fire into fireTimer immediately
 	for _, j := range store.List() {
-		if j.State == StateQueued {
-			if err := s.queue.Requeue(j.ID, j.BodyBytes); err != nil {
-				return nil, replay, err
-			}
+		if j.State != StateQueued {
+			continue
+		}
+		if j.Deferred(now) {
+			s.armTimer(j.ID, j.NotBefore.Sub(now), j.BodyBytes)
+			continue
+		}
+		if err := s.queue.Requeue(j.ID, j.BodyBytes); err != nil {
+			s.mu.Unlock()
+			return nil, replay, err
 		}
 	}
+	deferred := len(s.timers)
+	s.mu.Unlock()
 	obs.SetJobQueueGauges(s.reg, s.queue.Depth(), s.queue.Bytes())
+	obs.SetJobsDeferred(s.reg, deferred)
 
 	workers := s.sem.Cap()
 	s.wg.Add(workers)
@@ -235,6 +256,90 @@ func (s *Service) Submit(params string, body []byte) (Job, error) {
 	return *job, nil
 }
 
+// SubmitAt admits a job that must not run before the given time: it lands
+// durably in the WAL (state queued, NotBefore set) but enters the runnable
+// queue only when the deadline passes. A zero or past deadline degrades to
+// a plain Submit. Deferred jobs bypass the queue caps when they fire — they
+// were admitted at SubmitAt time, like a requeue — and survive restarts:
+// replay re-arms pending deadlines and requeues past-due ones.
+func (s *Service) SubmitAt(params string, body []byte, at time.Time) (Job, error) {
+	if at.IsZero() || !at.After(time.Now()) {
+		return s.Submit(params, body)
+	}
+	if !s.Ready() {
+		return Job{}, ErrDraining
+	}
+	job := &Job{
+		ID:          newJobID(),
+		Params:      params,
+		Body:        body,
+		BodyBytes:   int64(len(body)),
+		State:       StateQueued,
+		SubmittedAt: time.Now(),
+		NotBefore:   at,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.killed {
+		return Job{}, ErrDraining
+	}
+	if err := s.store.Submit(job); err != nil {
+		return Job{}, err
+	}
+	s.armTimer(job.ID, time.Until(at), job.BodyBytes)
+	obs.RecordJobDeferred(s.reg, len(s.timers))
+	s.cfg.Trace.Add(job.ID, obs.SpanRecord{
+		Name: "defer", Start: job.SubmittedAt,
+		Attrs: map[string]string{"not_before": at.Format(time.RFC3339)},
+	})
+	s.logger.Info("job deferred", "job_id", job.ID, "not_before", at, "bytes", job.BodyBytes)
+	return *job, nil
+}
+
+// armTimer schedules the deferral timer that moves a job into the runnable
+// queue. Callers hold s.mu.
+func (s *Service) armTimer(id string, d time.Duration, bytes int64) {
+	if d < 0 {
+		d = 0
+	}
+	s.timers[id] = time.AfterFunc(d, func() { s.fireTimer(id, bytes) })
+}
+
+// fireTimer is a deferral timer's payload: requeue the job unless it was
+// canceled or the service stopped in the meantime (it then stays queued in
+// the WAL for the next boot to pick up).
+func (s *Service) fireTimer(id string, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.timers[id]; !ok {
+		return // canceled or stopped while the timer was in flight
+	}
+	delete(s.timers, id)
+	obs.SetJobsDeferred(s.reg, len(s.timers))
+	if s.killed {
+		return
+	}
+	j, ok := s.store.Get(id)
+	if !ok || j.State != StateQueued {
+		return
+	}
+	if err := s.queue.Requeue(id, bytes); err != nil {
+		// Queue closed by shutdown: the job stays queued durably.
+		return
+	}
+	obs.RecordJobEnqueued(s.reg, s.queue.Depth(), s.queue.Bytes())
+	s.logger.Info("deferred job released", "job_id", id, "depth", s.queue.Depth())
+}
+
+// stopTimersLocked stops and forgets every pending deferral timer (shutdown
+// and crash simulation); the jobs stay queued in the WAL. Callers hold s.mu.
+func (s *Service) stopTimersLocked() {
+	for id, t := range s.timers {
+		t.Stop()
+		delete(s.timers, id)
+	}
+}
+
 // Get returns the job and, when it is still queued, its 0-based queue
 // position (-1 otherwise).
 func (s *Service) Get(id string) (Job, int, error) {
@@ -289,6 +394,11 @@ func (s *Service) Cancel(id string) (Job, error) {
 	case j.State.Terminal():
 		return j, ErrTerminal
 	case j.State == StateQueued:
+		if t, ok := s.timers[id]; ok {
+			t.Stop()
+			delete(s.timers, id)
+			obs.SetJobsDeferred(s.reg, len(s.timers))
+		}
 		s.queue.Remove(id)
 		obs.SetJobQueueGauges(s.reg, s.queue.Depth(), s.queue.Bytes())
 		up, err := s.update(&jobUpdate{ID: id, State: StateCanceled, Error: ErrCanceled.Error()})
@@ -499,6 +609,9 @@ func (s *Service) BeginDrain() { s.draining.Store(true) }
 // the WAL for the next boot.
 func (s *Service) Close(ctx context.Context) error {
 	s.BeginDrain()
+	s.mu.Lock()
+	s.stopTimersLocked()
+	s.mu.Unlock()
 	s.queue.Close()
 	s.popCancel()
 
@@ -538,6 +651,7 @@ func (s *Service) Terminate() {
 	s.mu.Lock()
 	s.killed = true
 	s.store.Abandon()
+	s.stopTimersLocked()
 	for _, cancel := range s.cancels {
 		cancel(errKilled)
 	}

@@ -1,0 +1,37 @@
+package obs
+
+import "time"
+
+// Delta-maintenance metric vocabulary. The churn path (Prepared.ApplyDelta
+// behind POST /instances/{fp}/delta and kind=session jobs) reports through
+// these helpers so dashboards see incremental updates next to the solve and
+// snapshot series:
+//
+//	phocus_delta_apply_total           delta batches applied
+//	phocus_delta_photos_added_total    photos added across all batches
+//	phocus_delta_photos_removed_total  photos retired (husked) across all batches
+//	phocus_delta_apply_seconds         apply latency histogram (compaction included)
+//	phocus_delta_compactions_total     kernel compactions triggered by applies
+//	phocus_delta_live_fraction         gauge: live-entry fraction after the last apply
+
+// RecordDeltaApply records one applied delta batch.
+func RecordDeltaApply(reg *Registry, added, removed int, elapsed time.Duration) {
+	reg.Counter("phocus_delta_apply_total").Inc()
+	if added > 0 {
+		reg.Counter("phocus_delta_photos_added_total").Add(int64(added))
+	}
+	if removed > 0 {
+		reg.Counter("phocus_delta_photos_removed_total").Add(int64(removed))
+	}
+	reg.Histogram("phocus_delta_apply_seconds", DefBuckets).Observe(elapsed.Seconds())
+}
+
+// RecordDeltaCompaction counts one kernel compaction triggered by an apply.
+func RecordDeltaCompaction(reg *Registry) {
+	reg.Counter("phocus_delta_compactions_total").Inc()
+}
+
+// SetDeltaLiveFraction refreshes the live-entry fraction gauge.
+func SetDeltaLiveFraction(reg *Registry, f float64) {
+	reg.Gauge("phocus_delta_live_fraction").Set(f)
+}

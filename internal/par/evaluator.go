@@ -48,14 +48,21 @@ func NewEvaluator(inst *Instance) *Evaluator {
 		inst:  inst,
 		kern:  inst.kern,
 		flat:  make([]float64, rows),
-		best:  make([][]float64, len(inst.Subsets)),
 		inSol: make([]bool, inst.NumPhotos()),
 	}
-	off := 0
-	for qi := range inst.Subsets {
-		k := len(inst.Subsets[qi].Members)
-		e.best[qi] = e.flat[off : off+k : off+k]
-		off += k
+	// Under a kernel mutation overlay (see kerneldelta.go) rows appended
+	// after compile time sit at the tail of the flat array instead of inside
+	// their subset's span, so the canonical subset-major views would lie;
+	// leave them nil — the kernel hot path indexes flat directly and the
+	// jagged reference path is unreachable while a kernel is attached.
+	if e.kern == nil || e.kern.Canonical() {
+		e.best = make([][]float64, len(inst.Subsets))
+		off := 0
+		for qi := range inst.Subsets {
+			k := len(inst.Subsets[qi].Members)
+			e.best[qi] = e.flat[off : off+k : off+k]
+			off += k
+		}
 	}
 	return e
 }
@@ -218,7 +225,6 @@ func (e *Evaluator) Clone() *Evaluator {
 		inst:      e.inst,
 		kern:      e.kern,
 		flat:      make([]float64, len(e.flat)),
-		best:      make([][]float64, len(e.best)),
 		inSol:     make([]bool, len(e.inSol)),
 		sol:       make([]PhotoID, len(e.sol)),
 		cost:      e.cost,
@@ -226,11 +232,14 @@ func (e *Evaluator) Clone() *Evaluator {
 		gainEvals: e.gainEvals,
 	}
 	copy(c.flat, e.flat)
-	off := 0
-	for qi := range e.best {
-		k := len(e.best[qi])
-		c.best[qi] = c.flat[off : off+k : off+k]
-		off += k
+	if e.best != nil {
+		c.best = make([][]float64, len(e.best))
+		off := 0
+		for qi := range e.best {
+			k := len(e.best[qi])
+			c.best[qi] = c.flat[off : off+k : off+k]
+			off += k
+		}
 	}
 	copy(c.inSol, e.inSol)
 	copy(c.sol, e.sol)
@@ -260,10 +269,26 @@ func CoverageVector(inst *Instance, s []PhotoID) [][]float64 {
 	for _, p := range s {
 		e.Add(p)
 	}
-	out := make([][]float64, len(e.best))
-	for qi := range e.best {
-		out[qi] = make([]float64, len(e.best[qi]))
-		copy(out[qi], e.best[qi])
+	out := make([][]float64, len(inst.Subsets))
+	if e.best != nil {
+		for qi := range e.best {
+			out[qi] = make([]float64, len(e.best[qi]))
+			copy(out[qi], e.best[qi])
+		}
+		return out
+	}
+	// Non-canonical kernel: the flat array is indexed by overlay row ids, so
+	// map each (subset, member) slot through the kernel's row lookup.
+	for qi := range inst.Subsets {
+		out[qi] = make([]float64, len(inst.Subsets[qi].Members))
+		for mi := range out[qi] {
+			// Tombstoned rows can carry stale best values raised through
+			// wr-0 mirror entries; a removed member covers nothing.
+			if e.kern.RowDead(qi, mi) {
+				continue
+			}
+			out[qi][mi] = e.flat[e.kern.RowOf(qi, mi)]
+		}
 	}
 	return out
 }

@@ -43,6 +43,11 @@ type Kernel struct {
 	nbrWR    []float64
 	occStart []int32
 	occRow   []int32
+
+	// ov is the incremental-maintenance overlay (see kerneldelta.go); nil for
+	// a canonical compiled kernel. While an overlay is active the kernel is
+	// NOT immutable — the engine serializes mutation against concurrent reads.
+	ov *kernOverlay
 }
 
 // CompileKernel flattens the instance's gain hot path into a Kernel. The
@@ -115,6 +120,9 @@ func CompileKernel(inst *Instance) *Kernel {
 // term; see the layout invariants on Kernel for why results are
 // bit-identical.
 func (k *Kernel) gain(best []float64, p PhotoID) float64 {
+	if k.ov != nil {
+		return k.ov.gain(k, best, p)
+	}
 	var gain float64
 	for _, r := range k.occRow[k.occStart[p]:k.occStart[p+1]] {
 		lo, hi := k.rowStart[r], k.rowStart[r+1]
@@ -133,6 +141,9 @@ func (k *Kernel) gain(best []float64, p PhotoID) float64 {
 // add is gain with the best-value updates applied: adding p raises the best
 // value of every slot whose similarity to p exceeds it.
 func (k *Kernel) add(best []float64, p PhotoID) float64 {
+	if k.ov != nil {
+		return k.ov.add(k, best, p)
+	}
 	var gain float64
 	for _, r := range k.occRow[k.occStart[p]:k.occStart[p+1]] {
 		lo, hi := k.rowStart[r], k.rowStart[r+1]
@@ -152,15 +163,26 @@ func (k *Kernel) add(best []float64, p PhotoID) float64 {
 // Rows returns the number of (subset, member) rows the kernel spans.
 func (k *Kernel) Rows() int { return len(k.rowStart) - 1 }
 
-// Entries returns the number of stored similarity entries.
-func (k *Kernel) Entries() int { return len(k.nbrIdx) }
+// Entries returns the number of stored similarity entries (including
+// overlay-appended ones).
+func (k *Kernel) Entries() int {
+	n := len(k.nbrIdx)
+	if k.ov != nil {
+		n += k.ov.extraN
+	}
+	return n
+}
 
 // SizeBytes returns the memory retained by the kernel's arrays; prepared-
 // instance caches count it against their byte bounds.
 func (k *Kernel) SizeBytes() int64 {
-	return 4*int64(len(k.nbrIdx)) + 8*int64(len(k.nbrSim)) + 8*int64(len(k.nbrWR)) +
+	n := 4*int64(len(k.nbrIdx)) + 8*int64(len(k.nbrSim)) + 8*int64(len(k.nbrWR)) +
 		8*int64(len(k.rowStart)) + 4*int64(len(k.occStart)) + 4*int64(len(k.occRow)) +
 		4*int64(len(k.rowLen))
+	if k.ov != nil {
+		n += k.ov.overlayBytes()
+	}
+	return n
 }
 
 // AttachKernel attaches a compiled kernel to the instance: evaluators

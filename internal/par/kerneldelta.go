@@ -1,0 +1,432 @@
+package par
+
+import "fmt"
+
+// This file gives the compiled Kernel an incremental-maintenance path: a
+// mutation overlay that supports tombstoning the rows of removed members,
+// appending rows for new members (and whole new subsets, and new photos) at
+// the tail, and rewriting fused W·R products after a relevance
+// renormalization — without recompiling the flat slabs. The staged engine's
+// Prepared.ApplyDelta drives these operations; when the dead-entry fraction
+// grows past its threshold the engine compacts by recompiling the kernel
+// from the (also incrementally maintained) similarity structures, which
+// drops the overlay and restores the canonical flat layout.
+//
+// Row numbering under an overlay. The rows compiled by CompileKernel keep
+// their original ids ("base rows", dense in [0, baseRows)); every member
+// appended afterwards gets the next id in sequence ("tail rows", ids
+// baseRows, baseRows+1, ...), regardless of which subset it joined. Tail
+// rows have no span in the base CSR arrays — their entries live in the
+// overlay's per-row extra lists, as do entries appended to base rows (a base
+// member gaining a new neighbour). The flat best array an Evaluator
+// allocates is indexed by these row ids; its total length (base + tail)
+// always equals the instance's total member count, so evaluator allocation
+// is unchanged — only the row→(subset,member) correspondence differs from
+// the canonical subset-major layout, which is why NewEvaluator skips the
+// per-subset best views while an overlay is active (see Kernel.Canonical).
+//
+// Bit-identity. Overlay gains must equal what a freshly compiled kernel over
+// the updated instance computes, bit for bit. Entry order within a row is
+// ascending member index in both layouts: base entries were compiled
+// ascending, and appended members always have higher member indices than
+// every existing entry of the rows they extend, so extras appended in
+// arrival order stay ascending. Tombstoned entries are zeroed (sim = 0,
+// wr = 0) rather than spliced out: a zero-sim entry can never satisfy
+// sim > best (best ≥ 0 always), so it contributes no term — the remaining
+// summation order, and therefore the float result, is unchanged.
+type kernOverlay struct {
+	// subOff / baseLen freeze the compile-time subset layout: base subset q's
+	// rows are subOff[q] .. subOff[q]+baseLen[q]-1.
+	subOff  []int32
+	baseLen []int32
+	// baseRows / basePhotos freeze the compile-time row and photo counts.
+	baseRows   int
+	basePhotos int
+
+	// tails[q] lists subset q's tail rows in member order (members beyond
+	// baseLen[q] for base subsets; all members for appended subsets). len(tails)
+	// tracks the current subset count.
+	tails [][]int32
+	// rowSub / rowMi map tail row id r (indexed r-baseRows) back to its
+	// (subset, member index).
+	rowSub []int32
+	rowMi  []int32
+
+	// extra holds appended entries per row (base or tail), in ascending member
+	// order; extraN counts them across all rows.
+	extra  map[int32][]kentry
+	extraN int
+
+	// tailOcc[p-basePhotos] lists the rows appended photos occupy, ascending by
+	// subset; extraOcc lists the tail rows base photos gained by joining
+	// appended subsets (base photos can only gain membership in new subsets, so
+	// base occ followed by extraOcc stays subset-ascending).
+	tailOcc  [][]int32
+	extraOcc map[PhotoID][]int32
+
+	// dead counts tombstoned entries (both directions of each dead pair), for
+	// the live-fraction compaction heuristic; deadRow marks tombstoned rows
+	// (their best values are meaningless — wr-0 mirror entries still raise
+	// them — so coverage read-outs report 0 there, as a compiled kernel
+	// over the updated instance would).
+	dead    int
+	deadRow map[int32]bool
+}
+
+// kentry is one overlay similarity entry, mirroring the parallel
+// nbrIdx/nbrSim/nbrWR slabs.
+type kentry struct {
+	idx int32
+	sim float64
+	wr  float64
+}
+
+// Canonical reports whether the kernel is in its compiled flat layout with
+// no mutation overlay. Non-canonical kernels compute identical gains but row
+// numbering no longer matches the subset-major order evaluator best views
+// and the snapshot codec assume.
+func (k *Kernel) Canonical() bool { return k.ov == nil }
+
+// TotalRows returns the number of (subset, member) rows including appended
+// tail rows.
+func (k *Kernel) TotalRows() int {
+	if k.ov == nil {
+		return k.Rows()
+	}
+	return k.ov.baseRows + len(k.ov.rowSub)
+}
+
+// OverlayEntries returns the number of similarity entries living in the
+// mutation overlay's per-row extra lists (0 for a canonical kernel). The
+// engine's compaction heuristic bounds it relative to the compiled slabs:
+// overlay entries cost pointer-chasing through a map on every gain, so a
+// large overlay hurts even with few dead entries.
+func (k *Kernel) OverlayEntries() int {
+	if k.ov == nil {
+		return 0
+	}
+	return k.ov.extraN
+}
+
+// DeadEntries returns the number of tombstoned similarity entries.
+func (k *Kernel) DeadEntries() int {
+	if k.ov == nil {
+		return 0
+	}
+	return k.ov.dead
+}
+
+// LiveFraction returns the fraction of stored similarity entries that are
+// still live (1 for a canonical kernel). The engine compacts when it drops
+// below its threshold.
+func (k *Kernel) LiveFraction() float64 {
+	if k.ov == nil {
+		return 1
+	}
+	total := len(k.nbrIdx) + k.ov.extraN
+	if total == 0 {
+		return 1
+	}
+	return 1 - float64(k.ov.dead)/float64(total)
+}
+
+// ensureOverlay materializes the mutation overlay on first use.
+func (k *Kernel) ensureOverlay() *kernOverlay {
+	if k.ov != nil {
+		return k.ov
+	}
+	ov := &kernOverlay{
+		subOff:     make([]int32, len(k.rowLen)),
+		baseLen:    make([]int32, len(k.rowLen)),
+		baseRows:   k.Rows(),
+		basePhotos: k.photos,
+		tails:      make([][]int32, len(k.rowLen)),
+		extra:      map[int32][]kentry{},
+		extraOcc:   map[PhotoID][]int32{},
+		deadRow:    map[int32]bool{},
+	}
+	var off int32
+	for qi, l := range k.rowLen {
+		ov.subOff[qi] = off
+		ov.baseLen[qi] = l
+		off += l
+	}
+	k.ov = ov
+	return ov
+}
+
+// RowOf returns the global row id of subset q's mi-th member under the
+// current layout (canonical or overlay).
+func (k *Kernel) RowOf(q, mi int) int32 {
+	if k.ov == nil {
+		var off int32
+		for qi := 0; qi < q; qi++ {
+			off += k.rowLen[qi]
+		}
+		return off + int32(mi)
+	}
+	ov := k.ov
+	if q < len(ov.subOff) && mi < int(ov.baseLen[q]) {
+		return ov.subOff[q] + int32(mi)
+	}
+	if q < len(ov.subOff) {
+		return ov.tails[q][mi-int(ov.baseLen[q])]
+	}
+	return ov.tails[q][mi]
+}
+
+// AppendSubset registers a new, initially empty subset at the end of the
+// subset list; its members are added with AppendMemberRow.
+func (k *Kernel) AppendSubset() {
+	ov := k.ensureOverlay()
+	k.rowLen = append(k.rowLen, 0)
+	ov.tails = append(ov.tails, nil)
+}
+
+// AppendPhoto grows the photo count by one; the new photo occupies no rows
+// until AppendMemberRow is called for it.
+func (k *Kernel) AppendPhoto() {
+	ov := k.ensureOverlay()
+	k.photos++
+	ov.tailOcc = append(ov.tailOcc, nil)
+}
+
+// AppendMemberRow appends photo p as the next member of subset q and records
+// its similarity row: one entry per neighbour (earlier members of q only,
+// ascending member index) plus the trailing self entry with sim 1. Fused W·R
+// products are written as 0 — the caller renormalizes relevance for the
+// whole batch and then calls RewriteWR, which fills them. Calls for one
+// photo must arrive in ascending subset order so its occurrence list stays
+// sorted (base photos may only join appended subsets, which always sort
+// after their base occurrences).
+func (k *Kernel) AppendMemberRow(q int, p PhotoID, neighbors []Neighbor) int32 {
+	ov := k.ensureOverlay()
+	if q >= len(k.rowLen) {
+		panic("par: AppendMemberRow subset out of range")
+	}
+	if int(p) >= k.photos {
+		panic("par: AppendMemberRow photo out of range")
+	}
+	row := int32(ov.baseRows + len(ov.rowSub))
+	mi := int(k.rowLen[q])
+	ov.rowSub = append(ov.rowSub, int32(q))
+	ov.rowMi = append(ov.rowMi, int32(mi))
+	ov.tails[q] = append(ov.tails[q], row)
+	k.rowLen[q]++
+
+	for _, nb := range neighbors {
+		if nb.Index >= mi {
+			panic("par: AppendMemberRow neighbour is not an earlier member")
+		}
+		nbRow := k.RowOf(q, nb.Index)
+		ov.extra[row] = append(ov.extra[row], kentry{idx: nbRow, sim: nb.Sim})
+		ov.extra[nbRow] = append(ov.extra[nbRow], kentry{idx: row, sim: nb.Sim})
+		ov.extraN += 2
+	}
+	ov.extra[row] = append(ov.extra[row], kentry{idx: row, sim: 1})
+	ov.extraN++
+
+	if int(p) < ov.basePhotos {
+		ov.extraOcc[p] = append(ov.extraOcc[p], row)
+	} else {
+		ov.tailOcc[int(p)-ov.basePhotos] = append(ov.tailOcc[int(p)-ov.basePhotos], row)
+	}
+	return row
+}
+
+// TombstoneRow zeroes every entry of subset q's mi-th member's row except
+// the self entry, so the removed member can never again contribute gain as a
+// cover candidate. The symmetric entries in its neighbours' rows are left in
+// place: after the caller renormalizes (the removed member's relevance drops
+// to 0) and calls RewriteWR, their W·R products are 0, so they contribute
+// exactly +0.0 to any gain — bit-identical to their absence.
+func (k *Kernel) TombstoneRow(q, mi int) {
+	ov := k.ensureOverlay()
+	r := k.RowOf(q, mi)
+	zeroed := 0
+	if int(r) < ov.baseRows {
+		lo, hi := k.rowStart[r], k.rowStart[r+1]
+		for t := lo; t < hi; t++ {
+			if k.nbrIdx[t] != r && k.nbrSim[t] != 0 {
+				k.nbrSim[t] = 0
+				k.nbrWR[t] = 0
+				zeroed++
+			}
+		}
+	}
+	ex := ov.extra[r]
+	for t := range ex {
+		if ex[t].idx != r && ex[t].sim != 0 {
+			ex[t].sim = 0
+			ex[t].wr = 0
+			zeroed++
+		}
+	}
+	// Each zeroed pair leaves a wr-0 mirror entry in the neighbour's row;
+	// count both sides as dead for the compaction heuristic.
+	ov.dead += 2 * zeroed
+	ov.deadRow[r] = true
+}
+
+// RowDead reports whether subset q's mi-th member row was tombstoned.
+func (k *Kernel) RowDead(q, mi int) bool {
+	return k.ov != nil && k.ov.deadRow[k.RowOf(q, mi)]
+}
+
+// RewriteWR refreshes the fused W·R product of every live entry in subset
+// q's rows after a relevance renormalization: wr = weight · rel[target
+// member]. Tombstoned entries (sim 0) stay 0.
+func (k *Kernel) RewriteWR(q int, weight float64, rel []float64) {
+	ov := k.ensureOverlay()
+	miOf := func(ix int32) int32 {
+		if int(ix) < ov.baseRows {
+			return ix - ov.subOff[q]
+		}
+		return ov.rowMi[int(ix)-ov.baseRows]
+	}
+	rewriteRow := func(r int32) {
+		if int(r) < ov.baseRows {
+			lo, hi := k.rowStart[r], k.rowStart[r+1]
+			for t := lo; t < hi; t++ {
+				if k.nbrSim[t] != 0 {
+					k.nbrWR[t] = weight * rel[miOf(k.nbrIdx[t])]
+				}
+			}
+		}
+		ex := ov.extra[r]
+		for t := range ex {
+			if ex[t].sim != 0 {
+				ex[t].wr = weight * rel[miOf(ex[t].idx)]
+			}
+		}
+	}
+	if q < len(ov.subOff) {
+		for i := int32(0); i < ov.baseLen[q]; i++ {
+			rewriteRow(ov.subOff[q] + i)
+		}
+	}
+	for _, r := range ov.tails[q] {
+		rewriteRow(r)
+	}
+}
+
+// occRows invokes fn over every row photo p occupies, in subset order,
+// under the overlay layout.
+func (ov *kernOverlay) occRows(k *Kernel, p PhotoID, fn func(r int32)) {
+	if int(p) < ov.basePhotos {
+		for _, r := range k.occRow[k.occStart[p]:k.occStart[p+1]] {
+			fn(r)
+		}
+		for _, r := range ov.extraOcc[p] {
+			fn(r)
+		}
+		return
+	}
+	for _, r := range ov.tailOcc[int(p)-ov.basePhotos] {
+		fn(r)
+	}
+}
+
+// gain is Kernel.gain under an overlay.
+func (ov *kernOverlay) gain(k *Kernel, best []float64, p PhotoID) float64 {
+	var gain float64
+	ov.occRows(k, p, func(r int32) {
+		if int(r) < ov.baseRows {
+			lo, hi := k.rowStart[r], k.rowStart[r+1]
+			idx := k.nbrIdx[lo:hi]
+			sim := k.nbrSim[lo:hi]
+			wr := k.nbrWR[lo:hi]
+			for t, ix := range idx {
+				if d := sim[t] - best[ix]; d > 0 {
+					gain += wr[t] * d
+				}
+			}
+		}
+		for _, e := range ov.extra[r] {
+			if d := e.sim - best[e.idx]; d > 0 {
+				gain += e.wr * d
+			}
+		}
+	})
+	return gain
+}
+
+// add is Kernel.add under an overlay.
+func (ov *kernOverlay) add(k *Kernel, best []float64, p PhotoID) float64 {
+	var gain float64
+	ov.occRows(k, p, func(r int32) {
+		if int(r) < ov.baseRows {
+			lo, hi := k.rowStart[r], k.rowStart[r+1]
+			idx := k.nbrIdx[lo:hi]
+			sim := k.nbrSim[lo:hi]
+			wr := k.nbrWR[lo:hi]
+			for t, ix := range idx {
+				if d := sim[t] - best[ix]; d > 0 {
+					gain += wr[t] * d
+					best[ix] = sim[t]
+				}
+			}
+		}
+		ex := ov.extra[r]
+		for t := range ex {
+			if d := ex[t].sim - best[ex[t].idx]; d > 0 {
+				gain += ex[t].wr * d
+				best[ex[t].idx] = ex[t].sim
+			}
+		}
+	})
+	return gain
+}
+
+// overlayBytes estimates the memory retained by the overlay, for prepared-
+// size accounting.
+func (ov *kernOverlay) overlayBytes() int64 {
+	n := 4 * int64(len(ov.subOff)+len(ov.baseLen)+len(ov.rowSub)+len(ov.rowMi))
+	for _, t := range ov.tails {
+		n += 4 * int64(len(t))
+	}
+	// kentry is 24 bytes; charge map overhead at a flat 16 per row key.
+	n += 24*int64(ov.extraN) + 16*int64(len(ov.extra))
+	for _, o := range ov.tailOcc {
+		n += 4 * int64(len(o))
+	}
+	for _, o := range ov.extraOcc {
+		n += 4*int64(len(o)) + 16
+	}
+	return n
+}
+
+// validateOverlayOrder is a test hook: it checks that every row's entries
+// are in ascending member order (the bit-identity invariant) and that
+// occurrence lists are subset-ascending.
+func (k *Kernel) validateOverlayOrder() error {
+	ov := k.ov
+	if ov == nil {
+		return nil
+	}
+	miGlobal := func(ix int32) (sub, mi int32) {
+		if int(ix) >= ov.baseRows {
+			return ov.rowSub[int(ix)-ov.baseRows], ov.rowMi[int(ix)-ov.baseRows]
+		}
+		for q := len(ov.subOff) - 1; q >= 0; q-- {
+			if ix >= ov.subOff[q] {
+				return int32(q), ix - ov.subOff[q]
+			}
+		}
+		return -1, -1
+	}
+	for r, ex := range ov.extra {
+		last := int32(-1)
+		if int(r) < ov.baseRows && k.rowStart[r] < k.rowStart[r+1] {
+			_, last = miGlobal(k.nbrIdx[k.rowStart[r+1]-1])
+		}
+		for _, e := range ex {
+			_, mi := miGlobal(e.idx)
+			if mi <= last {
+				return fmt.Errorf("par: row %d extras out of ascending member order", r)
+			}
+			last = mi
+		}
+	}
+	return nil
+}

@@ -16,8 +16,14 @@ type KernelSlabs struct {
 	OccRow   []int32
 }
 
-// Slabs returns views of the kernel's arrays for serialization.
+// Slabs returns views of the kernel's arrays for serialization. The kernel
+// must be canonical: an active mutation overlay keeps state outside these
+// slabs, so serializing it would silently drop appended rows — callers
+// recompile (compact) first.
 func (k *Kernel) Slabs() KernelSlabs {
+	if !k.Canonical() {
+		panic("par: Kernel.Slabs on a non-canonical kernel; compact first")
+	}
 	return KernelSlabs{
 		Photos:   k.photos,
 		RowLen:   k.rowLen,

@@ -146,6 +146,22 @@ func (c *PreparedCache) GetOrPrepare(key string, prepare func() (*Prepared, erro
 	return f.prep, false, evicted, f.err
 }
 
+// Remove drops the key's entry if present, reporting whether it was. The
+// delta path uses it to invalidate a Prepared's pre-churn cache key the
+// moment its fingerprint evolves.
+func (c *PreparedCache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.elems[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.elems, key)
+	c.usedBytes -= el.Value.(*cacheEntry).prep.SizeBytes()
+	return true
+}
+
 // Len returns the number of cached entries.
 func (c *PreparedCache) Len() int {
 	c.mu.Lock()

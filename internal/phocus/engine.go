@@ -27,6 +27,7 @@ import (
 	"phocus/internal/obs"
 	"phocus/internal/par"
 	"phocus/internal/sparsify"
+	"phocus/internal/streaming"
 	"phocus/internal/sviridenko"
 )
 
@@ -88,15 +89,29 @@ type RunOptions struct {
 	OnExactStats      func(exact.Stats)
 }
 
-// Prepared is an immutable, reusable product of the Data Representation
-// stage: the finalized instance plus (when τ > 0) its sparsified similarity
-// structure. A Prepared is safe for concurrent Run calls — each Run builds
-// its own budgeted view and never mutates shared state — which is what lets
-// phocus-server cache Prepared values across requests.
+// Prepared is a reusable product of the Data Representation stage: the
+// finalized instance plus (when τ > 0) its sparsified similarity structure.
+// A Prepared is safe for concurrent Run calls — each Run builds its own
+// budgeted view and never mutates shared state — which is what lets
+// phocus-server cache Prepared values across requests. ApplyDelta is the one
+// mutating operation: it takes the write side of mu, so deltas serialize
+// against in-flight runs rather than corrupting them.
 type Prepared struct {
+	// mu guards every field below against ApplyDelta/Compact. Readers (Run,
+	// SizeBytes, Fingerprint, EncodeSnapshot, ...) hold it shared for their
+	// full duration because ApplyDelta mutates the compiled kernels in place.
+	mu sync.RWMutex
+
 	base   *par.Instance // finalized with budget = total cost
 	sparse []par.Subset  // τ-sparsified subsets; nil when Tau == 0
 	opts   PrepareOptions
+
+	// removed marks husked photo IDs (see delta.go); nil until the first
+	// ApplyDelta. ownedSims tracks the DeltaSim overlays this Prepared
+	// created, so consecutive deltas extend one overlay per subset instead of
+	// nesting wrappers (and caller-owned similarities are never mutated).
+	removed   []bool
+	ownedSims map[*par.DeltaSim]bool
 
 	// kernBase is the compiled gain kernel over the base (true-objective)
 	// subsets: it accelerates Run's rescore and online-bound passes. kernSolve
@@ -195,20 +210,38 @@ func Prepare(ctx context.Context, ds *dataset.Dataset, opts PrepareOptions) (*Pr
 	return p, nil
 }
 
-// NumPhotos returns the instance size.
-func (p *Prepared) NumPhotos() int { return p.base.NumPhotos() }
+// NumPhotos returns the instance size (husked photos included).
+func (p *Prepared) NumPhotos() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.base.NumPhotos()
+}
 
 // TotalCost returns Σ C(p), the byte size of the whole archive.
-func (p *Prepared) TotalCost() float64 { return p.base.TotalCost() }
+func (p *Prepared) TotalCost() float64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.base.TotalCost()
+}
 
 // SizeBytes estimates the memory retained by the Prepared (cost vector,
 // subset structure and similarity pairs — sparse and dense — plus the
-// compiled gain kernels); cache byte bounds use it.
-func (p *Prepared) SizeBytes() int64 { return p.sizeBytes }
+// compiled gain kernels and their delta overlays); cache byte bounds use it.
+func (p *Prepared) SizeBytes() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.sizeBytes
+}
 
 // KernelBytes returns the memory retained by the compiled gain kernels
 // (included in SizeBytes).
 func (p *Prepared) KernelBytes() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.kernelBytesLocked()
+}
+
+func (p *Prepared) kernelBytesLocked() int64 {
 	var n int64
 	if p.kernBase != nil {
 		n += p.kernBase.SizeBytes()
@@ -225,7 +258,18 @@ func (p *Prepared) KernelBytes() int64 {
 // preparation parameters (tau, lsh, seed, retained override). Two Prepare
 // calls with equal fingerprints produce interchangeable Prepared values;
 // the run budget is deliberately excluded so budget sweeps share one entry.
+// Each ApplyDelta evolves the fingerprint (see delta.go), so a post-churn
+// Prepared never answers for its pre-churn cache key.
 func (p *Prepared) Fingerprint() (string, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.fingerprintLocked()
+}
+
+// fingerprintLocked is Fingerprint for callers already holding mu (either
+// side — fpOnce makes the lazy computation itself race-free; the lock only
+// protects the fp field against ApplyDelta's rewrite).
+func (p *Prepared) fingerprintLocked() (string, error) {
 	p.fpOnce.Do(func() {
 		digest := p.opts.InstanceDigest
 		if digest == "" {
@@ -286,15 +330,46 @@ func FingerprintFor(digest string, opts PrepareOptions) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// View returns a finalized budgeted view of the Prepared's current base
+// instance with the compiled gain kernel attached — the raw material for
+// callers that drive their own evaluators between deltas (internal/dynamic's
+// maintainer). A budget of 0 means "keep everything". The view aliases the
+// Prepared's live structures, so the next ApplyDelta or Compact invalidates
+// it; build a fresh view after every delta.
+func (p *Prepared) View(budget float64) (*par.Instance, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if budget == 0 {
+		budget = p.base.TotalCost()
+	}
+	v := &par.Instance{
+		Cost:     p.base.Cost,
+		Retained: p.base.Retained,
+		Budget:   budget,
+		Subsets:  p.base.Subsets,
+	}
+	if err := v.Finalize(); err != nil {
+		return nil, fmt.Errorf("phocus: %w", err)
+	}
+	if err := v.AttachKernel(p.kernBase); err != nil {
+		return nil, fmt.Errorf("phocus: %w", err)
+	}
+	return v, nil
+}
+
 // Run executes the Solver stage against the prepared instance: solve under
 // the requested budget (on the sparsified structure when the Prepared has
 // one), rescore under the true objective, and compute the online bound.
 // Cancellation propagates into the solver through par.ContextSolver, so a
 // canceled ctx stops the solve mid-run and Run returns the context's error.
+// Run holds the Prepared's read lock for its full duration: concurrent Runs
+// proceed freely, while an ApplyDelta waits for them to drain.
 func (p *Prepared) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	budget := opts.Budget
 	if budget == 0 {
 		budget = p.base.TotalCost()
@@ -353,6 +428,10 @@ func (p *Prepared) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 		sol, err = s.SolveContext(ctx, solveInst)
 	case AlgoExact:
 		s := &exact.Solver{MaxNodes: opts.ExactMaxNodes, OnStats: opts.OnExactStats}
+		res.Algorithm = s.Name()
+		sol, err = s.SolveContext(ctx, solveInst)
+	case AlgoStreaming:
+		s := &streaming.Solver{}
 		res.Algorithm = s.Name()
 		sol, err = s.SolveContext(ctx, solveInst)
 	default:

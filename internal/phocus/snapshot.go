@@ -85,6 +85,7 @@ const (
 	secKSNbrIdx   uint32 = 39
 	secKSOccStart uint32 = 40
 	secKSOccRow   uint32 = 41
+	secRemoved    uint32 = 42 // i32, ascending husked photo IDs (delta'd Prepared only)
 	// Variable-length, always last.
 	secMeta uint32 = 63
 )
@@ -95,7 +96,7 @@ func secAlign(id uint32) int {
 	switch {
 	case id >= secCost && id <= secKSNbrWR:
 		return 8
-	case id >= secRetained && id <= secKSOccRow:
+	case id >= secRetained && id <= secRemoved:
 		return 4
 	case id == secMeta:
 		return 1
@@ -320,6 +321,7 @@ type snapMeta struct {
 	numRetained int
 	hasSparse   bool
 	useLSH      bool
+	hasRemoved  bool
 	tau         float64
 	seed        int64
 	origPairs   int64
@@ -349,6 +351,9 @@ func encodeSnapMeta(p *Prepared) []byte {
 	}
 	if p.opts.UseLSH {
 		flags |= 2
+	}
+	if removedCount(p.removed) > 0 {
+		flags |= 4
 	}
 	u32(uint32(flags))
 	u64(math.Float64bits(p.opts.Tau))
@@ -446,11 +451,12 @@ func decodeSnapMeta(b []byte) (*snapMeta, error) {
 	if m.numRetained < 0 || m.numRetained > m.numPhotos {
 		return nil, fmt.Errorf("phocus: meta retained count %d out of range: %w", m.numRetained, ErrBadSnapshot)
 	}
-	if flags > 3 {
+	if flags > 7 {
 		return nil, fmt.Errorf("phocus: meta flags %#x unknown: %w", flags, ErrBadSnapshot)
 	}
 	m.hasSparse = flags&1 != 0
 	m.useLSH = flags&2 != 0
+	m.hasRemoved = flags&4 != 0
 	if m.hasSparse != (m.tau > 0) {
 		return nil, fmt.Errorf("phocus: meta sparse flag disagrees with tau %g: %w", m.tau, ErrBadSnapshot)
 	}
@@ -482,9 +488,15 @@ func decodeSnapMeta(b []byte) (*snapMeta, error) {
 
 // EncodeSnapshot serializes the Prepared into the snapshot wire format. The
 // Prepared must carry a compiled kernel (every engine-built Prepared does)
-// and a computable fingerprint.
+// and a computable fingerprint. It holds the Prepared's read lock for the
+// whole encode, so the bytes are a consistent cut even while ApplyDelta
+// traffic is waiting; a delta'd Prepared whose kernels carry an active
+// mutation overlay is serialized through freshly compiled canonical twins
+// (Slabs refuses overlays), leaving p itself untouched.
 func EncodeSnapshot(p *Prepared) ([]byte, error) {
-	fp, err := p.Fingerprint()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	fp, err := p.fingerprintLocked()
 	if err != nil {
 		return nil, fmt.Errorf("phocus: snapshot fingerprint: %w", err)
 	}
@@ -497,6 +509,19 @@ func EncodeSnapshot(p *Prepared) ([]byte, error) {
 	}
 	base := p.base
 
+	kernBase := p.kernBase
+	if !kernBase.Canonical() {
+		kernBase = par.CompileKernel(base)
+	}
+	kernSolve := p.kernSolve
+	if kernSolve != nil && !kernSolve.Canonical() {
+		sv := &par.Instance{Cost: base.Cost, Retained: base.Retained, Budget: base.TotalCost(), Subsets: p.sparse}
+		if err := sv.Finalize(); err != nil {
+			return nil, fmt.Errorf("phocus: snapshot sparse view: %w", err)
+		}
+		kernSolve = par.CompileKernel(sv)
+	}
+
 	var members []par.PhotoID
 	var relevance []float64
 	for qi := range base.Subsets {
@@ -504,7 +529,7 @@ func EncodeSnapshot(p *Prepared) ([]byte, error) {
 		relevance = append(relevance, base.Subsets[qi].Relevance...)
 	}
 	simRS, simNbr := simCSR(base.Subsets)
-	kb := p.kernBase.Slabs()
+	kb := kernBase.Slabs()
 
 	secs8 := []snapSection{
 		{secCost, f64Bytes(base.Cost)},
@@ -523,12 +548,21 @@ func EncodeSnapshot(p *Prepared) ([]byte, error) {
 		{secKBOccStart, i32Bytes(kb.OccStart)},
 		{secKBOccRow, i32Bytes(kb.OccRow)},
 	}
+	if removedCount(p.removed) > 0 {
+		husks := make([]par.PhotoID, 0, removedCount(p.removed))
+		for id, r := range p.removed {
+			if r {
+				husks = append(husks, par.PhotoID(id))
+			}
+		}
+		secs4 = append(secs4, snapSection{secRemoved, photoBytes(husks)})
+	}
 	if p.sparse != nil {
-		if p.kernSolve == nil {
+		if kernSolve == nil {
 			return nil, fmt.Errorf("phocus: sparsified Prepared is missing its solve kernel")
 		}
 		srs, snbr := simCSR(p.sparse)
-		ks := p.kernSolve.Slabs()
+		ks := kernSolve.Slabs()
 		secs8 = append(secs8,
 			snapSection{secSimSparseRowStart, i64Bytes(srs)},
 			snapSection{secSimSparseNbr, nbrBytes(snbr)},
@@ -694,6 +728,35 @@ func DecodeSnapshot(buf []byte) (*Prepared, error) {
 	members := photoView(memB)
 	relevance := f64View(relB)
 
+	// Husk bitmap of a delta'd Prepared; restoring it keeps the decoded value
+	// delta-capable (a husk must never be removed again or cited as a
+	// neighbour, see delta.go).
+	var removed []bool
+	if m.hasRemoved {
+		remB, err := sec(secRemoved)
+		if err != nil {
+			return nil, err
+		}
+		husks := photoView(remB)
+		if len(husks) == 0 {
+			return nil, fmt.Errorf("phocus: removed flag set but section empty: %w", ErrBadSnapshot)
+		}
+		removed = make([]bool, m.numPhotos)
+		prev := par.PhotoID(-1)
+		for _, id := range husks {
+			if id <= prev || int(id) >= m.numPhotos {
+				return nil, fmt.Errorf("phocus: removed photo %d out of order or range: %w", id, ErrBadSnapshot)
+			}
+			removed[id] = true
+			prev = id
+		}
+		for _, r := range retained {
+			if removed[r] {
+				return nil, fmt.Errorf("phocus: retained photo %d marked removed: %w", r, ErrBadSnapshot)
+			}
+		}
+	}
+
 	baseSubsets, err := decodeSimGroup(sec, secSimBaseRowStart, secSimBaseNbr, m, members, relevance)
 	if err != nil {
 		return nil, err
@@ -725,8 +788,9 @@ func DecodeSnapshot(buf []byte) (*Prepared, error) {
 	}
 
 	p := &Prepared{
-		base:   base,
-		sparse: sparseSubsets,
+		base:    base,
+		sparse:  sparseSubsets,
+		removed: removed,
 		opts: PrepareOptions{
 			Tau:            m.tau,
 			UseLSH:         m.useLSH,

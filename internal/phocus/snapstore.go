@@ -1,6 +1,7 @@
 package phocus
 
 import (
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
@@ -46,10 +47,10 @@ func (s *SnapshotStore) Save(p *Prepared) (path string, size int64, err error) {
 	if err != nil {
 		return "", 0, err
 	}
-	fp, err := p.Fingerprint()
-	if err != nil {
-		return "", 0, err
-	}
+	// The fingerprint comes out of the encoded header rather than a second
+	// p.Fingerprint() call: an ApplyDelta landing between the two would
+	// otherwise install the pre-churn bytes under the post-churn name.
+	fp := hex.EncodeToString(data[16:snapHeaderFixed])
 	path = s.Path(fp)
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
@@ -76,6 +77,17 @@ func (s *SnapshotStore) Load(fp string) (*Prepared, error) {
 		return nil, fmt.Errorf("phocus: snapshot named %.12s… embeds fingerprint %.12s…: %w", fp, got, ErrBadSnapshot)
 	}
 	return p, nil
+}
+
+// Remove deletes the fingerprint's snapshot. A missing file is not an error
+// — invalidating a snapshot that was never written (or already removed) is
+// the common case after a delta lands on a cache-only Prepared.
+func (s *SnapshotStore) Remove(fp string) error {
+	err := os.Remove(s.Path(fp))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
 }
 
 // Quarantine moves the fingerprint's snapshot aside to <name>.snap.corrupt.

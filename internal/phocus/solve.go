@@ -20,6 +20,10 @@ const (
 	AlgoSviridenko Algorithm = "sviridenko"
 	// AlgoExact is the branch-and-bound optimum; exponential worst case.
 	AlgoExact Algorithm = "exact"
+	// AlgoStreaming is the two-pass sieve-streaming solver: constant memory
+	// per OPT guess, one gain evaluation per streamed photo — the
+	// large-instance fallback when even the lazy-greedy queue is too big.
+	AlgoStreaming Algorithm = "streaming"
 )
 
 // DisplayName returns the algorithm's report name ("PHOcus", "Sviridenko",
@@ -30,6 +34,8 @@ func (a Algorithm) DisplayName() string {
 		return "Sviridenko"
 	case AlgoExact:
 		return "Brute-Force"
+	case AlgoStreaming:
+		return "Sieve-Streaming"
 	default:
 		return "PHOcus"
 	}

@@ -12,3 +12,7 @@ func TestSolverContract(t *testing.T) {
 	// threshold, so the saturation clause does not apply.
 	solvertest.Contract(t, func() par.Solver { return &Solver{} }, solvertest.Options{})
 }
+
+func TestSolverContextContract(t *testing.T) {
+	solvertest.ContextContract(t, func() par.ContextSolver { return &Solver{} })
+}

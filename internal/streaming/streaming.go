@@ -21,13 +21,16 @@
 package streaming
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"phocus/internal/par"
 )
 
-// Solver is the sieve-streaming solver. It implements par.Solver.
+// Solver is the sieve-streaming solver. It implements par.Solver and
+// par.ContextSolver, which is what lets the staged engine dispatch to it
+// (phocus.AlgoStreaming) as the large-instance fallback.
 type Solver struct {
 	// Epsilon controls the OPT-guess grid density (default 0.2). Smaller
 	// values mean more sieves: better quality, more memory and time.
@@ -47,6 +50,16 @@ func (s *Solver) Name() string { return "Sieve-Streaming" }
 
 // Solve streams the photos in ID order. The instance must be finalized.
 func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
+	return s.SolveContext(context.Background(), inst)
+}
+
+// SolveContext is Solve with cooperative cancellation: both passes poll the
+// context once per streamed photo, so a canceled context stops the sweep
+// within one photo's work. It implements par.ContextSolver.
+func (s *Solver) SolveContext(ctx context.Context, inst *par.Instance) (par.Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return par.Solution{}, err
+	}
 	start := time.Now()
 	eps := s.Epsilon
 	if eps <= 0 {
@@ -60,6 +73,9 @@ func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
 	var bestSingle par.PhotoID = -1
 	var bestSingleGain, maxDensity float64
 	for p := 0; p < inst.NumPhotos(); p++ {
+		if err := ctx.Err(); err != nil {
+			return par.Solution{}, err
+		}
 		id := par.PhotoID(p)
 		if base.Contains(id) || !base.Fits(id) {
 			continue
@@ -102,6 +118,9 @@ func (s *Solver) Solve(inst *par.Instance) (par.Solution, error) {
 
 	// Pass 2: the stream.
 	for p := 0; p < inst.NumPhotos(); p++ {
+		if err := ctx.Err(); err != nil {
+			return par.Solution{}, err
+		}
 		id := par.PhotoID(p)
 		for i := range sieves {
 			e := sieves[i].eval

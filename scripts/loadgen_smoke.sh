@@ -188,4 +188,42 @@ wait_snap || fail "cold fallback never re-persisted a snapshot"
 echo "    quarantined $(basename "$SNAP"); fallback answered $FALLBACK_SCORE"
 stop_server
 
-echo "PASS: loadgen run clean, schedule deterministic, SLO gate enforced, warm restart + quarantine verified ($REPORT)"
+echo "==> delta churn: fingerprint evolves, stale handle 404s, snapshot follows"
+start_snap_server "$WORKDIR/churn.log"
+RESP=$(curl -s -XPOST --data-binary @"$WORKDIR/inst.json" "$BASE/solve?tau=0.6") \
+  || fail "pre-churn solve failed"
+FP=$(echo "$RESP" | sed -n 's/.*"fingerprint":"\([0-9a-f]\{64\}\)".*/\1/p')
+[ -n "$FP" ] || fail "solve response carried no fingerprint: $RESP"
+
+DELTA='{"add":[{"cost":1.2,"memberships":[{"subset":0,"relevance":0.4}]}]}'
+DRESP=$(curl -s -XPOST -d "$DELTA" "$BASE/instances/$FP/delta") \
+  || fail "delta request failed"
+NEWFP=$(echo "$DRESP" | sed -n 's/.*"new_fingerprint":"\([0-9a-f]\{64\}\)".*/\1/p')
+[ -n "$NEWFP" ] || fail "delta response carried no new fingerprint: $DRESP"
+[ "$NEWFP" != "$FP" ] || fail "delta did not evolve the fingerprint"
+metric_ge phocus_delta_apply_total 1 "delta apply was not counted"
+
+# The pre-churn handle must stop resolving the moment the instance evolves.
+STALE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST -d "$DELTA" "$BASE/instances/$FP/delta")
+[ "$STALE" = 404 ] || fail "stale fingerprint answered $STALE, want 404"
+
+# Chaining a second batch onto the evolved handle keeps working, and the
+# snapshot dir converges to exactly the post-churn fingerprint: stale
+# snapshots removed, the final one persisted (async, so poll).
+CRESP=$(curl -s -XPOST -d "$DELTA" "$BASE/instances/$NEWFP/delta") \
+  || fail "chained delta request failed"
+FINALFP=$(echo "$CRESP" | sed -n 's/.*"new_fingerprint":"\([0-9a-f]\{64\}\)".*/\1/p')
+[ -n "$FINALFP" ] || fail "chained delta carried no new fingerprint: $CRESP"
+for _ in $(seq 1 100); do
+  if [ -f "$SNAPDIR/$FINALFP.snap" ] \
+    && [ ! -f "$SNAPDIR/$FP.snap" ] && [ ! -f "$SNAPDIR/$NEWFP.snap" ]; then
+    break
+  fi
+  sleep 0.1
+done
+[ -f "$SNAPDIR/$FINALFP.snap" ] || fail "post-churn snapshot never persisted"
+[ ! -f "$SNAPDIR/$FP.snap" ] || fail "pre-churn snapshot was not invalidated"
+echo "    fingerprint ${FP:0:12}… → ${NEWFP:0:12}… → ${FINALFP:0:12}…; stale handles 404, snapshot replaced"
+stop_server
+
+echo "PASS: loadgen run clean, schedule deterministic, SLO gate enforced, warm restart + quarantine + delta churn verified ($REPORT)"
