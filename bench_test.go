@@ -584,3 +584,135 @@ func BenchmarkOnlineBoundP1K(b *testing.B) {
 		celf.OnlineBound(ds.Instance, sol.Photos)
 	}
 }
+
+// BenchmarkKernelV2 is the Kernel v2 acceptance matrix: snapshot load
+// read-decode vs mmap, end-to-end CELF across quantization × row blocking,
+// and the allocation-free warm RunInto — all at the P-100K bench shape.
+// Selection identity across the matrix is asserted outside the timed
+// regions (the tuned kernels must never change which photos win), so the
+// timings compare equal work.
+func BenchmarkKernelV2(b *testing.B) {
+	spec := dataset.PublicSpecs(0.05)[4] // P-100K shape, 5000 photos
+	ds, err := dataset.GeneratePublic(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := phocus.PrepareOptions{Tau: 0.4, Workers: 1, InstanceDigest: "bench-kernelv2"}
+	p, err := phocus.Prepare(ctx, ds, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := phocus.OpenSnapshotStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	path, size, err := store.Save(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	budget := 0.3 * ds.Instance.TotalCost()
+	ropts := phocus.RunOptions{Budget: budget, Workers: 1, SkipBound: true}
+	ref, err := p.Run(ctx, ropts)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Snapshot load: the heap path re-reads, checksums and decodes into
+	// fresh slabs every iteration; the mmap path maps, checksums and builds
+	// typed views over the page cache. Each mapped iteration releases its
+	// mapping so iterations stay identical.
+	b.Run("load=read", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			if _, err := phocus.LoadSnapshot(path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load=mmap", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			q, err := phocus.LoadSnapshotMapped(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q.ReleaseMapping()
+		}
+	})
+
+	// End-to-end CELF across the tuning matrix. Tune mutates only the
+	// derived kernel, so one Prepared serves every cell; the selection
+	// assert runs before the timer starts.
+	for _, tn := range []struct {
+		quantize string
+		block    bool
+	}{
+		{"f64", false},
+		{"f64", true},
+		{"f32", false},
+		{"f32", true},
+	} {
+		name := fmt.Sprintf("celf/quant=%s/block=%v", tn.quantize, tn.block)
+		b.Run(name, func(b *testing.B) {
+			if err := p.Tune(tn.quantize, tn.block); err != nil {
+				b.Fatal(err)
+			}
+			// A silent audit fallback would make this cell re-measure f64;
+			// fail instead so the matrix never reports stale labels.
+			want, err := par.ParseQuantMode(tn.quantize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := p.TunedQuantization(); got != want {
+				b.Fatalf("tune fell back: engaged %v, want %v", got, want)
+			}
+			if got := p.TunedBlocked(); got != tn.block {
+				b.Fatalf("tune fell back: blocked=%v, want %v", got, tn.block)
+			}
+			var res phocus.Result
+			if err := p.RunInto(ctx, ropts, &res); err != nil {
+				b.Fatal(err)
+			}
+			if res.Solution.Score != ref.Solution.Score ||
+				len(res.Solution.Photos) != len(ref.Solution.Photos) {
+				b.Fatalf("tuned selection diverged: %v/%d vs %v/%d",
+					res.Solution.Score, len(res.Solution.Photos),
+					ref.Solution.Score, len(ref.Solution.Photos))
+			}
+			for i := range res.Solution.Photos {
+				if res.Solution.Photos[i] != ref.Solution.Photos[i] {
+					b.Fatalf("tuned selection diverged at %d", i)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.RunInto(ctx, ropts, &res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	if err := p.Tune("", false); err != nil {
+		b.Fatal(err)
+	}
+
+	// The allocation-free gate: a warm RunInto must report 0 allocs/op.
+	b.Run("allocs", func(b *testing.B) {
+		var res phocus.Result
+		if err := p.RunInto(ctx, ropts, &res); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.RunInto(ctx, ropts, &res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

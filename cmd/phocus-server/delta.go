@@ -108,7 +108,8 @@ func (s *server) applyDeltaCore(ctx context.Context, fp string, d *phocus.Delta)
 		p, err := s.snaps.Load(fp)
 		switch {
 		case err == nil:
-			obs.RecordSnapshotLoad(s.reg, p.PrepTime)
+			s.recordSnapshotLoad(p, p.PrepTime)
+			s.tuneLoaded(fp, p)
 			prep = p
 		case errors.Is(err, phocus.ErrBadSnapshot):
 			obs.RecordSnapshotCorrupt(s.reg)
@@ -153,10 +154,14 @@ func (s *server) applyDeltaCore(ctx context.Context, fp string, d *phocus.Delta)
 	obs.SetDeltaLiveFraction(s.reg, stats.LiveFraction)
 
 	// Rekey: the pre-churn fingerprint must stop resolving the moment the
-	// instance stops matching it.
+	// instance stops matching it. Put-before-Remove order matters for
+	// mmap-backed values: removing the old key first could drop the cache's
+	// last reference and release the snapshot mapping while the value is
+	// about to be re-inserted; overlapping the keys keeps the refcount > 0
+	// throughout.
 	if s.cache != nil {
-		s.cache.Remove(stats.OldFingerprint)
 		s.cache.Put(stats.NewFingerprint, prep)
+		s.cache.Remove(stats.OldFingerprint)
 	}
 	if s.snaps != nil {
 		go s.replaceSnapshot(stats.OldFingerprint, stats.NewFingerprint, prep)

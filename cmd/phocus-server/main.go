@@ -85,6 +85,9 @@ func main() {
 	cacheBytes := flag.Int64("prepare-cache-bytes", 1<<30, "prepared-instance cache byte bound")
 	dataDir := flag.String("data-dir", "", "durable job-store directory for the async /jobs API (empty = in-memory jobs, no crash recovery)")
 	snapshotDir := flag.String("snapshot-dir", "", "prepared-instance snapshot directory for warm restarts (empty = snapshots off)")
+	mmapSnaps := flag.Bool("mmap-snapshots", false, "mmap snapshot files instead of reading them into the heap (linux/darwin; other platforms fall back to heap reads)")
+	quantize := flag.String("quantize", "", "solve-kernel similarity quantization: f32 or fixed16 (empty/off = f64); instances failing the quantization tie audit silently keep f64")
+	blockRows := flag.Bool("block-rows", false, "reorder kernel rows into degree buckets for cache locality (bit-identical scores)")
 	jobWorkers := flag.Int("job-workers", 0, "async job scheduler worker count (0 = the -workers value)")
 	queueDepth := flag.Int("queue-depth", 32, "job queue depth cap; over it submissions get 429 (0 = unbounded)")
 	queueBytes := flag.Int64("queue-bytes", 1<<30, "job queue total payload byte cap (0 = unbounded)")
@@ -112,6 +115,9 @@ func main() {
 		CacheBytes:    *cacheBytes,
 		DataDir:       *dataDir,
 		SnapshotDir:   *snapshotDir,
+		MmapSnapshots: *mmapSnaps,
+		Quantize:      *quantize,
+		BlockRows:     *blockRows,
 		JobWorkers:    *jobWorkers,
 		QueueDepth:    *queueDepth,
 		QueueBytes:    *queueBytes,
@@ -191,6 +197,15 @@ type serverConfig struct {
 	// enables write-back of cold Prepares and warm-fill of the prepare
 	// cache at startup ("" = snapshots off).
 	SnapshotDir string
+	// MmapSnapshots routes snapshot loads through mmap instead of heap
+	// reads (no effect without SnapshotDir).
+	MmapSnapshots bool
+	// Quantize picks the solve-kernel similarity quantization ("f32",
+	// "fixed16", or ""/"f64"/"off"); BlockRows turns on degree-bucketed row
+	// reordering. Both tune cold Prepares and loaded snapshots alike and
+	// never change which photos a solve selects.
+	Quantize  string
+	BlockRows bool
 	// JobWorkers sizes the async scheduler's worker pool (0 = Workers).
 	JobWorkers int
 	// QueueDepth / QueueBytes bound job admission (≤ 0 = unbounded).
@@ -227,6 +242,11 @@ type server struct {
 	jobs          *jobs.Service
 	queueDepth    int
 	snaps         *phocus.SnapshotStore
+	// quantize / blockRows are the validated kernel-tuning knobs applied to
+	// every Prepared the server makes resident (cold prepare, snapshot load,
+	// post-delta compaction all re-derive the tuned kernel from them).
+	quantize  string
+	blockRows bool
 	// deltaMu serializes delta application: ApplyDelta holds the Prepared's
 	// write lock anyway, and serializing here keeps the cache-rekey +
 	// snapshot-replace sequence atomic with respect to other deltas (two
@@ -259,9 +279,16 @@ func newServer(logger *slog.Logger, cfg serverConfig) (*server, error) {
 		exactMaxNodes: cfg.ExactMaxNodes,
 		solveTimeout:  cfg.SolveTimeout,
 		queueDepth:    cfg.QueueDepth,
+		quantize:      cfg.Quantize,
+		blockRows:     cfg.BlockRows,
 	}
 	if cfg.ExactMaxNodes < 0 {
 		s.exactMaxNodes = 0
+	}
+	// Fail fast on a bad -quantize value instead of letting every Prepare
+	// reject it at request time.
+	if _, err := par.ParseQuantMode(cfg.Quantize); err != nil {
+		return nil, err
 	}
 	if cfg.CacheEntries > 0 || cfg.CacheBytes > 0 {
 		s.cache = phocus.NewPreparedCache(cfg.CacheEntries, cfg.CacheBytes)
@@ -296,6 +323,7 @@ func newServer(logger *slog.Logger, cfg serverConfig) (*server, error) {
 		if err != nil {
 			return nil, err
 		}
+		store.Mapped = cfg.MmapSnapshots
 		s.snaps = store
 	}
 
@@ -352,8 +380,12 @@ func (s *server) mux(pprofOn bool) *http.ServeMux {
 	mux.HandleFunc("GET /slo", s.handleSLO)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		// Refresh the phocus_slo_* gauges on every scrape so /metrics and
-		// /slo always tell the same story.
+		// /slo always tell the same story; same for the cache's mmap
+		// residency, which moves on every insert/evict.
 		s.slo.Export(s.reg)
+		if s.cache != nil {
+			obs.SetPreparedMmapBytes(s.reg, s.cache.MappedBytes())
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		if err := s.reg.WritePrometheus(w); err != nil {
 			s.logger.Error("write metrics", "err", err)
@@ -666,6 +698,8 @@ func (s *server) solveCore(ctx context.Context, body io.Reader, params solvePara
 		Workers:        s.workers,
 		InstanceDigest: hex.EncodeToString(hasher.Sum(nil)),
 		Metrics:        s.reg,
+		Quantize:       s.quantize,
+		BlockRows:      s.blockRows,
 	}
 	prepare := func() (*phocus.Prepared, error) {
 		var span *obs.Span
@@ -687,6 +721,9 @@ func (s *server) solveCore(ctx context.Context, body io.Reader, params solvePara
 			s.reg.Gauge("phocus_sparsify_keep_ratio").
 				Set(float64(prep.SparsifiedPairs) / float64(prep.OriginalPairs))
 		}
+		if prep.TunedQuantization() != par.QuantNone {
+			obs.RecordKernelQuantized(s.reg)
+		}
 		return prep, nil
 	}
 	// With a snapshot store attached, a cache miss tries the persisted
@@ -702,18 +739,18 @@ func (s *server) solveCore(ctx context.Context, body io.Reader, params solvePara
 	// The cache key excludes the budget (a Run parameter), so a budget
 	// sweep over one archive prepares exactly once; the singleflight means
 	// a burst of jobs over one archive does too.
-	var prep *phocus.Prepared
-	if s.cache != nil {
-		var hit bool
-		var evicted int
-		prep, hit, evicted, err = s.cache.GetOrPrepare(key, build)
+	acquire := func() (*phocus.Prepared, error) {
+		if s.cache == nil {
+			return build()
+		}
+		prep, hit, evicted, err := s.cache.GetOrPrepare(key, build)
 		if err == nil {
 			obs.RecordPrepareCache(s.reg, hit)
 			obs.RecordPrepareCacheEvictions(s.reg, int64(evicted))
 		}
-	} else {
-		prep, err = build()
+		return prep, err
 	}
+	prep, err := acquire()
 	if err != nil {
 		if errors.Is(err, phocus.ErrNoCtxVectors) {
 			return nil, &httpError{http.StatusBadRequest, err}
@@ -755,6 +792,18 @@ func (s *server) solveCore(ctx context.Context, body io.Reader, params solvePara
 	}
 	solveCtx, solveSpan := obs.StartSpan(solveCtx, "solve")
 	res, err := prep.Run(solveCtx, ropts)
+	if errors.Is(err, phocus.ErrSnapshotUnmapped) {
+		// The mmap-backed entry was evicted and its mapping released between
+		// the cache fetch and the solve. The snapshot file itself is intact —
+		// only the mapping died — so drop the stale cache entry and retry
+		// once against a freshly acquired Prepared.
+		if s.cache != nil {
+			s.cache.Remove(key)
+		}
+		if prep, err = acquire(); err == nil {
+			res, err = prep.Run(solveCtx, ropts)
+		}
+	}
 	if err != nil {
 		solveSpan.End("algo", params.algo.DisplayName(), "err", err.Error())
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

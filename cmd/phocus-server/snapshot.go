@@ -16,8 +16,40 @@ import (
 	"time"
 
 	"phocus/internal/obs"
+	"phocus/internal/par"
 	"phocus/internal/phocus"
 )
+
+// recordSnapshotLoad counts one successful snapshot load, plus the mmap
+// variant when the Prepared came back mapped.
+func (s *server) recordSnapshotLoad(p *phocus.Prepared, d time.Duration) {
+	obs.RecordSnapshotLoad(s.reg, d)
+	if p.MappedBytes() > 0 {
+		obs.RecordSnapshotMmapLoad(s.reg)
+	}
+}
+
+// tuneLoaded re-derives the tuned solve kernel on a snapshot-loaded Prepared:
+// snapshots persist only canonical slabs (tuning is a cheap local derivation,
+// not worth freezing into the wire format), so the server re-applies its
+// -quantize/-block-rows knobs after every load. ErrSnapshotUnmapped means the
+// cache already evicted the mapping out from under us — the value is on its
+// way out, so skipping the tune is correct, not an error.
+func (s *server) tuneLoaded(fp string, p *phocus.Prepared) {
+	if s.quantize == "" && !s.blockRows {
+		return
+	}
+	if err := p.Tune(s.quantize, s.blockRows); err != nil {
+		if !errors.Is(err, phocus.ErrSnapshotUnmapped) {
+			s.logger.Warn("kernel tune failed after snapshot load",
+				"fingerprint", shortFP(fp), "err", err)
+		}
+		return
+	}
+	if p.TunedQuantization() != par.QuantNone {
+		obs.RecordKernelQuantized(s.reg)
+	}
+}
 
 // shortFP abbreviates a fingerprint for log lines.
 func shortFP(fp string) string {
@@ -35,7 +67,8 @@ func (s *server) warmFill() {
 	t0 := time.Now()
 	stats, err := s.snaps.WarmFill(s.cache,
 		func(fp string, p *phocus.Prepared, d time.Duration) {
-			obs.RecordSnapshotLoad(s.reg, d)
+			s.recordSnapshotLoad(p, d)
+			s.tuneLoaded(fp, p)
 		},
 		func(fp string, err error) {
 			obs.RecordSnapshotCorrupt(s.reg)
@@ -64,10 +97,11 @@ func (s *server) prepareViaSnapshot(ctx context.Context, fp string, prepare func
 	switch {
 	case err == nil:
 		elapsed := time.Since(t0)
-		obs.RecordSnapshotLoad(s.reg, elapsed)
+		s.recordSnapshotLoad(p, elapsed)
+		s.tuneLoaded(fp, p)
 		logger.Info("prepared instance loaded from snapshot",
 			"fingerprint", shortFP(fp), "bytes", p.SizeBytes(),
-			"load", elapsed.Round(time.Millisecond))
+			"load", elapsed.Round(time.Millisecond), "mapped", p.MappedBytes() > 0)
 		return p, nil
 	case errors.Is(err, phocus.ErrBadSnapshot):
 		// A flipped byte anywhere in the file lands here: quarantine the

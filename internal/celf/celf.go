@@ -21,7 +21,6 @@
 package celf
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"sync"
@@ -87,8 +86,40 @@ type Solver struct {
 	// selected solution is identical for every worker count — only
 	// wall-clock time and the work counters (GainEvals, PQPops) vary.
 	Workers int
+	// Scratch, when non-nil, supplies reusable solve state (evaluator,
+	// priority-queue storage, batching buffers) to the sequential path
+	// (Workers forced to 1), eliminating steady-state allocations. With a
+	// Scratch attached the returned Solution.Photos alias scratch storage —
+	// valid until the next Solve with the same Scratch — and the solver must
+	// not be shared across goroutines. Ignored when Workers > 1 (the two
+	// concurrent passes each need their own evaluator).
+	Scratch *Scratch
 	// LastStats is populated by each Solve call.
 	LastStats Stats
+}
+
+// Scratch holds the reusable state of a sequential Solve. The zero value is
+// ready to use; buffers grow to the instance's size on first use and are
+// reused afterwards. A Scratch belongs to one goroutine at a time.
+type Scratch struct {
+	eval   *par.Evaluator
+	items  []candidate
+	stale  []candidate
+	photos []par.PhotoID
+	gains  []float64
+	solUC  []par.PhotoID
+	seen   []bool
+}
+
+// evaluator returns the scratch evaluator reset for inst, building it on
+// first use.
+func (sc *Scratch) evaluator(inst *par.Instance) *par.Evaluator {
+	if sc.eval == nil {
+		sc.eval = par.NewEvaluator(inst)
+		return sc.eval
+	}
+	sc.eval.ResetFor(inst)
+	return sc.eval
 }
 
 // Name implements par.Solver.
@@ -110,7 +141,22 @@ func (s *Solver) SolveContext(ctx context.Context, inst *par.Instance) (par.Solu
 		statsUC, statsCB Stats
 		err              error
 	)
-	if workers <= 1 {
+	if workers <= 1 && s.Scratch != nil {
+		// Allocation-free sequential path: both passes reuse the scratch
+		// evaluator and queue storage. UC's solution aliases the evaluator,
+		// so it is copied into scratch-owned storage before CB resets it.
+		sc := s.Scratch
+		solUC, statsUC, err = lazyGreedy(ctx, inst, UC, 1, s.Observer, sc)
+		if err != nil {
+			return par.Solution{}, err
+		}
+		sc.solUC = append(sc.solUC[:0], solUC.Photos...)
+		solUC.Photos = sc.solUC
+		solCB, statsCB, err = lazyGreedy(ctx, inst, CB, 1, s.Observer, sc)
+		if err != nil {
+			return par.Solution{}, err
+		}
+	} else if workers <= 1 {
 		solUC, statsUC, err = LazyGreedyContext(ctx, inst, UC, 1, s.Observer)
 		if err != nil {
 			return par.Solution{}, err
@@ -120,37 +166,13 @@ func (s *Solver) SolveContext(ctx context.Context, inst *par.Instance) (par.Solu
 			return par.Solution{}, err
 		}
 	} else {
-		// The two sub-procedures of Algorithm 1 are independent — each owns
-		// its own Evaluator over the shared read-only instance — so they run
-		// concurrently. Observer events are buffered per pass and replayed
-		// in UC-then-CB order to preserve the documented event stream.
-		var obsUC, obsCB Observer
-		var recUC, recCB *eventRecorder
-		if s.Observer != nil {
-			recUC, recCB = &eventRecorder{}, &eventRecorder{}
-			obsUC, obsCB = recUC, recCB
-		}
-		var errUC, errCB error
-		var wg sync.WaitGroup
-		wg.Add(2)
-		go func() {
-			defer wg.Done()
-			solUC, statsUC, errUC = LazyGreedyContext(ctx, inst, UC, workers, obsUC)
-		}()
-		go func() {
-			defer wg.Done()
-			solCB, statsCB, errCB = LazyGreedyContext(ctx, inst, CB, workers, obsCB)
-		}()
-		wg.Wait()
-		if errUC != nil {
-			return par.Solution{}, errUC
-		}
-		if errCB != nil {
-			return par.Solution{}, errCB
-		}
-		if s.Observer != nil {
-			recUC.replay(s.Observer)
-			recCB.replay(s.Observer)
+		// The parallel branch lives in its own method: its goroutine
+		// closures must not capture these locals, or escape analysis would
+		// heap-allocate them on the sequential scratch path too and break
+		// its zero-allocation guarantee.
+		solUC, solCB, statsUC, statsCB, err = s.solveParallel(ctx, inst, workers)
+		if err != nil {
+			return par.Solution{}, err
 		}
 	}
 	s.LastStats = Stats{
@@ -171,6 +193,42 @@ func (s *Solver) SolveContext(ctx context.Context, inst *par.Instance) (par.Solu
 		s.OnStats(s.LastStats)
 	}
 	return best, nil
+}
+
+// solveParallel runs the two sub-procedures of Algorithm 1 concurrently —
+// each owns its own Evaluator over the shared read-only instance, so they
+// are independent. Observer events are buffered per pass and replayed in
+// UC-then-CB order to preserve the documented event stream.
+func (s *Solver) solveParallel(ctx context.Context, inst *par.Instance, workers int) (solUC, solCB par.Solution, statsUC, statsCB Stats, err error) {
+	var obsUC, obsCB Observer
+	var recUC, recCB *eventRecorder
+	if s.Observer != nil {
+		recUC, recCB = &eventRecorder{}, &eventRecorder{}
+		obsUC, obsCB = recUC, recCB
+	}
+	var errUC, errCB error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		solUC, statsUC, errUC = LazyGreedyContext(ctx, inst, UC, workers, obsUC)
+	}()
+	go func() {
+		defer wg.Done()
+		solCB, statsCB, errCB = LazyGreedyContext(ctx, inst, CB, workers, obsCB)
+	}()
+	wg.Wait()
+	if errUC != nil {
+		return par.Solution{}, par.Solution{}, Stats{}, Stats{}, errUC
+	}
+	if errCB != nil {
+		return par.Solution{}, par.Solution{}, Stats{}, Stats{}, errCB
+	}
+	if s.Observer != nil {
+		recUC.replay(s.Observer)
+		recCB.replay(s.Observer)
+	}
+	return solUC, solCB, statsUC, statsCB, nil
 }
 
 // Observer receives the lazy-greedy events of one LazyGreedyObserved run,
@@ -218,13 +276,32 @@ func LazyGreedyWorkers(inst *par.Instance, variant Variant, workers int, obs Obs
 // recompute batch — so cancellation takes effect within one batch and the
 // context's error is returned unwrapped.
 func LazyGreedyContext(ctx context.Context, inst *par.Instance, variant Variant, workers int, obs Observer) (par.Solution, Stats, error) {
+	var sc Scratch
+	sol, stats, err := lazyGreedy(ctx, inst, variant, workers, obs, &sc)
+	if err != nil {
+		return sol, stats, err
+	}
+	// The scratch solution aliases the throwaway evaluator; detach it.
+	photos := make([]par.PhotoID, len(sol.Photos))
+	copy(photos, sol.Photos)
+	sol.Photos = photos
+	return sol, stats, nil
+}
+
+// lazyGreedy is the Algorithm 2 engine behind every public entry point. All
+// mutable state lives in sc, so a caller that keeps the Scratch across runs
+// (Solver.Scratch, the engine's per-solve pools) allocates nothing at steady
+// state; the returned Solution.Photos alias sc's evaluator.
+func lazyGreedy(ctx context.Context, inst *par.Instance, variant Variant, workers int, obs Observer, sc *Scratch) (par.Solution, Stats, error) {
 	start := time.Now()
 	workers = pool.Resolve(workers)
-	e := par.NewEvaluator(inst)
+	e := sc.evaluator(inst)
 	e.Seed() // S ← S0
 
 	// Priority queue of candidate photos keyed by (possibly stale) gain.
-	pq := newGainQueue(variant, inst)
+	// The queue value lives on the stack; its item storage round-trips
+	// through the scratch so the backing array is reused across runs.
+	pq := gainQueue{variant: variant, inst: inst, items: sc.items[:0]}
 	for p := 0; p < inst.NumPhotos(); p++ {
 		id := par.PhotoID(p)
 		if e.Contains(id) {
@@ -237,11 +314,15 @@ func LazyGreedyContext(ctx context.Context, inst *par.Instance, variant Variant,
 
 	var stats Stats
 	// Scratch buffers for the batched recompute, reused across rounds.
-	var stale []candidate
-	var photos []par.PhotoID
-	var gains []float64
+	// (Saved back into sc at every return — a deferred closure would force
+	// these locals, and the queue, onto the heap and defeat the
+	// allocation-free path.)
+	stale := sc.stale[:0]
+	photos := sc.photos[:0]
+	gains := sc.gains
 	for pq.Len() > 0 {
 		if err := ctx.Err(); err != nil {
+			sc.items, sc.stale, sc.photos, sc.gains = pq.items[:0], stale[:0], photos[:0], gains
 			return par.Solution{}, stats, err
 		}
 		top := pq.pop()
@@ -313,10 +394,14 @@ func LazyGreedyContext(ctx context.Context, inst *par.Instance, variant Variant,
 		}
 	}
 
+	sc.items, sc.stale, sc.photos, sc.gains = pq.items[:0], stale[:0], photos[:0], gains
 	stats.GainEvals = e.GainEvals()
 	stats.Elapsed = time.Since(start)
-	sol := e.Solution()
-	if !inst.Feasible(sol.Photos) {
+	sol := e.SolutionView()
+	if len(sc.seen) < inst.NumPhotos() {
+		sc.seen = make([]bool, inst.NumPhotos())
+	}
+	if !inst.FeasibleBuf(sol.Photos, sc.seen) {
 		return par.Solution{}, stats, fmt.Errorf("celf: produced infeasible solution (cost %.3f, budget %.3f)", sol.Cost, inst.Budget)
 	}
 	return sol, stats, nil
@@ -371,16 +456,18 @@ type candidate struct {
 // gainQueue is a max-heap over candidates, ranking by gain (UC) or gain per
 // cost (CB). Instead of walking the heap to reset curr_p after every
 // selection, it stamps entries with an epoch and treats entries from older
-// epochs as stale.
+// epochs as stale. The sift operations are hand-rolled rather than going
+// through container/heap: heap.Push boxes every 24-byte candidate into an
+// interface value, one heap allocation per push, which is the difference
+// between an allocation-free solve and thousands of allocations per pass.
+// The algorithm is identical sift-up/sift-down, and less is a strict total
+// order (key descending, photo ID ascending), so the pop sequence — and
+// therefore every selection — is unchanged.
 type gainQueue struct {
 	variant Variant
 	inst    *par.Instance
 	epoch   int64
 	items   []candidate
-}
-
-func newGainQueue(variant Variant, inst *par.Instance) *gainQueue {
-	return &gainQueue{variant: variant, inst: inst}
 }
 
 // key returns the ranking value of a candidate under the queue's variant.
@@ -393,11 +480,11 @@ func (g *gainQueue) key(c candidate) float64 {
 
 func (g *gainQueue) Len() int { return len(g.items) }
 
-// Less orders by key descending, breaking exact ties by photo ID so the heap
+// less orders by key descending, breaking exact ties by photo ID so the heap
 // maximum is a deterministic function of the queued entries. The tie-break
 // is what keeps batched and sequential recomputation schedules selecting the
 // same photo when two candidates have identical keys.
-func (g *gainQueue) Less(i, j int) bool {
+func (g *gainQueue) less(i, j int) bool {
 	ki, kj := g.key(g.items[i]), g.key(g.items[j])
 	if ki != kj {
 		return ki > kj
@@ -405,29 +492,54 @@ func (g *gainQueue) Less(i, j int) bool {
 	return g.items[i].photo < g.items[j].photo
 }
 
-func (g *gainQueue) Swap(i, j int) { g.items[i], g.items[j] = g.items[j], g.items[i] }
-
-func (g *gainQueue) Push(x any) { g.items = append(g.items, x.(candidate)) }
-
-func (g *gainQueue) Pop() any {
-	old := g.items
-	n := len(old)
-	it := old[n-1]
-	g.items = old[:n-1]
-	return it
-}
-
 func (g *gainQueue) push(c candidate) {
 	c.epoch = g.epoch
-	heap.Push(g, c)
+	g.items = append(g.items, c)
+	g.up(len(g.items) - 1)
 }
 
 func (g *gainQueue) pop() candidate {
-	c := heap.Pop(g).(candidate)
+	n := len(g.items) - 1
+	g.items[0], g.items[n] = g.items[n], g.items[0]
+	c := g.items[n]
+	g.items = g.items[:n]
+	if n > 0 {
+		g.down(0)
+	}
 	if c.epoch != g.epoch {
 		c.current = false
 	}
 	return c
+}
+
+func (g *gainQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !g.less(i, parent) {
+			break
+		}
+		g.items[i], g.items[parent] = g.items[parent], g.items[i]
+		i = parent
+	}
+}
+
+func (g *gainQueue) down(i int) {
+	n := len(g.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && g.less(r, l) {
+			j = r
+		}
+		if !g.less(j, i) {
+			break
+		}
+		g.items[i], g.items[j] = g.items[j], g.items[i]
+		i = j
+	}
 }
 
 // invalidate marks all queued gains stale; called after each selection.

@@ -67,6 +67,40 @@ func NewEvaluator(inst *Instance) *Evaluator {
 	return e
 }
 
+// ResetFor rebinds the evaluator to inst and clears it back to the empty
+// solution, reusing every buffer when shapes match — the allocation-free
+// solve path resets one pooled evaluator per run instead of constructing a
+// fresh one. inst must be finalized; when its shape differs from the
+// evaluator's (row count, photo count, per-subset member counts, or kernel
+// canonicality) the evaluator is rebuilt from scratch instead.
+func (e *Evaluator) ResetFor(inst *Instance) {
+	rows := 0
+	for qi := range inst.Subsets {
+		rows += len(inst.Subsets[qi].Members)
+	}
+	kern := inst.kern
+	wantViews := kern == nil || kern.Canonical()
+	if rows != len(e.flat) || inst.NumPhotos() != len(e.inSol) ||
+		wantViews != (e.best != nil) ||
+		(e.best != nil && len(e.best) != len(inst.Subsets)) {
+		*e = *NewEvaluator(inst)
+		return
+	}
+	if e.best != nil {
+		for qi := range e.best {
+			if len(e.best[qi]) != len(inst.Subsets[qi].Members) {
+				*e = *NewEvaluator(inst)
+				return
+			}
+		}
+	}
+	e.inst, e.kern = inst, kern
+	clear(e.flat)
+	clear(e.inSol)
+	e.sol = e.sol[:0]
+	e.cost, e.score, e.gainEvals = 0, 0, 0
+}
+
 // Seed adds all retained photos S0 to the solution and returns the score
 // they contribute. Budget is not checked here: Instance.Finalize already
 // guarantees C(S0) ≤ B.
@@ -216,6 +250,15 @@ func (e *Evaluator) Solution() Solution {
 	photos := make([]PhotoID, len(e.sol))
 	copy(photos, e.sol)
 	return Solution{Photos: photos, Score: e.score, Cost: e.cost}
+}
+
+// SolutionView returns the current solution without copying the photo list.
+// The returned Photos alias the evaluator's internal buffer: they are valid
+// only until the next Add, Seed or ResetFor, and must not be modified. The
+// allocation-free solve path reads through it and copies into caller-owned
+// storage itself; everyone else wants Solution.
+func (e *Evaluator) SolutionView() Solution {
+	return Solution{Photos: e.sol, Score: e.score, Cost: e.cost}
 }
 
 // Clone returns an independent copy of the evaluator sharing the instance.

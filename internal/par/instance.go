@@ -121,6 +121,27 @@ func (in *Instance) Finalize() error {
 	return nil
 }
 
+// ViewInto initializes dst as a budget view over in's finalized state: the
+// same photos, subsets, retained set and occurrence index, with Budget
+// replaced. Finalize's validation and occurrence rebuild are both
+// budget-independent, so a hot solve path can stamp out per-run views
+// without re-running either (or allocating). The view shares in's internal
+// index structures — it must not outlive a structural mutation of in — and
+// the kernel is cleared exactly as Finalize would; callers attach one
+// explicitly.
+func (in *Instance) ViewInto(dst *Instance, budget float64) error {
+	if in.occ == nil {
+		return fmt.Errorf("par: ViewInto before Finalize")
+	}
+	if in.retainedCost > budget {
+		return fmt.Errorf("par: retained set S0 costs %.0f bytes, exceeding budget %.0f", in.retainedCost, budget)
+	}
+	*dst = *in
+	dst.Budget = budget
+	dst.kern = nil
+	return nil
+}
+
 // relevanceTolerance is the permitted deviation of a subset's relevance sum
 // from 1, absorbing accumulated floating-point error from normalization.
 const relevanceTolerance = 1e-6
@@ -220,8 +241,19 @@ type Solution struct {
 // Feasible reports whether s satisfies the instance's constraints:
 // C(s) ≤ B, S0 ⊆ s, and no duplicate or out-of-range photos.
 func (in *Instance) Feasible(s []PhotoID) bool {
+	return in.FeasibleBuf(s, make([]bool, in.NumPhotos()))
+}
+
+// FeasibleBuf is Feasible with a caller-owned duplicate-marker buffer
+// (cleared on entry) so hot paths can check feasibility without allocating;
+// a buffer shorter than NumPhotos is replaced by a fresh one.
+func (in *Instance) FeasibleBuf(s []PhotoID, seen []bool) bool {
 	n := in.NumPhotos()
-	seen := make([]bool, n)
+	if len(seen) < n {
+		seen = make([]bool, n)
+	}
+	seen = seen[:n]
+	clear(seen)
 	var cost float64
 	for _, p := range s {
 		if p < 0 || int(p) >= n || seen[p] {

@@ -1,0 +1,91 @@
+package par
+
+import "math/bits"
+
+// BlockRows derives a row-permuted twin of a canonical kernel: rows are
+// regrouped into degree buckets (bucket = ⌈log₂(entries+1)⌉, heaviest bucket
+// first, original row order within a bucket) and the CSR slabs are rebuilt
+// in that physical order. The hot gain scan touches a photo's occurrence
+// rows plus every row its entries target; after blocking, the heavy rows —
+// the ones nearly every candidate's scan lands in — sit in one dense prefix
+// of the best array instead of being strided across subsets, so the
+// PQ-recompute sweep's working set collapses onto a few hot pages.
+//
+// The permutation is a pure relabeling of row storage: neighbour indices and
+// occurrence rows are remapped through it, per-row entry order and the
+// occurrence LIST order are preserved, so every gain is the same float
+// summation in the same order — bit-identical to the unblocked kernel.
+// Selections need no inverse mapping on output (solutions are photo IDs;
+// rows are internal), but RowOf maps through the permutation so diagnostic
+// paths like CoverageVector stay correct.
+//
+// Blocking composes with quantization as block-then-quantize: BlockRows
+// rejects an already-quantized kernel (its f64 slabs are gone), while
+// KernelQ carries a blocked kernel's permutation through.
+func (k *Kernel) BlockRows() *Kernel {
+	if k.ov != nil {
+		panic("par: BlockRows on a kernel with a mutation overlay")
+	}
+	if k.qmode != QuantNone {
+		panic("par: BlockRows after quantization; block first, then quantize")
+	}
+	if k.perm != nil {
+		panic("par: BlockRows on an already-blocked kernel")
+	}
+	rows := k.Rows()
+
+	// Bucket rows by log2 of their entry count and lay buckets out heaviest
+	// first; within a bucket, rows keep their canonical order (stable), so
+	// the permutation is deterministic.
+	const buckets = 33 // bits.Len32 of any int32 count
+	var bucketOff [buckets + 1]int32
+	deg := make([]int32, rows)
+	for r := 0; r < rows; r++ {
+		deg[r] = int32(k.rowStart[r+1] - k.rowStart[r])
+		bucketOff[bits.Len32(uint32(deg[r]))]++
+	}
+	var off int32
+	for b := buckets - 1; b >= 0; b-- {
+		n := bucketOff[b]
+		bucketOff[b] = off
+		off += n
+	}
+	perm := make([]int32, rows)
+	iperm := make([]int32, rows)
+	for r := 0; r < rows; r++ {
+		b := bits.Len32(uint32(deg[r]))
+		phys := bucketOff[b]
+		bucketOff[b]++
+		perm[r] = phys
+		iperm[phys] = int32(r)
+	}
+
+	nb := &Kernel{
+		photos:   k.photos,
+		rowLen:   k.rowLen,
+		occStart: k.occStart,
+		perm:     perm,
+		iperm:    iperm,
+	}
+	nb.rowStart = make([]int64, rows+1)
+	nb.nbrIdx = make([]int32, len(k.nbrIdx))
+	nb.nbrSim = make([]float64, len(k.nbrSim))
+	nb.nbrWR = make([]float64, len(k.nbrWR))
+	var pos int64
+	for phys := 0; phys < rows; phys++ {
+		r := iperm[phys]
+		nb.rowStart[phys] = pos
+		for t := k.rowStart[r]; t < k.rowStart[r+1]; t++ {
+			nb.nbrIdx[pos] = perm[k.nbrIdx[t]]
+			nb.nbrSim[pos] = k.nbrSim[t]
+			nb.nbrWR[pos] = k.nbrWR[t]
+			pos++
+		}
+	}
+	nb.rowStart[rows] = pos
+	nb.occRow = make([]int32, len(k.occRow))
+	for i, r := range k.occRow {
+		nb.occRow[i] = perm[r]
+	}
+	return nb
+}

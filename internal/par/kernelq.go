@@ -1,0 +1,234 @@
+package par
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantMode selects the storage precision of a derived solver kernel's
+// similarity slabs (see KernelQ).
+type QuantMode uint8
+
+const (
+	// QuantNone is the canonical layout: nbrSim/nbrWR as float64.
+	QuantNone QuantMode = iota
+	// QuantF32 stores nbrSim as float32 (nbrWR stays shared with the source
+	// kernel at f64), halving the similarity stream without paying a
+	// per-entry weight conversion in the gain scan.
+	QuantF32
+	// QuantFixed16 stores nbrSim as 16-bit fixed point over (0, 1] (scale
+	// 1/65535) and nbrWR as float32. Experimental: a further 2× on the
+	// similarity stream, with a coarser value grid and therefore a higher
+	// chance of the tie audit rejecting the instance.
+	QuantFixed16
+)
+
+// String returns the flag spelling of the mode.
+func (m QuantMode) String() string {
+	switch m {
+	case QuantNone:
+		return "f64"
+	case QuantF32:
+		return "f32"
+	case QuantFixed16:
+		return "fixed16"
+	default:
+		return fmt.Sprintf("QuantMode(%d)", int(m))
+	}
+}
+
+// ParseQuantMode parses the -quantize flag spellings: "" or "f64" (off),
+// "f32", and "fixed16".
+func ParseQuantMode(s string) (QuantMode, error) {
+	switch s {
+	case "", "f64", "off":
+		return QuantNone, nil
+	case "f32":
+		return QuantF32, nil
+	case "fixed16":
+		return QuantFixed16, nil
+	}
+	return QuantNone, fmt.Errorf("par: unknown quantization mode %q: want f64, f32 or fixed16", s)
+}
+
+// fix16Inv dequantizes a QuantFixed16 similarity: sim ≈ u · fix16Inv.
+const fix16Inv = 1.0 / 65535
+
+// quantFix16 quantizes a similarity in (0, 1] onto the 16-bit grid. Rounding
+// is monotone non-decreasing, which is what the tie audit relies on: two
+// distinct f64 similarities can collapse onto one grid point but can never
+// swap order.
+func quantFix16(s float64) uint16 {
+	if s >= 1 {
+		return math.MaxUint16
+	}
+	if s <= 0 {
+		return 0
+	}
+	return uint16(math.Round(s * 65535))
+}
+
+// KernelQ derives a quantized twin of a canonical (or row-blocked) kernel:
+// the integer slabs (row starts, neighbour indices, occurrence spans) are
+// shared with the source, the similarity value slabs are re-stored at the
+// mode's precision, and the f64 slabs are dropped — the point is footprint
+// and bandwidth, and the canonical kernel survives separately for exact
+// rescoring.
+//
+// The derivation is gated by an epsilon-tie audit against the one
+// qualitative failure quantization can introduce. Both quantizers are
+// monotone, so for every slot the best array holds Q(max of the f64 sims
+// written so far) no matter how the solve interleaves updates — even when
+// two distinct f64 similarities collapse onto one grid point, the second
+// write is a value-level no-op and the only effect is a skipped gain
+// contribution smaller than one grid cell, the same class as ordinary
+// rounding. Collisions between stored values therefore cannot change the
+// coverage structure, only perturb gain magnitudes within grid error. The
+// irreducible hazard is a similarity tying with the ZERO sentinel: a
+// positive value that quantizes to 0 is indistinguishable from "no edge",
+// so a photo's sole coverage of a slot silently vanishes instead of
+// rounding. When the audit finds one, KernelQ returns (nil, false) and the
+// caller stays on f64 for this instance. Because gain magnitudes feed the
+// CELF priority queue, the engine additionally pins selection identity with
+// a differential gate over the bench corpus rather than per-instance.
+func KernelQ(k *Kernel, mode QuantMode) (*Kernel, bool) {
+	if mode == QuantNone {
+		return nil, false
+	}
+	if k.ov != nil {
+		panic("par: KernelQ on a kernel with a mutation overlay")
+	}
+	if k.qmode != QuantNone {
+		panic("par: KernelQ on an already-quantized kernel")
+	}
+	if !quantTieFree(k, mode) {
+		return nil, false
+	}
+	q := &Kernel{
+		photos:   k.photos,
+		rowLen:   k.rowLen,
+		rowStart: k.rowStart,
+		nbrIdx:   k.nbrIdx,
+		occStart: k.occStart,
+		occRow:   k.occRow,
+		perm:     k.perm,
+		iperm:    k.iperm,
+		qmode:    mode,
+	}
+	switch mode {
+	case QuantF32:
+		// Keep the weight·relevance slab shared at f64: the hot loop is
+		// port-bound rather than bandwidth-bound at bench scale, so
+		// skipping the per-entry float32→float64 conversion buys more than
+		// halving the wr stream would, and sharing the slab costs nothing.
+		q.nbrWR = k.nbrWR
+		q.simF32 = make([]float32, len(k.nbrSim))
+		for i, s := range k.nbrSim {
+			q.simF32[i] = float32(s)
+		}
+	case QuantFixed16:
+		q.wrF32 = make([]float32, len(k.nbrWR))
+		for i, w := range k.nbrWR {
+			q.wrF32[i] = float32(w)
+		}
+		q.simFix = make([]uint16, len(k.nbrSim))
+		for i, s := range k.nbrSim {
+			q.simFix[i] = quantFix16(s)
+		}
+	}
+	return q, true
+}
+
+// quantTieFree runs the epsilon-tie audit: one pass over the stored
+// similarities, rejecting the mode if any positive value quantizes to zero
+// and thereby ties with the best array's initial sentinel (see KernelQ for
+// why same-slot collisions between stored values need no audit). O(E), paid
+// once per Tune/compaction.
+func quantTieFree(k *Kernel, mode QuantMode) bool {
+	for _, s := range k.nbrSim {
+		if s > 0 && quantZero(s, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func quantZero(s float64, mode QuantMode) bool {
+	switch mode {
+	case QuantF32:
+		return float32(s) == 0
+	case QuantFixed16:
+		return quantFix16(s) == 0
+	}
+	return false
+}
+
+// gainF32 / addF32 / gainFix16 / addFix16 mirror the canonical f64 loops in
+// kernel.go entry for entry; only the value loads change. Accumulation stays
+// in float64, and the best array stores dequantized values, so comparisons
+// between stored entries are exact comparisons of quantized grid points.
+
+func (k *Kernel) gainF32(best []float64, p PhotoID) float64 {
+	var gain float64
+	for _, r := range k.occRow[k.occStart[p]:k.occStart[p+1]] {
+		lo, hi := k.rowStart[r], k.rowStart[r+1]
+		idx := k.nbrIdx[lo:hi]
+		sim := k.simF32[lo:hi]
+		wr := k.nbrWR[lo:hi]
+		for t, ix := range idx {
+			// Branchless like the canonical loop in kernel.go.
+			gain += wr[t] * max(float64(sim[t])-best[ix], 0)
+		}
+	}
+	return gain
+}
+
+func (k *Kernel) addF32(best []float64, p PhotoID) float64 {
+	var gain float64
+	for _, r := range k.occRow[k.occStart[p]:k.occStart[p+1]] {
+		lo, hi := k.rowStart[r], k.rowStart[r+1]
+		idx := k.nbrIdx[lo:hi]
+		sim := k.simF32[lo:hi]
+		wr := k.nbrWR[lo:hi]
+		for t, ix := range idx {
+			s := float64(sim[t])
+			if d := s - best[ix]; d > 0 {
+				gain += wr[t] * d
+				best[ix] = s
+			}
+		}
+	}
+	return gain
+}
+
+func (k *Kernel) gainFix16(best []float64, p PhotoID) float64 {
+	var gain float64
+	for _, r := range k.occRow[k.occStart[p]:k.occStart[p+1]] {
+		lo, hi := k.rowStart[r], k.rowStart[r+1]
+		idx := k.nbrIdx[lo:hi]
+		sim := k.simFix[lo:hi]
+		wr := k.wrF32[lo:hi]
+		for t, ix := range idx {
+			gain += float64(wr[t]) * max(float64(sim[t])*fix16Inv-best[ix], 0)
+		}
+	}
+	return gain
+}
+
+func (k *Kernel) addFix16(best []float64, p PhotoID) float64 {
+	var gain float64
+	for _, r := range k.occRow[k.occStart[p]:k.occStart[p+1]] {
+		lo, hi := k.rowStart[r], k.rowStart[r+1]
+		idx := k.nbrIdx[lo:hi]
+		sim := k.simFix[lo:hi]
+		wr := k.wrF32[lo:hi]
+		for t, ix := range idx {
+			s := float64(sim[t]) * fix16Inv
+			if d := s - best[ix]; d > 0 {
+				gain += float64(wr[t]) * d
+				best[ix] = s
+			}
+		}
+	}
+	return gain
+}

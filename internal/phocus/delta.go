@@ -595,6 +595,10 @@ func (p *Prepared) ApplyDelta(ctx context.Context, d *Delta) (*DeltaStats, error
 	if p.opts.UseLSH {
 		return nil, ErrDeltaLSH
 	}
+	if err := p.pin(); err != nil {
+		return nil, err
+	}
+	defer p.unpin()
 	start := time.Now()
 
 	// The evolved fingerprint chains from the current one, so force it to
@@ -624,6 +628,12 @@ func (p *Prepared) ApplyDelta(ctx context.Context, d *Delta) (*DeltaStats, error
 	if err := applyPlan(newBase, plan, p.ownedSims); err != nil {
 		return nil, err
 	}
+
+	// The tuned (quantized/blocked) solve kernel cannot absorb structural
+	// mutations — par.Kernel panics rather than let one through — so it is
+	// dropped for the overlay-active period and re-derived by the next
+	// compaction. Deltas always land on the canonical kernels.
+	p.kernTuned = nil
 
 	// Kernel structural updates mirror the plan entry for entry. Ordering
 	// matters twice over: per photo, rows must be appended in ascending
@@ -745,6 +755,20 @@ func (p *Prepared) ApplyDelta(ctx context.Context, d *Delta) (*DeltaStats, error
 		}
 		stats.Compacted = true
 	} else {
+		// The solve template's occurrence index went stale with the appends;
+		// re-finalize it so RunInto's ViewInto stamping stays valid.
+		if p.sparse != nil {
+			sv := &par.Instance{
+				Cost:     p.base.Cost,
+				Retained: p.base.Retained,
+				Budget:   p.base.Budget,
+				Subsets:  p.sparse,
+			}
+			if err := sv.Finalize(); err != nil {
+				return nil, fmt.Errorf("phocus: delta sparse view: %w", err)
+			}
+			p.solveTmpl = sv
+		}
 		p.sizeBytes = instanceSizeBytes(p.base.Cost, p.base.Subsets) + simSizeBytes(p.sparse) + p.kernelBytesLocked()
 	}
 	stats.LiveFraction = p.kernBase.LiveFraction()
@@ -777,6 +801,12 @@ func (p *Prepared) compactLocked() error {
 			return fmt.Errorf("phocus: compact sparse view: %w", err)
 		}
 		p.kernSolve = par.CompileKernel(sv)
+		p.solveTmpl = sv
+	}
+	// Compaction restored canonical kernels, so the tuned solve twin the
+	// delta dropped can exist again.
+	if err := p.retuneLocked(); err != nil {
+		return err
 	}
 	p.KernelBuildTime += time.Since(kt)
 	p.sizeBytes = instanceSizeBytes(p.base.Cost, p.base.Subsets) + simSizeBytes(p.sparse) + p.kernelBytesLocked()

@@ -62,6 +62,21 @@ type PrepareOptions struct {
 	// Metrics, when non-nil, receives stage telemetry
 	// (phocus_kernel_build_seconds). It does not contribute to Fingerprint.
 	Metrics *obs.Registry
+	// Quantize selects a reduced-precision similarity representation for the
+	// CELF solve path: "f32" stores neighbour similarities and fused W·R
+	// weights as float32, "fixed16" additionally packs similarities onto a
+	// 16-bit fixed-point grid; "" (or "f64"/"off") keeps full precision.
+	// Quantization is a runtime tuning knob, not prepared content: it is
+	// excluded from Fingerprint, never serialized into snapshots (call Tune
+	// after loading one), and a kernel whose similarity values collide on the
+	// reduced grid falls back to f64 automatically — selections are invariant
+	// either way. See DESIGN.md §12.
+	Quantize string
+	// BlockRows reorders the solve kernel's rows into degree buckets so the
+	// gain scan's hottest rows share a dense prefix of the best array
+	// (bit-identical gains; see par.Kernel.BlockRows). Like Quantize it is
+	// excluded from Fingerprint and from snapshots.
+	BlockRows bool
 }
 
 // RunOptions configures one Solver-stage run against a Prepared instance.
@@ -121,6 +136,30 @@ type Prepared struct {
 	// budgeted view Run builds.
 	kernBase  *par.Kernel
 	kernSolve *par.Kernel
+
+	// kernTuned is the optional quantized/row-blocked twin of the solve-path
+	// kernel (kernSolve when τ > 0, kernBase otherwise), derived from
+	// opts.Quantize / opts.BlockRows. Only the CELF solve reads it; rescore,
+	// online bound, snapshots and delta maintenance always run the canonical
+	// kernels. nil when no tuning is requested, while a mutation overlay is
+	// active (ApplyDelta drops it; compaction re-derives it), or when the
+	// quantization audit fell back to f64.
+	kernTuned *par.Kernel
+
+	// solveTmpl is the finalized budget-free instance over the sparsified
+	// subsets — the template RunInto stamps budgeted solve views from without
+	// re-finalizing; nil when Tau == 0 (the base instance is the template).
+	solveTmpl *par.Instance
+
+	// mm is the snapshot mapping backing this Prepared's slabs when it was
+	// loaded via mmap; nil for heap-backed values. See mmapsnap.go.
+	mm *snapMapping
+
+	// scratch pools per-Run working state (budgeted views, the rescore
+	// evaluator, the CELF solver's heap) for the allocation-free Run path.
+	// Entries self-heal on shape changes (Evaluator.ResetFor rebuilds on
+	// mismatch), so deltas and compactions need no invalidation.
+	scratch sync.Pool
 
 	sizeBytes int64
 
@@ -184,6 +223,7 @@ func Prepare(ctx context.Context, ds *dataset.Dataset, opts PrepareOptions) (*Pr
 			return nil, err
 		}
 		p.sparse = sres.Instance.Subsets
+		p.solveTmpl = sres.Instance
 		p.OriginalPairs = sres.PairsBefore
 		p.SparsifiedPairs = sres.PairsAfter
 		// The sparsified instance shares Cost/Retained with base and is
@@ -197,6 +237,9 @@ func Prepare(ctx context.Context, ds *dataset.Dataset, opts PrepareOptions) (*Pr
 		kt := time.Now()
 		p.kernBase = par.CompileKernel(base)
 		p.KernelBuildTime = time.Since(kt)
+	}
+	if err := p.retuneLocked(); err != nil {
+		return nil, err
 	}
 	if opts.Metrics != nil {
 		obs.RecordKernelBuild(opts.Metrics, p.KernelBuildTime)
@@ -249,7 +292,100 @@ func (p *Prepared) kernelBytesLocked() int64 {
 	if p.kernSolve != nil {
 		n += p.kernSolve.SizeBytes()
 	}
+	if p.kernTuned != nil {
+		n += p.kernTuned.SizeBytes()
+	}
 	return n
+}
+
+// retuneLocked re-derives kernTuned from the canonical solve-path kernel per
+// opts.Quantize / opts.BlockRows. It leaves kernTuned nil when no tuning is
+// requested, when the source kernel carries a mutation overlay (the post-delta
+// state; the next compaction re-derives), or when the quantization audit
+// rejects the kernel and no blocking was requested.
+func (p *Prepared) retuneLocked() error {
+	// Parse before touching kernTuned so a bad mode leaves the current
+	// tuning in place (Tune's error contract).
+	mode, err := par.ParseQuantMode(p.opts.Quantize)
+	if err != nil {
+		return err
+	}
+	p.kernTuned = nil
+	if mode == par.QuantNone && !p.opts.BlockRows {
+		return nil
+	}
+	src := p.kernSolve
+	if src == nil {
+		src = p.kernBase
+	}
+	if src == nil || !src.Canonical() {
+		return nil // overlay active: run untuned until the next compaction
+	}
+	t := src
+	if p.opts.BlockRows {
+		t = t.BlockRows()
+	}
+	if mode != par.QuantNone {
+		if q, ok := par.KernelQ(t, mode); ok {
+			t = q
+		} else if !p.opts.BlockRows {
+			// The grid audit found a tie and no blocking was requested:
+			// nothing tuned survives, the canonical kernel serves the solve.
+			return nil
+		}
+	}
+	p.kernTuned = t
+	return nil
+}
+
+// Tune sets the runtime kernel-tuning knobs (similarity quantization, row
+// blocking) and re-derives the tuned solve kernel. Tuning is excluded from
+// the fingerprint and from snapshots, so callers that load snapshots call
+// Tune afterwards to restore it. An unknown quantize mode leaves the
+// Prepared unchanged; on an mmap-backed Prepared whose mapping was already
+// released it returns ErrSnapshotUnmapped.
+func (p *Prepared) Tune(quantize string, blockRows bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.pin(); err != nil {
+		return err
+	}
+	defer p.unpin()
+	var before, after int64
+	if p.kernTuned != nil {
+		before = p.kernTuned.SizeBytes()
+	}
+	prevQ, prevB := p.opts.Quantize, p.opts.BlockRows
+	p.opts.Quantize, p.opts.BlockRows = quantize, blockRows
+	if err := p.retuneLocked(); err != nil {
+		p.opts.Quantize, p.opts.BlockRows = prevQ, prevB
+		return err
+	}
+	if p.kernTuned != nil {
+		after = p.kernTuned.SizeBytes()
+	}
+	p.sizeBytes += after - before
+	return nil
+}
+
+// TunedQuantization reports the quantization mode the tuned solve kernel
+// actually carries — QuantNone when untuned, when an overlay is active, or
+// when the grid audit fell back to f64.
+func (p *Prepared) TunedQuantization() par.QuantMode {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.kernTuned == nil {
+		return par.QuantNone
+	}
+	return p.kernTuned.Quantization()
+}
+
+// TunedBlocked reports whether the tuned solve kernel carries a row-blocking
+// permutation.
+func (p *Prepared) TunedBlocked() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.kernTuned != nil && p.kernTuned.Blocked()
 }
 
 // Fingerprint returns the content fingerprint identifying this Prepared: a
@@ -301,7 +437,10 @@ func InstanceDigest(inst *par.Instance) (string, error) {
 // FingerprintFor combines an instance content digest with the preparation
 // parameters into the cache key Prepare/Fingerprint use. Callers that
 // digest the wire bytes themselves (phocus-server) call this directly to
-// probe the cache before deciding whether to Prepare at all.
+// probe the cache before deciding whether to Prepare at all. The run budget
+// is excluded so budget sweeps share one entry, and so are the kernel-tuning
+// knobs (Quantize, BlockRows): they change how fast a solve runs, never what
+// it selects, so tuned and untuned prepares are interchangeable cache values.
 func FingerprintFor(digest string, opts PrepareOptions) string {
 	h := sha256.New()
 	io.WriteString(h, "phocus/prepared/v1\x00")
@@ -339,6 +478,10 @@ func FingerprintFor(digest string, opts PrepareOptions) string {
 func (p *Prepared) View(budget float64) (*par.Instance, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	if err := p.pin(); err != nil {
+		return nil, err
+	}
+	defer p.unpin()
 	if budget == 0 {
 		budget = p.base.TotalCost()
 	}
@@ -357,71 +500,121 @@ func (p *Prepared) View(budget float64) (*par.Instance, error) {
 	return v, nil
 }
 
+// runScratch is the pooled per-Run working state of the allocation-free
+// solve path: budgeted instance views stamped by ViewInto, the true-objective
+// rescore evaluator, the CELF solver and its scratch. Everything in it
+// self-heals on shape changes (ResetFor rebuilds evaluators on mismatch, the
+// views are restamped every run), so one pool serves a Prepared across
+// deltas and compactions without invalidation.
+type runScratch struct {
+	trueView  par.Instance
+	solveView par.Instance
+	rescore   *par.Evaluator
+	solver    celf.Solver
+	celf      celf.Scratch
+}
+
 // Run executes the Solver stage against the prepared instance: solve under
 // the requested budget (on the sparsified structure when the Prepared has
 // one), rescore under the true objective, and compute the online bound.
 // Cancellation propagates into the solver through par.ContextSolver, so a
 // canceled ctx stops the solve mid-run and Run returns the context's error.
 // Run holds the Prepared's read lock for its full duration: concurrent Runs
-// proceed freely, while an ApplyDelta waits for them to drain.
+// proceed freely, while an ApplyDelta waits for them to drain. It is a thin
+// wrapper over RunInto with a fresh Result.
 func (p *Prepared) Run(ctx context.Context, opts RunOptions) (*Result, error) {
-	if err := ctx.Err(); err != nil {
+	res := &Result{}
+	if err := p.RunInto(ctx, opts, res); err != nil {
 		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto is Run writing into a caller-owned Result: scalar fields are
+// reset, and the Solution.Photos and Archived slices are truncated and
+// refilled in place, so a warm steady state — stable shapes, AlgoCELF,
+// Workers ≤ 1, SkipBound — performs zero heap allocations per call
+// (testing.AllocsPerRun reports 0; the bench suite pins it). The previous
+// contents of res are gone after the call, error or not. On an mmap-backed
+// Prepared whose mapping was released by cache eviction it fails fast with
+// ErrSnapshotUnmapped — callers re-prepare and retry.
+func (p *Prepared) RunInto(ctx context.Context, opts RunOptions, res *Result) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	budget := opts.Budget
-	if budget == 0 {
-		budget = p.base.TotalCost()
+	if err := p.pin(); err != nil {
+		return err
 	}
-	// Budgeted views for this run only: Finalize never mutates the shared
-	// Subsets, so concurrent Runs over one Prepared stay independent.
-	trueInst := &par.Instance{
-		Cost:     p.base.Cost,
-		Retained: p.base.Retained,
-		Budget:   budget,
-		Subsets:  p.base.Subsets,
-	}
-	if err := trueInst.Finalize(); err != nil {
-		return nil, fmt.Errorf("phocus: %w", err)
-	}
-	// The kernels were compiled once at Prepare time over the same subset
-	// layouts these views share, so attaching is just a validation + pointer
-	// set; the solver, rescore and online-bound passes all run the compiled
-	// hot path.
-	if err := trueInst.AttachKernel(p.kernBase); err != nil {
-		return nil, fmt.Errorf("phocus: %w", err)
-	}
-	solveInst := trueInst
-	if p.sparse != nil {
-		solveInst = &par.Instance{
-			Cost:     p.base.Cost,
-			Retained: p.base.Retained,
-			Budget:   budget,
-			Subsets:  p.sparse,
-		}
-		if err := solveInst.Finalize(); err != nil {
-			return nil, fmt.Errorf("phocus: %w", err)
-		}
-		if err := solveInst.AttachKernel(p.kernSolve); err != nil {
-			return nil, fmt.Errorf("phocus: %w", err)
-		}
-	}
+	defer p.unpin()
 
-	res := &Result{
+	photos := res.Solution.Photos[:0]
+	archived := res.Archived[:0]
+	*res = Result{
 		OriginalPairs:   p.OriginalPairs,
 		SparsifiedPairs: p.SparsifiedPairs,
 		PrepTime:        p.PrepTime,
 	}
 
+	budget := opts.Budget
+	if budget == 0 {
+		budget = p.base.TotalCost()
+	}
+
+	sc, _ := p.scratch.Get().(*runScratch)
+	if sc == nil {
+		sc = &runScratch{}
+	}
+	// Budgeted views for this run only, stamped from the finalized templates
+	// without re-running Finalize (ViewInto): concurrent Runs hold distinct
+	// scratch, and nothing here mutates the shared Subsets.
+	//
+	// The kernels were compiled once at Prepare time over the same subset
+	// layouts these views share, so attaching is just a validation + pointer
+	// set; the solver, rescore and online-bound passes all run the compiled
+	// hot path.
+	err := p.base.ViewInto(&sc.trueView, budget)
+	if err == nil {
+		err = sc.trueView.AttachKernel(p.kernBase)
+	}
+	solveInst := &sc.trueView
+	// The tuned (quantized/row-blocked) kernel accelerates only the CELF
+	// solve; every other algorithm — and the rescore and bound below — runs
+	// the canonical kernels.
+	tuned := p.kernTuned
+	if opts.Algorithm != "" && opts.Algorithm != AlgoCELF {
+		tuned = nil
+	}
+	if err == nil && p.solveTmpl != nil {
+		k := p.kernSolve
+		if tuned != nil {
+			k = tuned
+		}
+		if err = p.solveTmpl.ViewInto(&sc.solveView, budget); err == nil {
+			err = sc.solveView.AttachKernel(k)
+		}
+		solveInst = &sc.solveView
+	} else if err == nil && tuned != nil {
+		// τ == 0: solve on a separate tuned view of the base so the true
+		// view keeps the canonical kernel for the rescore.
+		if err = p.base.ViewInto(&sc.solveView, budget); err == nil {
+			err = sc.solveView.AttachKernel(tuned)
+		}
+		solveInst = &sc.solveView
+	}
+	if err != nil {
+		p.scratch.Put(sc)
+		return fmt.Errorf("phocus: %w", err)
+	}
+
 	t0 := time.Now()
 	var sol par.Solution
-	var err error
 	switch opts.Algorithm {
 	case "", AlgoCELF:
-		s := &celf.Solver{Workers: opts.Workers, Observer: opts.Observer, OnStats: opts.OnCELFStats}
-		res.Algorithm = s.Name()
-		sol, err = s.SolveContext(ctx, solveInst)
+		sc.solver = celf.Solver{Workers: opts.Workers, Observer: opts.Observer, OnStats: opts.OnCELFStats, Scratch: &sc.celf}
+		res.Algorithm = sc.solver.Name()
+		sol, err = sc.solver.SolveContext(ctx, solveInst)
 	case AlgoSviridenko:
 		s := &sviridenko.Solver{Depth: opts.SviridenkoDepth, OnStats: opts.OnSviridenkoStats}
 		res.Algorithm = s.Name()
@@ -435,40 +628,55 @@ func (p *Prepared) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 		res.Algorithm = s.Name()
 		sol, err = s.SolveContext(ctx, solveInst)
 	default:
-		return nil, fmt.Errorf("phocus: unknown algorithm %q", opts.Algorithm)
+		p.scratch.Put(sc)
+		return fmt.Errorf("phocus: unknown algorithm %q", opts.Algorithm)
 	}
 	if err != nil {
-		return nil, err
+		p.scratch.Put(sc)
+		return err
 	}
 	res.SolveTime = time.Since(t0)
 
-	// Rescore under the true objective (the solver may have optimized the
-	// sparsified surrogate).
-	sol.Score = par.ScoreFast(trueInst, sol.Photos)
-	res.Solution = sol
-
-	retained := make([]bool, trueInst.NumPhotos())
-	for _, ph := range sol.Photos {
-		retained[ph] = true
+	// Rescore under the true objective through the pooled evaluator (the
+	// solver may have optimized the sparsified or quantized surrogate). The
+	// Add sequence is exactly par.ScoreFast's, so the score is bit-identical
+	// to the allocating path's.
+	if sc.rescore == nil {
+		sc.rescore = par.NewEvaluator(&sc.trueView)
+	} else {
+		sc.rescore.ResetFor(&sc.trueView)
 	}
-	for ph := 0; ph < trueInst.NumPhotos(); ph++ {
-		if !retained[ph] {
-			res.Archived = append(res.Archived, par.PhotoID(ph))
+	re := sc.rescore
+	for _, ph := range sol.Photos {
+		re.Add(ph)
+	}
+	photos = append(photos, sol.Photos...)
+	res.Solution = par.Solution{Photos: photos, Score: re.Score(), Cost: sol.Cost}
+
+	// The rescore evaluator's membership is exactly the solution set, so the
+	// archived complement falls out without a marker allocation.
+	n := sc.trueView.NumPhotos()
+	for ph := 0; ph < n; ph++ {
+		if !re.Contains(par.PhotoID(ph)) {
+			archived = append(archived, par.PhotoID(ph))
 		}
 	}
+	res.Archived = archived
 
 	if !opts.SkipBound {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			p.scratch.Put(sc)
+			return err
 		}
-		res.OnlineBound = celf.OnlineBound(trueInst, sol.Photos)
+		res.OnlineBound = celf.OnlineBound(&sc.trueView, res.Solution.Photos)
 		if res.OnlineBound > 0 {
-			res.CertifiedRatio = sol.Score / res.OnlineBound
+			res.CertifiedRatio = res.Solution.Score / res.OnlineBound
 		} else {
 			res.CertifiedRatio = 1
 		}
 	}
-	return res, nil
+	p.scratch.Put(sc)
+	return nil
 }
 
 // instanceSizeBytes estimates the retained bytes of an instance's cost

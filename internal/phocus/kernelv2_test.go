@@ -1,0 +1,515 @@
+package phocus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"phocus/internal/dataset"
+	"phocus/internal/par"
+)
+
+// TestQuantizedSelectionIdentityCorpus is the quantization differential gate:
+// across the public bench corpus shapes (scaled down for test time), every
+// quantization mode × blocking combination must produce Run results equal to
+// the f64 kernel's in every field. Scores are bit-exact by construction —
+// RunInto rescores the selection on the canonical base kernel — so the gate
+// reduces to selection identity, which is exactly what the ISSUE requires.
+func TestQuantizedSelectionIdentityCorpus(t *testing.T) {
+	ctx := context.Background()
+	specs := dataset.PublicSpecs(0.01)[:3]
+	tunings := []struct {
+		name     string
+		quantize string
+		block    bool
+	}{
+		{"f32", "f32", false},
+		{"fixed16", "fixed16", false},
+		{"f32-blocked", "f32", true},
+		{"blocked-only", "", true},
+	}
+	quantized := 0
+	for _, spec := range specs {
+		ds, err := dataset.GeneratePublic(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := ds.Instance.TotalCost()
+		base := PrepareOptions{Tau: 0.4, Workers: 1, InstanceDigest: "gate-" + spec.Name}
+		plain, err := Prepare(ctx, ds, base)
+		if err != nil {
+			t.Fatalf("%s: Prepare: %v", spec.Name, err)
+		}
+		for _, tn := range tunings {
+			opts := base
+			opts.Quantize, opts.BlockRows = tn.quantize, tn.block
+			tuned, err := Prepare(ctx, ds, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: Prepare: %v", spec.Name, tn.name, err)
+			}
+			if tuned.TunedQuantization() != par.QuantNone {
+				quantized++
+			}
+			if tn.block && !tuned.TunedBlocked() {
+				t.Errorf("%s/%s: TunedBlocked = false, want true", spec.Name, tn.name)
+			}
+			for _, frac := range []float64{0.25, 0.6} {
+				ropts := RunOptions{Budget: frac * total, Workers: 1}
+				want, err := plain.Run(ctx, ropts)
+				if err != nil {
+					t.Fatalf("%s/%s: f64 Run: %v", spec.Name, tn.name, err)
+				}
+				got, err := tuned.Run(ctx, ropts)
+				if err != nil {
+					t.Fatalf("%s/%s: tuned Run: %v", spec.Name, tn.name, err)
+				}
+				if keyOf(got) != keyOf(want) {
+					t.Fatalf("%s/%s budget=%.0f%%: tuned run diverged:\n  f64:   %+v\n  tuned: %+v",
+						spec.Name, tn.name, 100*frac, keyOf(want), keyOf(got))
+				}
+			}
+		}
+	}
+	if quantized == 0 {
+		t.Fatal("the tie audit rejected quantization on every corpus shape; the fast path never engages")
+	}
+}
+
+// TestTuneAfterSnapshotLoad pins the tuned kernel's derived-artifact
+// lifecycle: tuning never reaches the snapshot wire format, Tune restores it
+// on the loaded value, and results are unchanged either way.
+func TestTuneAfterSnapshotLoad(t *testing.T) {
+	ctx := context.Background()
+	ds := snapDataset(t, 77, snapSimVariants["dense"])
+	opts := PrepareOptions{Tau: 0.5, InstanceDigest: "tune-snap", Quantize: "f32", BlockRows: true}
+	p, err := Prepare(ctx, ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TunedQuantization() != par.QuantF32 || !p.TunedBlocked() {
+		t.Fatalf("prepared tuning = (%v, %v), want (f32, true)", p.TunedQuantization(), p.TunedBlocked())
+	}
+	data, err := EncodeSnapshot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TunedQuantization() != par.QuantNone || q.TunedBlocked() {
+		t.Fatalf("snapshot carried tuning: (%v, %v), want none", q.TunedQuantization(), q.TunedBlocked())
+	}
+	budget := 0.4 * ds.Instance.TotalCost()
+	requireSameRun(t, "untuned loaded", p, q, budget, AlgoCELF)
+	if err := q.Tune("f32", true); err != nil {
+		t.Fatalf("Tune: %v", err)
+	}
+	if q.TunedQuantization() != par.QuantF32 || !q.TunedBlocked() {
+		t.Fatalf("post-Tune tuning = (%v, %v), want (f32, true)", q.TunedQuantization(), q.TunedBlocked())
+	}
+	requireSameRun(t, "tuned loaded", p, q, budget, AlgoCELF)
+	if err := q.Tune("int8", false); err == nil {
+		t.Fatal("Tune with an unknown mode did not fail")
+	}
+	if q.TunedQuantization() != par.QuantF32 || !q.TunedBlocked() {
+		t.Fatal("failed Tune changed the tuned kernel")
+	}
+}
+
+// TestApplyDeltaTunedTransparent pins the delta × tuning interaction the
+// ISSUE requires: churn on a quantized/blocked Prepared is transparent —
+// the tuned kernel is dropped for the overlay period (ApplyDelta mutates
+// canonical slabs only), solves keep matching a cold Prepare throughout, and
+// compaction re-derives the tuned kernel.
+func TestApplyDeltaTunedTransparent(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(23))
+	inst := par.Random(rng, par.RandomConfig{
+		Photos: 40, Subsets: 12, BudgetFrac: 0.4, SimDensity: 0.7, MaxSubset: 12,
+	})
+	opts := PrepareOptions{Tau: 0.3, Workers: 1, InstanceDigest: "delta-tuned", Quantize: "f32", BlockRows: true}
+	live, err := Prepare(ctx, &dataset.Dataset{Instance: inst}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.TunedQuantization() != par.QuantF32 {
+		t.Fatalf("TunedQuantization = %v before churn, want f32", live.TunedQuantization())
+	}
+	merged := inst
+	var removed []bool
+	compacted := false
+	for batch := 0; batch < 12 && !compacted; batch++ {
+		d := randomChurn(rng, live.base, removed, 3, 1, batch == 0)
+		stats, err := live.ApplyDelta(ctx, d)
+		if err != nil {
+			t.Fatalf("batch %d: ApplyDelta: %v", batch, err)
+		}
+		if merged, removed, err = MergeDelta(merged, removed, d); err != nil {
+			t.Fatalf("batch %d: MergeDelta: %v", batch, err)
+		}
+		compacted = stats.Compacted
+		if !compacted && live.TunedQuantization() != par.QuantNone {
+			t.Fatalf("batch %d: tuned kernel survived into the overlay period", batch)
+		}
+		cold, err := Prepare(ctx, &dataset.Dataset{Instance: merged}, opts)
+		if err != nil {
+			t.Fatalf("batch %d: cold Prepare: %v", batch, err)
+		}
+		requireSameRun(t, fmt.Sprintf("batch %d", batch), live, cold, 0.35*merged.TotalCost(), AlgoCELF)
+	}
+	if !compacted {
+		t.Fatal("churn never triggered a compaction")
+	}
+	if live.TunedQuantization() != par.QuantF32 || !live.TunedBlocked() {
+		t.Fatalf("post-compaction tuning = (%v, %v), want (f32, true)",
+			live.TunedQuantization(), live.TunedBlocked())
+	}
+}
+
+// TestRunAllocs is the allocation-free Run gate: after one warm-up call, a
+// steady-state RunInto (CELF, sequential, bound skipped) performs zero heap
+// allocations per run.
+func TestRunAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the gate runs in the non-race CI lane")
+	}
+	ctx := context.Background()
+	for _, tau := range []float64{0, 0.4} {
+		t.Run(fmt.Sprintf("tau=%g", tau), func(t *testing.T) {
+			ds := sweepDataset(t, 29)
+			p, err := Prepare(ctx, ds, PrepareOptions{Tau: tau, Workers: 1, InstanceDigest: "allocs"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := RunOptions{Budget: 0.5 * ds.Instance.TotalCost(), Workers: 1, SkipBound: true}
+			var res Result
+			if err := p.RunInto(ctx, opts, &res); err != nil {
+				t.Fatal(err)
+			}
+			warm := res
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := p.RunInto(ctx, opts, &res); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("warm RunInto allocates %v times per run, want 0", allocs)
+			}
+			if res.Solution.Score != warm.Solution.Score || len(res.Solution.Photos) != len(warm.Solution.Photos) {
+				t.Fatalf("warm runs diverged: %v vs %v", res.Solution, warm.Solution)
+			}
+		})
+	}
+}
+
+// TestRunIntoMatchesRun pins that the scratch-reusing entry point and the
+// allocating wrapper agree field for field, including when the caller's
+// Result still holds a previous run's slices.
+func TestRunIntoMatchesRun(t *testing.T) {
+	ctx := context.Background()
+	ds := sweepDataset(t, 31)
+	p, err := Prepare(ctx, ds, PrepareOptions{Tau: 0.4, Workers: 1, InstanceDigest: "runinto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		opts := RunOptions{Budget: frac * ds.Instance.TotalCost(), Workers: 1}
+		want, err := p.Run(ctx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.RunInto(ctx, opts, &res); err != nil {
+			t.Fatal(err)
+		}
+		if keyOf(&res) != keyOf(want) {
+			t.Fatalf("budget %.0f%%: RunInto %+v != Run %+v", 100*frac, keyOf(&res), keyOf(want))
+		}
+		if fmt.Sprint(res.Archived) != fmt.Sprint(want.Archived) {
+			t.Fatalf("budget %.0f%%: Archived %v != %v", 100*frac, res.Archived, want.Archived)
+		}
+	}
+}
+
+// TestMmapSnapshotRoundTrip pins the mmap load path: a store flipped to
+// Mapped serves the same Prepared (identical runs) as the heap path, and on
+// supported platforms the value reports its mapped residency. On platforms
+// without mmap the fallback must be silent and identical.
+func TestMmapSnapshotRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	ds := snapDataset(t, 41, snapSimVariants["dense"])
+	p, err := Prepare(ctx, ds, PrepareOptions{Tau: 0.5, InstanceDigest: "mmap-rt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenSnapshotStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := p.Fingerprint()
+
+	heap, err := store.Load(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heap.MappedBytes() != 0 {
+		t.Fatalf("heap load reports %d mapped bytes", heap.MappedBytes())
+	}
+	store.Mapped = true
+	mapped, err := store.Load(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mmapSupported {
+		if mapped.MappedBytes() <= 0 {
+			t.Fatal("mapped load reports no mapped bytes")
+		}
+	} else if mapped.MappedBytes() != 0 {
+		t.Fatal("fallback load reports mapped bytes")
+	}
+	budget := 0.4 * ds.Instance.TotalCost()
+	requireSameRun(t, "mmap vs heap", mapped, heap, budget, AlgoCELF)
+	requireSameRun(t, "mmap vs compiled", mapped, p, budget, AlgoCELF)
+
+	// Deltas work against the CoW mapping and EncodeSnapshot against the
+	// mapped slabs: apply churn to the mapped value and require it to keep
+	// matching the heap twin given the same churn.
+	rng := rand.New(rand.NewSource(43))
+	d := randomChurn(rng, mapped.base, nil, 2, 2, true)
+	if _, err := mapped.ApplyDelta(ctx, d); err != nil {
+		t.Fatalf("ApplyDelta on mapped: %v", err)
+	}
+	if _, err := heap.ApplyDelta(ctx, d); err != nil {
+		t.Fatalf("ApplyDelta on heap: %v", err)
+	}
+	requireSameRun(t, "post-delta mmap vs heap", mapped, heap, budget, AlgoCELF)
+}
+
+// evictDuringSolve releases the Prepared's mapping from inside the CELF
+// event stream — the mid-solve eviction race the pin count exists for.
+type evictDuringSolve struct {
+	release func()
+	fired   bool
+}
+
+func (o *evictDuringSolve) Recomputed(par.PhotoID, float64) {}
+func (o *evictDuringSolve) Selected(par.PhotoID, float64) {
+	if !o.fired {
+		o.fired = true
+		o.release()
+	}
+}
+
+// TestMmapEvictWhileSolving pins the mapping lifetime rules: releasing the
+// mapping mid-solve (cache eviction) must not unmap under the running solve
+// — the pin holds the slabs until the run drains — and only NEW operations
+// fail, with ErrSnapshotUnmapped.
+func TestMmapEvictWhileSolving(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	ctx := context.Background()
+	ds := snapDataset(t, 47, snapSimVariants["dense"])
+	p, err := Prepare(ctx, ds, PrepareOptions{Tau: 0.5, InstanceDigest: "mmap-evict"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenSnapshotStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Mapped = true
+	if _, _, err := store.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := p.Fingerprint()
+	mapped, err := store.Load(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewPreparedCache(4, 0)
+	cache.Put(fp, mapped)
+	obs := &evictDuringSolve{release: func() { cache.Remove(fp) }}
+	budget := 0.4 * ds.Instance.TotalCost()
+	res, err := mapped.Run(ctx, RunOptions{Budget: budget, Workers: 1, Observer: obs})
+	if err != nil {
+		t.Fatalf("Run with mid-solve eviction: %v", err)
+	}
+	if !obs.fired {
+		t.Fatal("observer never fired; the eviction raced nothing")
+	}
+	want, err := p.Run(ctx, RunOptions{Budget: budget, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyOf(res) != keyOf(want) {
+		t.Fatalf("evicted-mid-solve run diverged: %+v vs %+v", keyOf(res), keyOf(want))
+	}
+
+	// The mapping is gone now (pins drained after the run): new slab-touching
+	// operations must fail closed, not fault.
+	if _, err := mapped.Run(ctx, RunOptions{Budget: budget, Workers: 1}); !errors.Is(err, ErrSnapshotUnmapped) {
+		t.Fatalf("Run after release: %v, want ErrSnapshotUnmapped", err)
+	}
+	if _, err := EncodeSnapshot(mapped); !errors.Is(err, ErrSnapshotUnmapped) {
+		t.Fatalf("EncodeSnapshot after release: %v, want ErrSnapshotUnmapped", err)
+	}
+	if err := mapped.Tune("f32", false); !errors.Is(err, ErrSnapshotUnmapped) {
+		t.Fatalf("Tune after release: %v, want ErrSnapshotUnmapped", err)
+	}
+	// Metadata stays heap-side and keeps answering.
+	if mapped.NumPhotos() != p.NumPhotos() {
+		t.Fatal("NumPhotos changed after release")
+	}
+	if got, _ := mapped.Fingerprint(); got != fp {
+		t.Fatal("Fingerprint changed after release")
+	}
+}
+
+// TestMmapTruncatedSnapshot pins the SIGBUS-avoidance contract: the decode
+// bounds every section read to the fstat'd length, so a snapshot truncated
+// before mapping fails with ErrBadSnapshot instead of faulting.
+func TestMmapTruncatedSnapshot(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	ctx := context.Background()
+	ds := snapDataset(t, 53, snapSimVariants["dense"])
+	p, err := Prepare(ctx, ds, PrepareOptions{Tau: 0.5, InstanceDigest: "mmap-trunc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenSnapshotStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Mapped = true
+	path, size, err := store.Save(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := p.Fingerprint()
+	for _, keep := range []int64{0, 7, size / 2, size - 1} {
+		if err := os.Truncate(path, keep); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Load(fp); err == nil || !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("keep=%d: Load = %v, want ErrBadSnapshot", keep, err)
+		}
+		full, err := EncodeSnapshot(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, full, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCacheMmapAccounting pins the satellite fix: mapped bytes are charged
+// against their own gauge, not the heap byte bound, and the memoized charge
+// returns usedBytes to exactly zero even when a delta changes the live
+// value's SizeBytes between insert and removal.
+func TestCacheMmapAccounting(t *testing.T) {
+	ctx := context.Background()
+	ds := snapDataset(t, 59, snapSimVariants["dense"])
+	p, err := Prepare(ctx, ds, PrepareOptions{Tau: 0.5, InstanceDigest: "cache-mmap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenSnapshotStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Mapped = true
+	if _, _, err := store.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	fp, _ := p.Fingerprint()
+	mapped, err := store.Load(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewPreparedCache(8, 1<<40)
+	cache.Put(fp, mapped)
+	if got, want := cache.MappedBytes(), mapped.MappedBytes(); got != want {
+		t.Fatalf("cache MappedBytes = %d, want %d", got, want)
+	}
+	if mmapSupported {
+		if charged := cache.UsedBytes(); charged >= mapped.SizeBytes() {
+			t.Fatalf("charged %d bytes >= SizeBytes %d; mapped slabs double-charged", charged, mapped.SizeBytes())
+		}
+	}
+
+	// A delta grows the live value's SizeBytes; removal must still subtract
+	// exactly the memoized insert-time charge.
+	rng := rand.New(rand.NewSource(61))
+	if _, err := mapped.ApplyDelta(ctx, randomChurn(rng, mapped.base, nil, 1, 3, true)); err != nil {
+		t.Fatal(err)
+	}
+	cache.Remove(fp)
+	if got := cache.UsedBytes(); got != 0 {
+		t.Fatalf("UsedBytes = %d after removing the only entry, want 0", got)
+	}
+	if got := cache.MappedBytes(); got != 0 {
+		t.Fatalf("MappedBytes = %d after removing the only entry, want 0", got)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("cache not empty")
+	}
+}
+
+// TestCacheRekeyKeepsMapping pins the delta rekey window: inserting the
+// value under its post-churn key BEFORE removing the pre-churn key must keep
+// the reference count positive throughout, so the mapping survives the
+// rekey. (Remove-then-Put would drop the last reference in between.)
+func TestCacheRekeyKeepsMapping(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("no mmap on this platform")
+	}
+	ctx := context.Background()
+	ds := snapDataset(t, 67, snapSimVariants["dense"])
+	p, err := Prepare(ctx, ds, PrepareOptions{Tau: 0.5, InstanceDigest: "cache-rekey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenSnapshotStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Mapped = true
+	if _, _, err := store.Save(p); err != nil {
+		t.Fatal(err)
+	}
+	oldFP, _ := p.Fingerprint()
+	mapped, err := store.Load(oldFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewPreparedCache(8, 0)
+	cache.Put(oldFP, mapped)
+
+	rng := rand.New(rand.NewSource(71))
+	stats, err := mapped.ApplyDelta(ctx, randomChurn(rng, mapped.base, nil, 1, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(stats.NewFingerprint, mapped)
+	cache.Remove(stats.OldFingerprint)
+	if _, err := mapped.Run(ctx, RunOptions{Budget: 0.4 * mapped.TotalCost(), Workers: 1}); err != nil {
+		t.Fatalf("Run after rekey: %v (mapping dropped during rekey?)", err)
+	}
+	cache.Remove(stats.NewFingerprint)
+	if _, err := mapped.Run(ctx, RunOptions{Budget: 0.4 * mapped.TotalCost(), Workers: 1}); !errors.Is(err, ErrSnapshotUnmapped) {
+		t.Fatalf("Run after final remove: %v, want ErrSnapshotUnmapped", err)
+	}
+}

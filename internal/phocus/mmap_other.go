@@ -1,0 +1,16 @@
+//go:build !linux && !darwin
+
+package phocus
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, errors.New("phocus: mmap is not supported on this platform")
+}
+
+func munmapBuf(_ []byte) error { return nil }

@@ -1,0 +1,32 @@
+//go:build linux || darwin
+
+package phocus
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps size bytes of f as a private read-write mapping: reads hit
+// the page cache, writes (delta maintenance tombstoning kernel rows in
+// place) copy-on-write the touched pages without dirtying the file. The
+// returned region is page-aligned, which satisfies the 8-byte alignment the
+// zero-copy snapshot views require.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("phocus: snapshot too large to map: %d bytes", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, err
+	}
+	// Decode reads the whole file (section checksums) immediately after
+	// mapping; tell the kernel to read ahead. Advice is best-effort.
+	_ = syscall.Madvise(b, syscall.MADV_WILLNEED)
+	return b, nil
+}
+
+func munmapBuf(b []byte) error { return syscall.Munmap(b) }

@@ -496,6 +496,10 @@ func decodeSnapMeta(b []byte) (*snapMeta, error) {
 func EncodeSnapshot(p *Prepared) ([]byte, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	if err := p.pin(); err != nil {
+		return nil, err
+	}
+	defer p.unpin()
 	fp, err := p.fingerprintLocked()
 	if err != nil {
 		return nil, fmt.Errorf("phocus: snapshot fingerprint: %w", err)
@@ -773,6 +777,7 @@ func DecodeSnapshot(buf []byte) (*Prepared, error) {
 
 	var sparseSubsets []par.Subset
 	var kernSolve *par.Kernel
+	var solveTmpl *par.Instance
 	if m.hasSparse {
 		sparseSubsets, err = decodeSimGroup(sec, secSimSparseRowStart, secSimSparseNbr, m, members, relevance)
 		if err != nil {
@@ -782,15 +787,23 @@ func DecodeSnapshot(buf []byte) (*Prepared, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The finalized budget-free solve template RunInto stamps views from;
+		// building it once here is what keeps the per-Run path allocation-free
+		// after a snapshot load, exactly as after a cold Prepare.
+		solveTmpl = &par.Instance{Cost: cost, Retained: retained, Budget: base.Budget, Subsets: sparseSubsets}
+		if err := solveTmpl.Finalize(); err != nil {
+			return nil, fmt.Errorf("phocus: snapshot sparse view invalid: %v: %w", err, ErrBadSnapshot)
+		}
 	}
 	if len(secs) != 0 {
 		return nil, fmt.Errorf("phocus: %d unexpected sections: %w", len(secs), ErrBadSnapshot)
 	}
 
 	p := &Prepared{
-		base:    base,
-		sparse:  sparseSubsets,
-		removed: removed,
+		base:      base,
+		sparse:    sparseSubsets,
+		solveTmpl: solveTmpl,
+		removed:   removed,
 		opts: PrepareOptions{
 			Tau:            m.tau,
 			UseLSH:         m.useLSH,

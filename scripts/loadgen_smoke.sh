@@ -18,7 +18,10 @@
 #      snapshot, a restarted server warm-fills the cache from it (readyz
 #      gated until then) and answers the same request as a cache hit with
 #      the same score; flipping one byte of the snapshot gets it
-#      quarantined and counted while the request still succeeds cold.
+#      quarantined and counted while the request still succeeds cold;
+#   6. the Kernel v2 flags hold the same contract: a restart with
+#      -mmap-snapshots -quantize f32 -block-rows warm-fills through the
+#      mmap path (counted, gauge > 0) and answers the identical score.
 #
 # Requires: go toolchain. JSON is picked apart with sed/grep so the script
 # runs on a bare CI image. The report lands at $LOADGEN_REPORT (default
@@ -98,10 +101,12 @@ echo "==> SLO gate selftest: injected 2x regression must fail at tolerance 0"
 SNAPDIR="$WORKDIR/warmsnaps"
 WARMDATA="$WORKDIR/warmdata"
 
-start_snap_server() { # start_snap_server <logfile>
+start_snap_server() { # start_snap_server <logfile> [extra server flags...]
+  local log="$1"
+  shift
   "$WORKDIR/phocus-server" -addr "$ADDR" -data-dir "$WARMDATA" \
     -snapshot-dir "$SNAPDIR" -job-workers 2 -queue-depth 8 \
-    -drain-timeout 5s >"$1" 2>&1 &
+    -drain-timeout 5s "$@" >"$log" 2>&1 &
   SERVER_PID=$!
   # /readyz is gated on the snapshot warm-fill, so 200 means the prepare
   # cache already holds whatever the snapshot dir could replay.
@@ -111,7 +116,7 @@ start_snap_server() { # start_snap_server <logfile>
     fi
     sleep 0.1
   done
-  fail "server never became ready (log $1)"
+  fail "server never became ready (log $log)"
 }
 
 stop_server() {
@@ -167,6 +172,22 @@ WARM_SCORE=$(solve_score "$WORKDIR/inst.json")
   || fail "warm score $WARM_SCORE != cold score $COLD_SCORE"
 metric_ge phocus_prepare_cache_hits_total 1 "restart did not serve from the warm cache"
 echo "    snapshot replayed; score stable at $COLD_SCORE"
+stop_server
+
+echo "==> mmap warm restart: snapshot mapped, tuned, served with the same score"
+# Same snapshot dir, restarted with the Kernel v2 flags: warm-fill must go
+# through the mmap load path (counted), the prepared-bytes gauge must show
+# mapped memory discounted from the cache charge, and the solve must still
+# answer the cold score bit-for-bit — quantize/block-rows only retune the
+# derived solve kernel, never the scored result.
+start_snap_server "$WORKDIR/warm-mmap.log" -mmap-snapshots -quantize f32 -block-rows
+metric_ge phocus_snapshot_mmap_loads_total 1 "restart never took the mmap load path"
+metric_ge phocus_prepared_mmap_bytes 1 "mapped snapshot bytes not reflected in the cache gauge"
+MMAP_SCORE=$(solve_score "$WORKDIR/inst.json")
+[ "$MMAP_SCORE" = "$COLD_SCORE" ] \
+  || fail "mmap warm score $MMAP_SCORE != cold score $COLD_SCORE"
+metric_ge phocus_prepare_cache_hits_total 1 "mmap restart did not serve from the warm cache"
+echo "    mapped snapshot replayed; score stable at $COLD_SCORE"
 stop_server
 
 echo "==> corruption injection: flipped byte quarantined, solve falls back cold"
