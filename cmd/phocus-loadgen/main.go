@@ -17,6 +17,17 @@
 //
 //	phocus-loadgen -server-cmd "./phocus-server -addr 127.0.0.1:9111 -data-dir /tmp/jobs" \
 //	  -base-url http://127.0.0.1:9111 -crash -out report.json
+//
+// Fleet mode: -base-url accepts a comma-separated shard list ordered by shard
+// index. Every request then carries an X-Phocus-Tenant header and is routed
+// client-side over the same consistent-hash ring the shards use, so each
+// tenant's traffic lands on its owning shard:
+//
+//	phocus-loadgen -base-url http://127.0.0.1:9201,http://127.0.0.1:9202,http://127.0.0.1:9203 \
+//	  -tenants 8 -sync 60 -out report.json
+//
+// A single base URL pointing at a phocus-router works too — the tenant header
+// is always sent, and the router does the routing server-side.
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"time"
 
 	"phocus/internal/dataset"
+	"phocus/internal/fleet"
 	"phocus/internal/obs"
 	"phocus/internal/par"
 )
@@ -84,7 +96,7 @@ func main() {
 	flag.StringVar(&cfg.CrashAlgo, "crash-algo", "celf", "solver algorithm for crash-phase ops")
 	flag.IntVar(&cfg.Concurrency, "concurrency", 8, "concurrent client workers per phase")
 	flag.Int64Var(&cfg.OversizeBytes, "oversize-bytes", 1<<20, "oversize phase body size; must exceed the server's -max-body")
-	flag.StringVar(&opt.baseURL, "base-url", "http://127.0.0.1:8080", "server base URL")
+	flag.StringVar(&opt.baseURL, "base-url", "http://127.0.0.1:8080", "server base URL; comma-separated shard URLs (ordered by shard index) route each tenant to its owning shard")
 	flag.StringVar(&opt.serverCmd, "server-cmd", "", "managed mode: full server command line (split on whitespace, no shell quoting); loadgen starts, crashes and restarts it")
 	flag.StringVar(&opt.out, "out", "-", "report path (- = stdout)")
 	flag.DurationVar(&opt.timeout, "timeout", 60*time.Second, "per-request client timeout")
@@ -123,10 +135,22 @@ func run(cfg runConfig, opt runtimeOptions) error {
 	if cfg.Crash && opt.serverCmd == "" {
 		return fmt.Errorf("-crash requires -server-cmd (loadgen must own the process to crash it)")
 	}
+	bases, err := fleet.SplitPeers(opt.baseURL)
+	if err != nil {
+		return fmt.Errorf("-base-url: %w", err)
+	}
+	if len(bases) > 1 {
+		if opt.serverCmd != "" {
+			return fmt.Errorf("-server-cmd manages a single server; it cannot be combined with %d -base-url targets", len(bases))
+		}
+		if cfg.Crash {
+			return fmt.Errorf("-crash needs a managed single-server target, not a %d-shard fleet", len(bases))
+		}
+	}
 
 	var mgr *managedServer
 	if opt.serverCmd != "" {
-		mgr = &managedServer{cmdline: opt.serverCmd, baseURL: opt.baseURL}
+		mgr = &managedServer{cmdline: opt.serverCmd, baseURL: bases[0]}
 		if err := mgr.start(); err != nil {
 			return err
 		}
@@ -136,8 +160,16 @@ func run(cfg runConfig, opt runtimeOptions) error {
 	lg := &loadgen{
 		cfg:    cfg,
 		opt:    opt,
+		bases:  bases,
 		client: &http.Client{Timeout: opt.timeout},
 		mgr:    mgr,
+	}
+	if len(bases) > 1 {
+		// Shard-ordered targets: route client-side over the same ring the
+		// shards use, so each tenant's requests land on its owning shard.
+		if lg.ring, err = fleet.NewRing(len(bases), fleet.DefaultReplicas); err != nil {
+			return err
+		}
 	}
 	if err := lg.buildTenants(); err != nil {
 		return err
@@ -186,12 +218,31 @@ type tenant struct {
 type loadgen struct {
 	cfg     runConfig
 	opt     runtimeOptions
+	bases   []string    // shard-ordered base URLs; one entry = standalone/router
+	ring    *fleet.Ring // non-nil only with multiple bases
 	client  *http.Client
 	tenants []tenant
 	mgr     *managedServer
 
-	mu         sync.Mutex
-	doneJobIDs []string // terminal "done" jobs, for the trace sample
+	mu       sync.Mutex
+	doneJobs []doneJob // terminal "done" jobs, for the trace sample
+}
+
+// doneJob remembers which base URL answered for a completed job, so the trace
+// sample is fetched from the shard that actually ran it.
+type doneJob struct {
+	base string
+	id   string
+}
+
+// opTarget resolves one op's tenant name and the base URL its requests go to.
+// With a single base everything goes there; with a fleet the ring decides.
+func (lg *loadgen) opTarget(o op) (base, tenantName string) {
+	tenantName = fmt.Sprintf("tenant-%d", o.Tenant%lg.cfg.Tenants)
+	if lg.ring != nil {
+		return lg.bases[lg.ring.Owner(tenantName)], tenantName
+	}
+	return lg.bases[0], tenantName
 }
 
 // buildTenants generates each tenant's archive instance deterministically
@@ -220,23 +271,26 @@ func (lg *loadgen) buildTenants() error {
 	return nil
 }
 
-// waitReady polls GET /readyz until the server accepts work.
+// waitReady polls GET /readyz on every target until all accept work.
 func (lg *loadgen) waitReady(deadline time.Duration) error {
 	stop := time.Now().Add(deadline)
-	for {
-		resp, err := lg.client.Get(lg.opt.baseURL + "/readyz")
-		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
+	for _, base := range lg.bases {
+		for {
+			resp, err := lg.client.Get(base + "/readyz")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
 			}
+			if time.Now().After(stop) {
+				return fmt.Errorf("server at %s not ready within %s", base, deadline)
+			}
+			time.Sleep(50 * time.Millisecond)
 		}
-		if time.Now().After(stop) {
-			return fmt.Errorf("server at %s not ready within %s", lg.opt.baseURL, deadline)
-		}
-		time.Sleep(50 * time.Millisecond)
 	}
+	return nil
 }
 
 // execute runs every phase in order and assembles the report.
@@ -326,11 +380,19 @@ func (lg *loadgen) tenantBody(o op) []byte {
 	return lg.tenants[o.Tenant%len(lg.tenants)].body
 }
 
-// post issues one POST and records the client-observed latency + status.
-// A transport failure records an error and returns ok=false.
-func (lg *loadgen) post(col *collector, path string, body []byte) (status int, respBody []byte, ok bool) {
+// post issues one tenant-tagged POST and records the client-observed latency
+// + status. A transport failure records an error and returns ok=false.
+func (lg *loadgen) post(col *collector, base, path, tenantName string, body []byte) (status int, respBody []byte, ok bool) {
+	req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		col.err()
+		col.add("transport_failures", 1)
+		return 0, nil, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(fleet.TenantHeader, tenantName)
 	start := time.Now()
-	resp, err := lg.client.Post(lg.opt.baseURL+path, "application/json", bytes.NewReader(body))
+	resp, err := lg.client.Do(req)
 	elapsed := time.Since(start)
 	if err != nil {
 		col.err()
@@ -347,8 +409,9 @@ func (lg *loadgen) post(col *collector, path string, body []byte) (status int, r
 // success, 429 is expected backpressure; anything else is an error.
 func (lg *loadgen) runSync(col *collector, ops []op) {
 	lg.eachOp(ops, func(o op) {
+		base, tenantName := lg.opTarget(o)
 		path := "/solve?" + solveQuery(o.Algo, lg.budgetBytes(o))
-		status, _, ok := lg.post(col, path, lg.tenantBody(o))
+		status, _, ok := lg.post(col, base, path, tenantName, lg.tenantBody(o))
 		if !ok {
 			return
 		}
@@ -363,29 +426,31 @@ func (lg *loadgen) runSync(col *collector, ops []op) {
 	})
 }
 
-// submitJob posts one async job; 202 yields the job ID.
-func (lg *loadgen) submitJob(col *collector, o op) (id string, status int, ok bool) {
+// submitJob posts one async job; 202 yields the job ID. The returned base is
+// the target that admitted the job — polls and cancels must go back to it.
+func (lg *loadgen) submitJob(col *collector, o op) (id, base string, status int, ok bool) {
+	base, tenantName := lg.opTarget(o)
 	path := "/jobs?" + solveQuery(o.Algo, lg.budgetBytes(o))
-	status, body, ok := lg.post(col, path, lg.tenantBody(o))
+	status, body, ok := lg.post(col, base, path, tenantName, lg.tenantBody(o))
 	if !ok {
-		return "", 0, false
+		return "", base, 0, false
 	}
 	if status != http.StatusAccepted {
-		return "", status, true
+		return "", base, status, true
 	}
 	var doc struct {
 		ID string `json:"id"`
 	}
 	if err := json.Unmarshal(body, &doc); err != nil || doc.ID == "" {
 		col.err()
-		return "", status, true
+		return "", base, status, true
 	}
-	return doc.ID, status, true
+	return doc.ID, base, status, true
 }
 
 // jobState fetches one job's current state ("" on transport failure).
-func (lg *loadgen) jobState(id string) (state string, httpStatus int) {
-	resp, err := lg.client.Get(lg.opt.baseURL + "/jobs/" + id)
+func (lg *loadgen) jobState(base, id string) (state string, httpStatus int) {
+	resp, err := lg.client.Get(base + "/jobs/" + id)
 	if err != nil {
 		return "", 0
 	}
@@ -408,14 +473,14 @@ func terminal(state string) bool {
 }
 
 // awaitJob polls one job to a terminal state within the phase deadline.
-func (lg *loadgen) awaitJob(id string) (state string, lost bool) {
+func (lg *loadgen) awaitJob(base, id string) (state string, lost bool) {
 	stop := time.Now().Add(lg.opt.deadline)
 	for {
-		state, status := lg.jobState(id)
+		state, status := lg.jobState(base, id)
 		if terminal(state) {
 			if state == "done" {
 				lg.mu.Lock()
-				lg.doneJobIDs = append(lg.doneJobIDs, id)
+				lg.doneJobs = append(lg.doneJobs, doneJob{base: base, id: id})
 				lg.mu.Unlock()
 			}
 			return state, false
@@ -436,7 +501,7 @@ func (lg *loadgen) awaitJob(id string) (state string, lost bool) {
 func (lg *loadgen) runAsync(col *collector, ops []op) {
 	lg.eachOp(ops, func(o op) {
 		submitted := time.Now()
-		id, status, ok := lg.submitJob(col, o)
+		id, base, status, ok := lg.submitJob(col, o)
 		if !ok || id == "" {
 			if ok && status != http.StatusTooManyRequests {
 				col.err()
@@ -447,7 +512,7 @@ func (lg *loadgen) runAsync(col *collector, ops []op) {
 			return
 		}
 		col.add("admitted", 1)
-		state, lost := lg.awaitJob(id)
+		state, lost := lg.awaitJob(base, id)
 		col.endToEnd(time.Since(submitted))
 		switch {
 		case lost:
@@ -468,7 +533,7 @@ func (lg *loadgen) runAsync(col *collector, ops []op) {
 // contract, counted but not an error.
 func (lg *loadgen) runCancel(col *collector, ops []op) {
 	lg.eachOp(ops, func(o op) {
-		id, status, ok := lg.submitJob(col, o)
+		id, base, status, ok := lg.submitJob(col, o)
 		if !ok || id == "" {
 			if ok && status == http.StatusTooManyRequests {
 				col.add("rejected", 1)
@@ -479,7 +544,7 @@ func (lg *loadgen) runCancel(col *collector, ops []op) {
 		}
 		if o.Cancel {
 			start := time.Now()
-			req, _ := http.NewRequest(http.MethodDelete, lg.opt.baseURL+"/jobs/"+id, nil)
+			req, _ := http.NewRequest(http.MethodDelete, base+"/jobs/"+id, nil)
 			resp, err := lg.client.Do(req)
 			if err != nil {
 				col.err()
@@ -498,7 +563,7 @@ func (lg *loadgen) runCancel(col *collector, ops []op) {
 				col.err()
 			}
 		}
-		state, lost := lg.awaitJob(id)
+		state, lost := lg.awaitJob(base, id)
 		if lost {
 			col.err()
 			col.add("lost", 1)
@@ -522,7 +587,8 @@ func (lg *loadgen) runCancel(col *collector, ops []op) {
 func (lg *loadgen) runOversize(col *collector, ops []op) {
 	junk := bytes.Repeat([]byte("x"), int(lg.cfg.OversizeBytes))
 	lg.eachOp(ops, func(o op) {
-		status, _, ok := lg.post(col, "/jobs?algo="+o.Algo, junk)
+		base, tenantName := lg.opTarget(o)
+		status, _, ok := lg.post(col, base, "/jobs?algo="+o.Algo, tenantName, junk)
 		if !ok {
 			return
 		}
@@ -541,10 +607,10 @@ func (lg *loadgen) runOversize(col *collector, ops []op) {
 // finish counts as lost — the durability contract this phase exists to test.
 func (lg *loadgen) runCrash(col *collector, ops []op) {
 	var mu sync.Mutex
-	var admitted []string
+	var admitted []doneJob
 	submittedAt := map[string]time.Time{}
 	lg.eachOp(ops, func(o op) {
-		id, status, ok := lg.submitJob(col, o)
+		id, base, status, ok := lg.submitJob(col, o)
 		if !ok || id == "" {
 			if ok && status == http.StatusTooManyRequests {
 				col.add("rejected", 1)
@@ -554,7 +620,7 @@ func (lg *loadgen) runCrash(col *collector, ops []op) {
 			return
 		}
 		mu.Lock()
-		admitted = append(admitted, id)
+		admitted = append(admitted, doneJob{base: base, id: id})
 		submittedAt[id] = time.Now()
 		mu.Unlock()
 	})
@@ -577,9 +643,9 @@ func (lg *loadgen) runCrash(col *collector, ops []op) {
 	}
 	col.add("restarts", 1)
 
-	for _, id := range admitted {
-		state, lost := lg.awaitJob(id)
-		col.endToEnd(time.Since(submittedAt[id]))
+	for _, j := range admitted {
+		state, lost := lg.awaitJob(j.base, j.id)
+		col.endToEnd(time.Since(submittedAt[j.id]))
 		switch {
 		case lost:
 			col.err()
@@ -605,19 +671,21 @@ func (lg *loadgen) captureTraceSample(rep *report) {
 		return
 	}
 	lg.mu.Lock()
-	done := append([]string(nil), lg.doneJobIDs...)
+	done := append([]doneJob(nil), lg.doneJobs...)
 	lg.mu.Unlock()
 	for i := len(done) - 1; i >= 0; i-- {
-		if tr, err := lg.fetchTrace(done[i]); err == nil && len(tr.Spans) > 0 {
+		if tr, err := lg.fetchTrace(done[i].base, done[i].id); err == nil && len(tr.Spans) > 0 {
 			rep.SampleTraceSpans = len(tr.Spans)
 			return
 		}
 	}
 }
 
-// fetchSLO reads the server's own objective evaluation.
+// fetchSLO reads the first target's own objective evaluation (a router
+// answers with the fleet-wide wrapped document; only a direct shard's or
+// standalone server's /slo decodes into an SLOReport).
 func (lg *loadgen) fetchSLO() (*obs.SLOReport, error) {
-	resp, err := lg.client.Get(lg.opt.baseURL + "/slo")
+	resp, err := lg.client.Get(lg.bases[0] + "/slo")
 	if err != nil {
 		return nil, err
 	}
@@ -632,9 +700,9 @@ func (lg *loadgen) fetchSLO() (*obs.SLOReport, error) {
 	return &rep, nil
 }
 
-// fetchTrace reads one job's span timeline.
-func (lg *loadgen) fetchTrace(id string) (*obs.Trace, error) {
-	resp, err := lg.client.Get(lg.opt.baseURL + "/jobs/" + id + "/trace")
+// fetchTrace reads one job's span timeline from the target that ran it.
+func (lg *loadgen) fetchTrace(base, id string) (*obs.Trace, error) {
+	resp, err := lg.client.Get(base + "/jobs/" + id + "/trace")
 	if err != nil {
 		return nil, err
 	}

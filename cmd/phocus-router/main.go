@@ -1,0 +1,101 @@
+// Command phocus-router fronts a fleet of phocus-server shards as one HTTP
+// service. It holds the same static shard map the shards do (-peers or
+// -shard-map), routes every tenant-keyed write to the tenant's owning shard
+// via the shared consistent-hash ring, and scatter-gathers the fleet-wide
+// read endpoints with per-shard timeouts — a down shard degrades a gathered
+// answer (flagged in the "fleet" envelope) instead of failing it.
+//
+//	POST   /solve, /jobs, /instances/{fp}/delta   → forwarded to the owning shard, verbatim
+//	GET    /jobs                                  → merged fleet-wide listing (+ "fleet" envelope)
+//	GET    /jobs/{id}[/result|/trace], DELETE     → fanned out; the shard that knows the ID answers
+//	GET    /slo, /stats                           → per-shard docs wrapped under {"shards": ...}
+//	GET    /healthz, /readyz                      → router liveness; ready while ≥ 1 shard is
+//	GET    /metrics                               → the router's own phocus_router_* series
+//
+// The router keeps no state beyond the shard map, so any number of routers
+// can front the same fleet.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"phocus/internal/fleet"
+)
+
+// newLogger builds the process logger in the requested format.
+func newLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q: want text or json", format)
+}
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	peers := flag.String("peers", "", "comma-separated shard base URLs ordered by shard index")
+	shardMapFile := flag.String("shard-map", "", "shard map file: one shard base URL per line, ordered by index (alternative to -peers)")
+	timeout := flag.Duration("shard-timeout", 5*time.Second, "per-shard deadline for scatter-gather reads")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	flag.Parse()
+
+	logger, err := newLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phocus-router:", err)
+		os.Exit(1)
+	}
+
+	var urls []string
+	switch {
+	case *peers != "" && *shardMapFile != "":
+		err = fmt.Errorf("-peers and -shard-map are mutually exclusive")
+	case *peers != "":
+		urls, err = fleet.SplitPeers(*peers)
+	case *shardMapFile != "":
+		urls, err = fleet.LoadShardMap(*shardMapFile)
+	default:
+		err = fmt.Errorf("need -peers or -shard-map to name the fleet")
+	}
+	if err != nil {
+		logger.Error("startup", "err", err)
+		os.Exit(1)
+	}
+	m, err := fleet.NewShardMap(-1, urls)
+	if err != nil {
+		logger.Error("startup", "err", err)
+		os.Exit(1)
+	}
+	router, err := fleet.NewRouter(fleet.RouterOptions{
+		Map:     m,
+		Timeout: *timeout,
+		Logger:  logger,
+	})
+	if err != nil {
+		logger.Error("startup", "err", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+	logger.Info("phocus-router listening", "addr", *addr,
+		"shards", m.N(), "map_fingerprint", m.Fingerprint(), "shard_timeout", *timeout)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	}
+}

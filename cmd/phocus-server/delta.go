@@ -61,6 +61,14 @@ func (s *server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("invalid fingerprint %q: want 64 hex characters", fp), http.StatusBadRequest)
 		return
 	}
+	// Deltas are tenant-keyed writes like solves: ownership and quota run
+	// before any work. The fingerprint itself is already tenant-scoped (the
+	// tenant is mixed into the instance digest), so a tenant cannot name
+	// another tenant's prepared instance even with a guessed fingerprint —
+	// this check is about routing and fairness, not secrecy.
+	if _, ok := s.admitTenant(w, r); !ok {
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var d phocus.Delta
 	if err := json.NewDecoder(r.Body).Decode(&d); err != nil {

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"time"
 
+	"phocus/internal/fleet"
 	"phocus/internal/jobs"
 	"phocus/internal/obs"
 )
@@ -25,8 +26,9 @@ import (
 // jobStatusDoc is the wire format of GET /jobs/{id} (and the body of 202 /
 // 409 answers that describe a job).
 type jobStatusDoc struct {
-	ID    string `json:"id"`
-	State string `json:"state"`
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	State  string `json:"state"`
 	// QueuePosition is the number of jobs ahead (0 = next to run); present
 	// only while the job is queued.
 	QueuePosition *int       `json:"queue_position,omitempty"`
@@ -48,6 +50,7 @@ type jobStatusDoc struct {
 func jobDoc(j jobs.Job, pos int) jobStatusDoc {
 	doc := jobStatusDoc{
 		ID:          j.ID,
+		Tenant:      j.Tenant,
 		State:       string(j.State),
 		Attempts:    j.Attempts,
 		Params:      j.Params,
@@ -89,8 +92,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // has refilled the prepare cache, and the queue is accepting; 503 before
 // that and during the graceful-shutdown drain (so routing stops before
 // intake does).
+// Both 503 branches carry a Retry-After estimated from observed job run
+// times (same clamped estimator as the 429 path), so pollers and load
+// balancers back off a sane amount instead of hammering a warming replica.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.snapWarmed.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		http.Error(w, "warming prepared-instance cache", http.StatusServiceUnavailable)
 		return
 	}
@@ -98,6 +105,7 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 		return
 	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	http.Error(w, "draining", http.StatusServiceUnavailable)
 }
 
@@ -162,6 +170,10 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	tenant, ok := s.admitTenant(w, r)
+	if !ok {
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -178,7 +190,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty request body: want instance JSON", http.StatusBadRequest)
 		return
 	}
-	job, err := s.jobs.Submit(r.URL.RawQuery, body)
+	job, err := s.jobs.SubmitTenant(tenant, r.URL.RawQuery, body)
 	if err != nil {
 		s.rejectSaturated(w, err)
 		return
@@ -258,7 +270,10 @@ type jobListDoc struct {
 	Jobs   []jobStatusDoc `json:"jobs"`
 }
 
-// handleJobList is GET /jobs?offset=&limit=: jobs in submission order.
+// handleJobList is GET /jobs?offset=&limit=: jobs in submission order. A
+// tenant (X-Phocus-Tenant header or ?tenant=) narrows the listing to that
+// tenant's jobs; without one the listing spans all tenants, which is what
+// the router's fleet-wide scatter-gather consumes.
 func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	offset, err := nonNegInt(q.Get("offset"), 0)
@@ -271,7 +286,18 @@ func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("invalid limit %q: want a non-negative integer", q.Get("limit")), http.StatusBadRequest)
 		return
 	}
-	page, total := s.jobs.List(offset, limit)
+	var page []jobs.Job
+	var total int
+	if tenant := r.Header.Get(fleet.TenantHeader); tenant != "" || q.Get("tenant") != "" {
+		tenant, terr := fleet.TenantFromRequest(r)
+		if terr != nil {
+			http.Error(w, terr.Error(), http.StatusBadRequest)
+			return
+		}
+		page, total = s.jobs.ListTenant(tenant, offset, limit)
+	} else {
+		page, total = s.jobs.List(offset, limit)
+	}
 	docs := make([]jobStatusDoc, len(page))
 	for i, j := range page {
 		pos := -1
@@ -336,14 +362,16 @@ func (s *server) runJob(ctx context.Context, job jobs.Job) ([]byte, error) {
 		}
 		return json.Marshal(resp)
 	case "retention":
-		resp, err := s.solveCore(ctx, bytes.NewReader(job.Body), params.solve, 0)
+		resp, err := s.solveCore(ctx, job.Tenant, bytes.NewReader(job.Body), params.solve, 0)
 		if err != nil {
 			return nil, err
 		}
 		out := retentionResult{solveResponse: *resp, RunsLeft: params.runs - 1}
 		if params.runs > 1 {
 			q.Set("runs", strconv.Itoa(params.runs-1))
-			next, err := s.jobs.SubmitAt(q.Encode(), job.Body, time.Now().Add(params.every))
+			// The successor inherits the tenant: a retention chain never
+			// migrates across tenants.
+			next, err := s.jobs.SubmitTenantAt(job.Tenant, q.Encode(), job.Body, time.Now().Add(params.every))
 			switch {
 			case errors.Is(err, jobs.ErrDraining):
 				// Shutdown raced the reschedule: end the chain rather than
@@ -360,7 +388,7 @@ func (s *server) runJob(ctx context.Context, job jobs.Job) ([]byte, error) {
 		}
 		return json.Marshal(out)
 	default:
-		resp, err := s.solveCore(ctx, bytes.NewReader(job.Body), params.solve, 0)
+		resp, err := s.solveCore(ctx, job.Tenant, bytes.NewReader(job.Body), params.solve, 0)
 		if err != nil {
 			return nil, err
 		}

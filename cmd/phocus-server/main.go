@@ -65,6 +65,7 @@ import (
 	"phocus/internal/celf"
 	"phocus/internal/dataset"
 	"phocus/internal/embed"
+	"phocus/internal/fleet"
 	"phocus/internal/jobs"
 	"phocus/internal/obs"
 	"phocus/internal/par"
@@ -99,6 +100,11 @@ func main() {
 	slo429Rate := flag.Float64("slo-429-rate", 0.05, "SLO: admitted-traffic 429-rate objective (fraction of POST /solve + POST /jobs)")
 	sloWindow := flag.Duration("slo-window", 30*time.Second, "SLO evaluation window granularity (long horizon = 20 windows, short = 4)")
 	traceCapacity := flag.Int("trace-capacity", obs.DefaultTraceCapacity, "retained request/job trace timelines for GET /jobs/{id}/trace")
+	shardSpec := flag.String("shard", "", "this process's shard identity, \"i/N\" or \"i\" (empty = standalone, no fleet)")
+	peers := flag.String("peers", "", "comma-separated shard base URLs ordered by shard index (requires -shard)")
+	shardMapFile := flag.String("shard-map", "", "shard map file: one shard base URL per line, ordered by index (requires -shard; alternative to -peers)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in requests/second across /solve, /jobs and delta submissions (0 = no per-tenant quota)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant admission burst (0 = ceil of -tenant-rate)")
 	flag.Parse()
 	logger, err := newLogger(os.Stderr, *logFormat)
 	if err != nil {
@@ -128,6 +134,11 @@ func main() {
 		SLO429Rate:    *slo429Rate,
 		SLOWindow:     *sloWindow,
 		TraceCapacity: *traceCapacity,
+		ShardSpec:     *shardSpec,
+		Peers:         *peers,
+		ShardMapFile:  *shardMapFile,
+		TenantRate:    *tenantRate,
+		TenantBurst:   *tenantBurst,
 	})
 	if err != nil {
 		logger.Error("startup", "err", err)
@@ -225,6 +236,15 @@ type serverConfig struct {
 	SLOWindow time.Duration
 	// TraceCapacity bounds retained trace timelines (≤ 0 = obs default).
 	TraceCapacity int
+	// ShardSpec ("i/N" or "i") plus Peers (CSV of shard URLs) or
+	// ShardMapFile configure fleet membership; all empty = standalone.
+	ShardSpec    string
+	Peers        string
+	ShardMapFile string
+	// TenantRate / TenantBurst shape the per-tenant admission token bucket
+	// (rate ≤ 0 = no per-tenant quota).
+	TenantRate  float64
+	TenantBurst int
 }
 
 // server bundles the handler dependencies: logger, metrics registry,
@@ -257,6 +277,46 @@ type server struct {
 	// finished (immediately when snapshots are off); /readyz reports 503
 	// until then so a restarted replica only takes traffic warm.
 	snapWarmed atomic.Bool
+	// shards is the fleet topology this process serves in (nil =
+	// standalone); quota is the per-tenant admission limiter (nil = off);
+	// tenantLabels bounds tenant metric-label cardinality.
+	shards       *fleet.ShardMap
+	quota        *fleet.Quota
+	tenantLabels *fleet.LabelGuard
+}
+
+// buildShardMap resolves the fleet flags into a ShardMap (nil when all are
+// empty — standalone). -shard is required with either peer source; when the
+// spec carries "/N" the size must match the list.
+func buildShardMap(spec, peersCSV, mapFile string) (*fleet.ShardMap, error) {
+	if spec == "" && peersCSV == "" && mapFile == "" {
+		return nil, nil
+	}
+	if spec == "" {
+		return nil, fmt.Errorf("-peers/-shard-map need -shard to name this process's index")
+	}
+	self, n, err := fleet.ParseShardSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	var urls []string
+	switch {
+	case peersCSV != "" && mapFile != "":
+		return nil, fmt.Errorf("-peers and -shard-map are mutually exclusive")
+	case peersCSV != "":
+		urls, err = fleet.SplitPeers(peersCSV)
+	case mapFile != "":
+		urls, err = fleet.LoadShardMap(mapFile)
+	default:
+		return nil, fmt.Errorf("-shard %q needs -peers or -shard-map to name the fleet", spec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if n != 0 && n != len(urls) {
+		return nil, fmt.Errorf("-shard %q names %d shards but the peer list has %d", spec, n, len(urls))
+	}
+	return fleet.NewShardMap(self, urls)
 }
 
 // newLogger builds the process logger in the requested format.
@@ -294,6 +354,21 @@ func newServer(logger *slog.Logger, cfg serverConfig) (*server, error) {
 		s.cache = phocus.NewPreparedCache(cfg.CacheEntries, cfg.CacheBytes)
 	}
 	s.reg.Gauge("phocus_workers").Set(float64(s.workers))
+
+	// Fleet membership: -shard i/N with -peers (or -shard-map) pins this
+	// process's slot in the static topology; tenant ownership checks and the
+	// X-Phocus-Shard header key off it. All-empty means standalone.
+	shards, err := buildShardMap(cfg.ShardSpec, cfg.Peers, cfg.ShardMapFile)
+	if err != nil {
+		return nil, err
+	}
+	s.shards = shards
+	s.quota = fleet.NewQuota(cfg.TenantRate, cfg.TenantBurst)
+	s.tenantLabels = fleet.NewLabelGuard(0)
+	if s.shards != nil {
+		s.reg.Gauge("phocus_shard_index").Set(float64(s.shards.Self))
+		s.reg.Gauge("phocus_shard_count").Set(float64(s.shards.N()))
+	}
 
 	// SLO engine: sliding-window series fed by the request path and the job
 	// scheduler, evaluated on GET /slo and mirrored into /metrics gauges.
@@ -378,6 +453,7 @@ func (s *server) mux(pprofOn bool) *http.ServeMux {
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /slo", s.handleSLO)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		// Refresh the phocus_slo_* gauges on every scrape so /metrics and
 		// /slo always tell the same story; same for the cache's mmap
@@ -419,6 +495,12 @@ func (s *server) telemetry(next http.Handler) http.Handler {
 			reqID = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", reqID)
+		if s.shards != nil {
+			// Every response names the shard that served it plus the shard-map
+			// fingerprint, so a misrouted or stale-map client is diagnosable
+			// from the response alone.
+			w.Header().Set(fleet.ShardHeader, s.shards.HeaderValue())
+		}
 		ctx := obs.WithRequestID(r.Context(), reqID)
 		ctx = obs.WithLogger(ctx, s.logger.With("req_id", reqID))
 		ctx = obs.WithTraceStore(ctx, s.trace)
@@ -438,6 +520,15 @@ func (s *server) telemetry(next http.Handler) http.Handler {
 		if r.Method == http.MethodPost && (route == "/solve" || route == "/jobs") {
 			s.slo.Rate(obs.SLORejectRate).Observe(lw.status == http.StatusTooManyRequests)
 		}
+		// Tenant-keyed writes also feed the per-tenant series (through the
+		// cardinality guard); malformed tenants were already 400ed and are
+		// not worth a label.
+		if r.Method == http.MethodPost &&
+			(route == "/solve" || route == "/jobs" || route == "/instances/{fp}/delta") {
+			if tenant, terr := fleet.TenantFromRequest(r); terr == nil {
+				obs.RecordTenantRequest(s.reg, s.tenantLabel(tenant), route, elapsed)
+			}
+		}
 		s.logger.Info("request",
 			"method", r.Method, "path", r.URL.Path, "status", lw.status,
 			"req_id", reqID, "duration", elapsed.Round(time.Millisecond))
@@ -448,7 +539,7 @@ func (s *server) telemetry(next http.Handler) http.Handler {
 // collapse into one series so clients cannot explode label cardinality).
 func routeLabel(path string) string {
 	switch path {
-	case "/solve", "/healthz", "/readyz", "/metrics", "/debug/vars", "/jobs", "/slo":
+	case "/solve", "/healthz", "/readyz", "/metrics", "/debug/vars", "/jobs", "/slo", "/stats":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof/") {
@@ -608,6 +699,10 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	tenant, ok := s.admitTenant(w, r)
+	if !ok {
+		return
+	}
 
 	// Synchronous solves share the async scheduler's admission budget: the
 	// request must hold a solver slot for its whole pipeline, and once the
@@ -628,7 +723,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	resp, err := s.solveCore(ctx, r.Body, params, s.solveTimeout)
+	resp, err := s.solveCore(ctx, tenant, r.Body, params, s.solveTimeout)
 	if err != nil {
 		var he *httpError
 		switch {
@@ -662,11 +757,22 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // the solver under ctx (plus timeout when positive), and reports the shared
 // solve metrics. Failures that have a defined HTTP status come back as
 // *httpError; context errors come back verbatim for the caller to classify.
-func (s *server) solveCore(ctx context.Context, body io.Reader, params solveParams, timeout time.Duration) (*solveResponse, error) {
+//
+// The tenant is mixed into the instance digest (ahead of the body bytes),
+// so prepared instances, cache entries and snapshot files are all
+// tenant-scoped: two tenants uploading the same archive never share a
+// fingerprint, and a delta handle minted for one tenant cannot collide with
+// another's. The default tenant mixes nothing, keeping every pre-tenancy
+// digest — and the snapshots on disk keyed by them — valid across the
+// upgrade.
+func (s *server) solveCore(ctx context.Context, tenant string, body io.Reader, params solveParams, timeout time.Duration) (*solveResponse, error) {
 	ctx, decodeSpan := obs.StartSpan(ctx, "decode")
 	// The body streams through sha256 while decoding: the digest keys the
 	// prepared-instance cache without a second serialization pass.
 	hasher := sha256.New()
+	if tenant != "" && tenant != fleet.DefaultTenant {
+		fmt.Fprintf(hasher, "phocus/tenant/v1|%s\n", tenant)
+	}
 	inst, vecs, err := par.ReadJSONVectors(io.TeeReader(body, hasher))
 	if err != nil {
 		decodeSpan.End("err", err.Error())

@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// BenchmarkFleetRoutedSolve measures the router's forwarding overhead:
+// tenant resolution, ring lookup, and the proxy hop to a stub shard that
+// answers instantly. This is the per-request fleet tax on top of an actual
+// solve; CI folds it into bench/history.jsonl as suite "fleet".
+func BenchmarkFleetRoutedSolve(b *testing.B) {
+	shard := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"score":1,"selected":[0]}`)
+	}))
+	defer shard.Close()
+
+	m, err := NewShardMap(-1, []string{shard.URL, shard.URL, shard.URL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := NewRouter(RouterOptions{Map: m, Timeout: 5 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	router := httptest.NewServer(rt.Handler())
+	defer router.Close()
+
+	body := `{"budget":10,"photos":[{"id":"p0","size":4,"value":7}]}`
+	client := &http.Client{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, _ := http.NewRequest("POST", router.URL+"/solve", strings.NewReader(body))
+		req.Header.Set(TenantHeader, fmt.Sprintf("tenant-%d", i%64))
+		resp, err := client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var doc struct {
+			Score float64 `json:"score"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Quota is the per-tenant admission limiter: one token bucket per tenant,
+// refilled at rate tokens/second up to burst. It layers on top of the
+// shared solve semaphore/queue caps — those bound the *total* work a shard
+// accepts, the quota bounds any *single* tenant's share of it, so one hot
+// tenant saturating its bucket gets 429s while everyone else's latency
+// stays inside the SLO.
+//
+// Buckets are created lazily on first sight of a tenant and the table is
+// bounded: past maxTenants, idle (full) buckets are swept, and if every
+// bucket is mid-use the new tenant is admitted unthrottled (fail open —
+// admission control must never become a memory bomb or lock out the
+// long tail).
+//
+// A nil *Quota admits everything, so callers need no enabled-check.
+type Quota struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+	max   int     // bucket-table bound
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuota builds a limiter admitting rate requests/second with the given
+// burst per tenant. rate ≤ 0 disables limiting (returns nil); burst ≤ 0
+// defaults to ceil(rate) so a tenant can always spend about one second of
+// its rate at once.
+func NewQuota(rate float64, burst int) *Quota {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Ceil(rate)
+	}
+	return &Quota{
+		rate:    rate,
+		burst:   b,
+		max:     16384,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// Allow spends one token from the tenant's bucket. When the bucket is
+// empty it reports false plus how long until a token refills — the
+// Retry-After hint for the 429.
+func (q *Quota) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b, found := q.buckets[tenant]
+	if !found {
+		if len(q.buckets) >= q.max {
+			q.sweepLocked(now)
+		}
+		if len(q.buckets) >= q.max {
+			return true, 0 // table saturated with active tenants: fail open
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	b.refill(now, q.rate, q.burst)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+}
+
+// refill tops the bucket up for the time elapsed since the last touch.
+func (b *bucket) refill(now time.Time, rate, burst float64) {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(burst, b.tokens+elapsed*rate)
+	}
+	b.last = now
+}
+
+// sweepLocked evicts buckets that have refilled to full — tenants idle
+// long enough that forgetting them loses nothing (a fresh bucket starts
+// full anyway). Callers hold q.mu.
+func (q *Quota) sweepLocked(now time.Time) {
+	for t, b := range q.buckets {
+		b.refill(now, q.rate, q.burst)
+		if b.tokens >= q.burst {
+			delete(q.buckets, t)
+		}
+	}
+}
+
+// Tenants returns how many tenant buckets are currently tracked.
+func (q *Quota) Tenants() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}

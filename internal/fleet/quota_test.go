@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock makes quota time deterministic.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestQuota(rate float64, burst int) (*Quota, *fakeClock) {
+	q := NewQuota(rate, burst)
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	q.now = clk.now
+	return q, clk
+}
+
+func TestQuotaNilAdmitsEverything(t *testing.T) {
+	var q *Quota
+	for i := 0; i < 1000; i++ {
+		if ok, _ := q.Allow("anyone"); !ok {
+			t.Fatal("nil quota throttled")
+		}
+	}
+	if q.Tenants() != 0 {
+		t.Error("nil quota tracks tenants")
+	}
+	if NewQuota(0, 10) != nil || NewQuota(-1, 10) != nil {
+		t.Error("rate <= 0 should disable the quota (nil)")
+	}
+}
+
+func TestQuotaBurstThenThrottle(t *testing.T) {
+	q, _ := newTestQuota(10, 5)
+	for i := 0; i < 5; i++ {
+		if ok, _ := q.Allow("hot"); !ok {
+			t.Fatalf("request %d within burst throttled", i)
+		}
+	}
+	ok, retry := q.Allow("hot")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 1s] at 10 rps", retry)
+	}
+}
+
+func TestQuotaRefills(t *testing.T) {
+	q, clk := newTestQuota(10, 5)
+	for i := 0; i < 5; i++ {
+		q.Allow("t")
+	}
+	if ok, _ := q.Allow("t"); ok {
+		t.Fatal("bucket should be empty")
+	}
+	clk.advance(100 * time.Millisecond) // exactly one token at 10 rps
+	if ok, _ := q.Allow("t"); !ok {
+		t.Fatal("token did not refill")
+	}
+	if ok, _ := q.Allow("t"); ok {
+		t.Fatal("second token appeared from nowhere")
+	}
+	clk.advance(time.Hour)
+	for i := 0; i < 5; i++ { // refill caps at burst, not rate*3600
+		if ok, _ := q.Allow("t"); !ok {
+			t.Fatalf("post-idle request %d throttled", i)
+		}
+	}
+	if ok, _ := q.Allow("t"); ok {
+		t.Fatal("burst cap not enforced after idle refill")
+	}
+}
+
+func TestQuotaTenantsIsolated(t *testing.T) {
+	q, _ := newTestQuota(10, 2)
+	q.Allow("hot")
+	q.Allow("hot")
+	if ok, _ := q.Allow("hot"); ok {
+		t.Fatal("hot tenant should be throttled")
+	}
+	if ok, _ := q.Allow("cold"); !ok {
+		t.Fatal("cold tenant throttled by hot tenant's bucket")
+	}
+	if q.Tenants() != 2 {
+		t.Errorf("Tenants() = %d, want 2", q.Tenants())
+	}
+}
+
+func TestQuotaDefaultBurst(t *testing.T) {
+	q, _ := newTestQuota(2.5, 0)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := q.Allow("t"); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 { // ceil(2.5) = 3
+		t.Fatalf("admitted %d with default burst at rate 2.5, want 3", admitted)
+	}
+}
+
+func TestQuotaTableBoundSweepsAndFailsOpen(t *testing.T) {
+	q, clk := newTestQuota(10, 2)
+	q.max = 8
+	// Fill the table with tenants whose buckets stay below full.
+	for i := 0; i < 8; i++ {
+		q.Allow(fmt.Sprintf("t%d", i))
+	}
+	if q.Tenants() != 8 {
+		t.Fatalf("Tenants() = %d, want 8", q.Tenants())
+	}
+	// Table full and nothing idle: the new tenant fails open (admitted,
+	// untracked).
+	if ok, _ := q.Allow("overflow"); !ok {
+		t.Fatal("saturated table must fail open")
+	}
+	if q.Tenants() != 8 {
+		t.Fatalf("overflow tenant was tracked; Tenants() = %d", q.Tenants())
+	}
+	// After everyone refills to full, a sweep makes room.
+	clk.advance(time.Minute)
+	if ok, _ := q.Allow("newcomer"); !ok {
+		t.Fatal("newcomer throttled")
+	}
+	if q.Tenants() != 1 {
+		t.Errorf("sweep kept %d buckets, want 1 (just the newcomer)", q.Tenants())
+	}
+}

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingGoldenOwners pins concrete placements so any change to the hash,
+// the point labels, or the search is caught as the fleet-wide remap it
+// would be. These values must never change within ring v1: every process
+// in a fleet relies on recomputing exactly them.
+func TestRingGoldenOwners(t *testing.T) {
+	r, err := NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Golden values captured from the v1 implementation.
+	want := map[string]int{
+		"default":  0,
+		"tenant-0": 2,
+		"tenant-1": 0,
+		"tenant-2": 1,
+		"alice":    0,
+		"bob":      2,
+	}
+	for tenant, w := range want {
+		if got := r.Owner(tenant); got != w {
+			t.Errorf("tenant %q: owner %d, want %d", tenant, got, w)
+		}
+	}
+	r5, err := NewRing(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tenant, w := range map[string]int{"default": 0, "tenant-42": 0} {
+		if got := r5.Owner(tenant); got != w {
+			t.Errorf("n=5 tenant %q: owner %d, want %d", tenant, got, w)
+		}
+	}
+	// Cross-process determinism: a freshly built identical ring (as a
+	// router or another shard would build) agrees on every tenant.
+	r2, err := NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		if a, b := r.Owner(tenant), r2.Owner(tenant); a != b {
+			t.Fatalf("tenant %q: ring instances disagree (%d vs %d)", tenant, a, b)
+		}
+	}
+}
+
+// TestRingOwnersInRange checks every owner is a valid shard index across a
+// spread of fleet sizes.
+func TestRingOwnersInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		r, err := NewRing(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			if o := r.Owner(fmt.Sprintf("t%d", i)); o < 0 || o >= n {
+				t.Fatalf("n=%d: owner %d out of range", n, o)
+			}
+		}
+	}
+}
+
+// TestRingUniformity places 10k tenants on fleets of several sizes and
+// bounds the skew: with 160 virtual nodes per shard, no shard should carry
+// more than ~1.5x the mean nor less than half of it.
+func TestRingUniformity(t *testing.T) {
+	const tenants = 10000
+	for _, n := range []int{2, 3, 5, 8} {
+		r, err := NewRing(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n)
+		for i := 0; i < tenants; i++ {
+			counts[r.Owner(fmt.Sprintf("tenant-%d", i))]++
+		}
+		mean := float64(tenants) / float64(n)
+		for shard, c := range counts {
+			if f := float64(c); f > 1.5*mean || f < 0.5*mean {
+				t.Errorf("n=%d shard %d: %d tenants, mean %.0f (skew out of [0.5, 1.5]x)", n, shard, c, mean)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement resizes N -> N+1 and checks consistent hashing's
+// defining property: only about K/(N+1) tenants move, and every tenant
+// that moves lands on the NEW shard (an old->old move would mean the ring
+// reshuffled rather than split).
+func TestRingMinimalMovement(t *testing.T) {
+	const tenants = 10000
+	for _, n := range []int{2, 3, 4, 7} {
+		before, err := NewRing(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewRing(n+1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i := 0; i < tenants; i++ {
+			tenant := fmt.Sprintf("tenant-%d", i)
+			a, b := before.Owner(tenant), after.Owner(tenant)
+			if a == b {
+				continue
+			}
+			moved++
+			if b != n {
+				t.Fatalf("n=%d->%d: tenant %q moved shard %d -> %d, not to the new shard", n, n+1, tenant, a, b)
+			}
+		}
+		// Expected movement is tenants/(n+1); allow 2x slack for hash noise.
+		if bound := 2 * tenants / (n + 1); moved > bound {
+			t.Errorf("n=%d->%d: %d tenants moved, want <= ~%d", n, n+1, moved, bound)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d->%d: no tenant moved; the new shard owns nothing", n, n+1)
+		}
+	}
+}
+
+// TestRingRejectsBadSizes covers the constructor's validation.
+func TestRingRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := NewRing(n, 0); err == nil {
+			t.Errorf("NewRing(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r, err := NewRing(8, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tenants := make([]string, 256)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("tenant-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owner(tenants[i%len(tenants)])
+	}
+}

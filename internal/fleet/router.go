@@ -1,0 +1,507 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"phocus/internal/obs"
+)
+
+// Router fronts a fleet of phocus-server shards as one HTTP service.
+// Tenant-keyed writes (POST /solve, POST /jobs, POST /instances/{fp}/delta)
+// are forwarded verbatim to the tenant's owning shard — the response,
+// including its X-Phocus-Shard header, streams back untouched, so a solve
+// through the router is byte-identical to solving on the shard directly.
+// Fleet-wide reads (GET /jobs, /slo, /stats) scatter to every shard under a
+// per-shard timeout and gather what answered: a down shard degrades the
+// result (flagged in the "fleet" envelope) instead of failing it. By-ID job
+// operations fan out to all shards and relay the one shard that knows the
+// ID.
+type Router struct {
+	shards  *ShardMap
+	client  *http.Client
+	timeout time.Duration
+	reg     *obs.Registry
+	logger  *slog.Logger
+	labels  *LabelGuard
+}
+
+// RouterOptions configures NewRouter.
+type RouterOptions struct {
+	// Map is the fleet topology (required; Self is ignored — a router owns
+	// no tenants).
+	Map *ShardMap
+	// Timeout bounds each shard's share of a scatter-gather read
+	// (≤ 0 = 5s). Tenant-keyed forwards are NOT subject to it: a long solve
+	// is bounded by the shard's own -solve-timeout, not the router.
+	Timeout time.Duration
+	// Client issues the upstream requests (nil = a default with sane
+	// keep-alive limits).
+	Client *http.Client
+	// Metrics receives the phocus_router_* series (nil = private registry).
+	Metrics *obs.Registry
+	// Logger receives forward/scatter failures (nil = discard).
+	Logger *slog.Logger
+}
+
+// NewRouter validates the options and builds the router.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if opts.Map == nil {
+		return nil, fmt.Errorf("fleet: router needs a shard map")
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = obs.NewRegistry()
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Router{
+		shards:  opts.Map,
+		client:  opts.Client,
+		timeout: opts.Timeout,
+		reg:     opts.Metrics,
+		logger:  opts.Logger,
+		labels:  NewLabelGuard(0),
+	}, nil
+}
+
+// Metrics returns the registry the router records into.
+func (rt *Router) Metrics() *obs.Registry { return rt.reg }
+
+// Handler builds the router's HTTP API. The surface mirrors
+// phocus-server's, so clients point at the router without changes.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", rt.forwardTenant)
+	mux.HandleFunc("POST /jobs", rt.forwardTenant)
+	mux.HandleFunc("POST /instances/{fp}/delta", rt.forwardTenant)
+	mux.HandleFunc("GET /jobs", rt.gatherJobs)
+	mux.HandleFunc("GET /jobs/{id}", rt.anyShard)
+	mux.HandleFunc("GET /jobs/{id}/result", rt.anyShard)
+	mux.HandleFunc("GET /jobs/{id}/trace", rt.anyShard)
+	mux.HandleFunc("DELETE /jobs/{id}", rt.anyShard)
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) { rt.gatherWrapped(w, r, "/slo") })
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) { rt.gatherWrapped(w, r, "/stats") })
+	// The router's own endpoints stamp the fleet identity; forwarded
+	// responses instead relay the owning shard's header verbatim, which is
+	// how a client learns where a tenant actually landed.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(ShardHeader, rt.shards.HeaderValue())
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(ShardHeader, rt.shards.HeaderValue())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := rt.reg.WritePrometheus(w); err != nil {
+			rt.logger.Error("write metrics", "err", err)
+		}
+	})
+	return mux
+}
+
+// forwardTenant routes one tenant-keyed request to its owning shard and
+// relays the response verbatim.
+func (rt *Router) forwardTenant(w http.ResponseWriter, r *http.Request) {
+	tenant, err := TenantFromRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	shard := rt.shards.Owner(tenant)
+	rt.reg.Counter("phocus_router_forwarded_total",
+		"shard", fmt.Sprint(shard), "tenant", rt.labels.Label(tenant)).Inc()
+
+	out, err := http.NewRequestWithContext(r.Context(), r.Method,
+		rt.shards.URL(shard)+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	copyHeader(out.Header, r.Header)
+	// Pin the resolved tenant so the shard's ownership check sees exactly
+	// what the router routed on, even when the client used the query param.
+	out.Header.Set(TenantHeader, tenant)
+	out.ContentLength = r.ContentLength
+
+	resp, err := rt.client.Do(out)
+	if err != nil {
+		rt.shardError(shard, err)
+		http.Error(w, fmt.Sprintf("shard %d unreachable: %v", shard, err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	relay(w, resp)
+}
+
+// anyShard fans a by-ID operation out to every shard and relays the one
+// response that is not a 404 — job IDs are random 16-hex strings, so at
+// most one shard knows any given ID. All-404 means the ID is truly unknown
+// (404); a 404-everywhere answer with some shards unreachable is reported
+// as 502, because the ID may well live on a shard that did not answer.
+func (rt *Router) anyShard(w http.ResponseWriter, r *http.Request) {
+	results := rt.scatter(r.Context(), r.Method, r.URL.RequestURI(), r.Header)
+	var failed []int
+	for _, res := range results {
+		if res.err != nil {
+			failed = append(failed, res.shard)
+			continue
+		}
+		if res.resp.StatusCode != http.StatusNotFound {
+			defer res.resp.Body.Close()
+			relay(w, res.resp)
+			// Drain the remaining bodies so connections go back to the pool.
+			for _, other := range results {
+				if other.resp != nil && other.resp != res.resp {
+					drain(other.resp)
+				}
+			}
+			return
+		}
+		drain(res.resp)
+	}
+	if len(failed) > 0 {
+		rt.reg.Counter("phocus_router_scatter_partial_total").Inc()
+		http.Error(w, fmt.Sprintf("not found on %d reachable shards; shards %v unreachable",
+			len(results)-len(failed), failed), http.StatusBadGateway)
+		return
+	}
+	http.Error(w, "no shard knows this ID", http.StatusNotFound)
+}
+
+// fleetMeta is the degradation envelope on every gathered response.
+type fleetMeta struct {
+	Shards      int    `json:"shards"`
+	Responded   []int  `json:"responded"`
+	Failed      []int  `json:"failed,omitempty"`
+	Degraded    bool   `json:"degraded"`
+	Fingerprint string `json:"map_fingerprint"`
+}
+
+// gatherJobs merges GET /jobs across the fleet: each shard is asked for
+// the first offset+limit jobs (its own listing is submission-ordered), the
+// union is re-sorted by submission time, and the requested page is sliced
+// out of the merge. Totals are summed over the shards that answered; a
+// shard that did not answer degrades the listing instead of failing it.
+func (rt *Router) gatherJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	offset, err := gatherInt(q.Get("offset"), 0)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("invalid offset %q: want a non-negative integer", q.Get("offset")), http.StatusBadRequest)
+		return
+	}
+	limit, err := gatherInt(q.Get("limit"), 100)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("invalid limit %q: want a non-negative integer", q.Get("limit")), http.StatusBadRequest)
+		return
+	}
+	// Each shard must contribute its first offset+limit jobs for the merged
+	// page to be exact.
+	perShard := q
+	perShard.Set("offset", "0")
+	perShard.Set("limit", fmt.Sprint(offset+limit))
+	results := rt.scatter(r.Context(), http.MethodGet, "/jobs?"+perShard.Encode(), r.Header)
+
+	type shardJob struct {
+		submittedAt string
+		id          string
+		doc         map[string]any
+	}
+	var merged []shardJob
+	total := 0
+	meta := rt.newMeta()
+	for _, res := range results {
+		doc, ok := rt.gatherJSON(res, &meta)
+		if !ok {
+			continue
+		}
+		var page struct {
+			Total int               `json:"total"`
+			Jobs  []json.RawMessage `json:"jobs"`
+		}
+		if err := json.Unmarshal(doc, &page); err != nil {
+			rt.shardError(res.shard, err)
+			meta.fail(res.shard)
+			continue
+		}
+		total += page.Total
+		for _, raw := range page.Jobs {
+			var m map[string]any
+			if err := json.Unmarshal(raw, &m); err != nil {
+				continue
+			}
+			m["shard"] = res.shard
+			sub, _ := m["submitted_at"].(string)
+			id, _ := m["id"].(string)
+			merged = append(merged, shardJob{submittedAt: sub, id: id, doc: m})
+		}
+	}
+	meta.finish()
+	// RFC 3339 timestamps sort lexically; the ID tie-break keeps the order
+	// stable when two shards admitted jobs in the same instant.
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].submittedAt != merged[b].submittedAt {
+			return merged[a].submittedAt < merged[b].submittedAt
+		}
+		return merged[a].id < merged[b].id
+	})
+	if offset > len(merged) {
+		offset = len(merged)
+	}
+	end := offset + limit
+	if end > len(merged) {
+		end = len(merged)
+	}
+	page := make([]map[string]any, 0, end-offset)
+	for _, sj := range merged[offset:end] {
+		page = append(page, sj.doc)
+	}
+	rt.writeGathered(w, meta, map[string]any{
+		"total":  total,
+		"offset": offset,
+		"count":  len(page),
+		"jobs":   page,
+		"fleet":  meta,
+	})
+}
+
+// gatherWrapped scatters a read-only endpoint and wraps the per-shard
+// documents unmerged: {"fleet": {...}, "shards": {"0": {...}, ...}}. For
+// /slo the envelope also carries the worst per-shard status so dashboards
+// need not dig.
+func (rt *Router) gatherWrapped(w http.ResponseWriter, r *http.Request, path string) {
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	results := rt.scatter(r.Context(), http.MethodGet, path, r.Header)
+	meta := rt.newMeta()
+	shards := make(map[string]json.RawMessage, len(results))
+	worst := ""
+	for _, res := range results {
+		doc, ok := rt.gatherJSON(res, &meta)
+		if !ok {
+			continue
+		}
+		shards[fmt.Sprint(res.shard)] = doc
+		var status struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(doc, &status); err == nil {
+			worst = worstStatus(worst, status.Status)
+		}
+	}
+	meta.finish()
+	out := map[string]any{"fleet": meta, "shards": shards}
+	if worst != "" {
+		out["status"] = worst
+	}
+	rt.writeGathered(w, meta, out)
+}
+
+// handleReadyz reports fleet readiness: 200 while at least one shard
+// answers its own /readyz with 200 (degraded service beats no service);
+// 503 once none does.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(ShardHeader, rt.shards.HeaderValue())
+	results := rt.scatter(r.Context(), http.MethodGet, "/readyz", nil)
+	ready := 0
+	for _, res := range results {
+		if res.err == nil {
+			if res.resp.StatusCode == http.StatusOK {
+				ready++
+			}
+			drain(res.resp)
+		}
+	}
+	if ready == 0 {
+		http.Error(w, "no shard ready", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintf(w, "ok (%d/%d shards ready)\n", ready, rt.shards.N())
+}
+
+// shardResult is one shard's answer to a scatter.
+type shardResult struct {
+	shard int
+	resp  *http.Response
+	err   error
+}
+
+// scatter issues the request to every shard concurrently under the
+// per-shard timeout and returns the results ordered by shard index.
+func (rt *Router) scatter(ctx context.Context, method, pathQuery string, hdr http.Header) []shardResult {
+	ctx, cancel := context.WithTimeout(ctx, rt.timeout)
+	// cancel after all bodies are consumed; the results carry live bodies,
+	// so the deferred cancel must not fire before callers read them. The
+	// timeout itself still bounds every in-flight request.
+	_ = cancel
+	results := make([]shardResult, rt.shards.N())
+	var wg sync.WaitGroup
+	for i := 0; i < rt.shards.N(); i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, method, rt.shards.URL(shard)+pathQuery, nil)
+			if err != nil {
+				results[shard] = shardResult{shard: shard, err: err}
+				return
+			}
+			if hdr != nil {
+				copyHeader(req.Header, hdr)
+			}
+			resp, err := rt.client.Do(req)
+			results[shard] = shardResult{shard: shard, resp: resp, err: err}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// gatherMeta accumulates the degradation envelope while a gather consumes
+// shard results.
+type gatherMeta struct {
+	fleetMeta
+	rt *Router
+}
+
+func (rt *Router) newMeta() gatherMeta {
+	return gatherMeta{fleetMeta: fleetMeta{
+		Shards:      rt.shards.N(),
+		Responded:   []int{},
+		Fingerprint: rt.shards.Fingerprint(),
+	}, rt: rt}
+}
+
+func (m *gatherMeta) fail(shard int) {
+	for _, f := range m.Failed {
+		if f == shard {
+			return
+		}
+	}
+	m.Failed = append(m.Failed, shard)
+}
+
+func (m *gatherMeta) finish() {
+	m.Degraded = len(m.Failed) > 0
+	if m.Degraded {
+		m.rt.reg.Counter("phocus_router_scatter_partial_total").Inc()
+	}
+}
+
+// gatherJSON folds one scatter result into the meta and returns its body
+// when the shard answered 200.
+func (rt *Router) gatherJSON(res shardResult, meta *gatherMeta) (json.RawMessage, bool) {
+	if res.err != nil {
+		rt.shardError(res.shard, res.err)
+		meta.fail(res.shard)
+		return nil, false
+	}
+	defer res.resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(res.resp.Body, 64<<20))
+	if err != nil || res.resp.StatusCode != http.StatusOK {
+		if err == nil {
+			err = fmt.Errorf("status %d", res.resp.StatusCode)
+		}
+		rt.shardError(res.shard, err)
+		meta.fail(res.shard)
+		return nil, false
+	}
+	meta.Responded = append(meta.Responded, res.shard)
+	return body, true
+}
+
+// writeGathered emits a gathered document: 200 with the degradation
+// envelope while any shard answered, 502 only when none did.
+func (rt *Router) writeGathered(w http.ResponseWriter, meta gatherMeta, doc any) {
+	w.Header().Set(ShardHeader, rt.shards.HeaderValue())
+	w.Header().Set("Content-Type", "application/json")
+	if len(meta.Responded) == 0 {
+		w.WriteHeader(http.StatusBadGateway)
+	}
+	json.NewEncoder(w).Encode(doc)
+}
+
+// shardError counts and logs one upstream failure.
+func (rt *Router) shardError(shard int, err error) {
+	rt.reg.Counter("phocus_router_shard_errors_total", "shard", fmt.Sprint(shard)).Inc()
+	rt.logger.Warn("shard error", "shard", shard, "err", err)
+}
+
+// relay copies an upstream response to the client verbatim.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// drain discards a response body so its connection can be reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// hop-by-hop headers must not be forwarded (RFC 7230 §6.1).
+var hopByHop = map[string]bool{
+	"Connection": true, "Keep-Alive": true, "Proxy-Authenticate": true,
+	"Proxy-Authorization": true, "Te": true, "Trailer": true,
+	"Transfer-Encoding": true, "Upgrade": true,
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		if hopByHop[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// gatherInt parses a non-negative integer query value ("" = def).
+func gatherInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	var v int
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil || v < 0 || fmt.Sprint(v) != strings.TrimSpace(s) {
+		return 0, fmt.Errorf("invalid int %q", s)
+	}
+	return v, nil
+}
+
+// worstStatus folds two SLO statuses (ok < warn < breach; "" = unknown).
+func worstStatus(a, b string) string {
+	rank := func(s string) int {
+		switch s {
+		case "breach":
+			return 3
+		case "warn":
+			return 2
+		case "ok":
+			return 1
+		}
+		return 0
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,395 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fleetHarness is a router in front of N stub shards.
+type fleetHarness struct {
+	router  *httptest.Server
+	shards  []*httptest.Server
+	hits    []atomic.Int64 // per-shard request count
+	handler []http.Handler // swappable per-shard behavior
+	m       *ShardMap
+}
+
+func newFleetHarness(t *testing.T, n int, mk func(shard int) http.Handler) *fleetHarness {
+	t.Helper()
+	h := &fleetHarness{hits: make([]atomic.Int64, n), handler: make([]http.Handler, n)}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		h.handler[i] = mk(i)
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h.hits[i].Add(1)
+			h.handler[i].ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		h.shards = append(h.shards, srv)
+		urls[i] = srv.URL
+	}
+	m, err := NewShardMap(-1, urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.m = m
+	rt, err := NewRouter(RouterOptions{Map: m, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.router = httptest.NewServer(rt.Handler())
+	t.Cleanup(h.router.Close)
+	return h
+}
+
+// echoShard answers every request with a JSON document describing what it
+// received, so tests can assert on the forwarded request.
+func echoShard(shard int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("X-Echo-Shard", fmt.Sprint(shard))
+		w.Header().Set(ShardHeader, fmt.Sprintf("%d/3@stub", shard))
+		json.NewEncoder(w).Encode(map[string]any{
+			"shard":  shard,
+			"method": r.Method,
+			"path":   r.URL.RequestURI(),
+			"tenant": r.Header.Get(TenantHeader),
+			"body":   string(body),
+		})
+	})
+}
+
+func TestRouterForwardsToOwningShard(t *testing.T) {
+	h := newFleetHarness(t, 3, echoShard)
+	for _, tenant := range []string{"alice", "bob", "tenant-7", "default"} {
+		want := h.m.Owner(tenant)
+		req, _ := http.NewRequest("POST", h.router.URL+"/solve?algo=greedy", strings.NewReader(`{"x":1}`))
+		req.Header.Set(TenantHeader, tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var echo struct {
+			Shard  int    `json:"shard"`
+			Path   string `json:"path"`
+			Tenant string `json:"tenant"`
+			Body   string `json:"body"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&echo); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if echo.Shard != want {
+			t.Errorf("tenant %q: forwarded to shard %d, ring says %d", tenant, echo.Shard, want)
+		}
+		if echo.Tenant != tenant {
+			t.Errorf("tenant %q: shard saw tenant header %q", tenant, echo.Tenant)
+		}
+		if echo.Path != "/solve?algo=greedy" {
+			t.Errorf("path %q lost the query", echo.Path)
+		}
+		if echo.Body != `{"x":1}` {
+			t.Errorf("body %q not relayed", echo.Body)
+		}
+		// The shard's own response headers pass through untouched.
+		if got := resp.Header.Get(ShardHeader); got != fmt.Sprintf("%d/3@stub", want) {
+			t.Errorf("shard header %q not relayed", got)
+		}
+	}
+	// The tenant query-param fallback routes identically.
+	resp, err := http.Post(h.router.URL+"/jobs?tenant=alice", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var echo struct {
+		Shard  int    `json:"shard"`
+		Tenant string `json:"tenant"`
+	}
+	json.NewDecoder(resp.Body).Decode(&echo)
+	resp.Body.Close()
+	if echo.Shard != h.m.Owner("alice") || echo.Tenant != "alice" {
+		t.Errorf("query-param tenant: shard %d tenant %q", echo.Shard, echo.Tenant)
+	}
+}
+
+func TestRouterRejectsBadTenant(t *testing.T) {
+	h := newFleetHarness(t, 2, echoShard)
+	req, _ := http.NewRequest("POST", h.router.URL+"/solve", strings.NewReader("{}"))
+	req.Header.Set(TenantHeader, "no spaces allowed")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	for i := range h.hits {
+		if h.hits[i].Load() != 0 {
+			t.Error("bad tenant still reached a shard")
+		}
+	}
+}
+
+func TestRouterRelaysErrorStatus(t *testing.T) {
+	h := newFleetHarness(t, 2, func(shard int) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "wrong shard", http.StatusMisdirectedRequest)
+		})
+	})
+	resp, err := http.Post(h.router.URL+"/solve?tenant=alice", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("status %d, want 421 relayed", resp.StatusCode)
+	}
+}
+
+func TestRouterShardDown(t *testing.T) {
+	h := newFleetHarness(t, 3, echoShard)
+	// Find a tenant owned by shard 1, then kill shard 1.
+	tenant := ""
+	for i := 0; i < 1000; i++ {
+		c := fmt.Sprintf("tenant-%d", i)
+		if h.m.Owner(c) == 1 {
+			tenant = c
+			break
+		}
+	}
+	if tenant == "" {
+		t.Fatal("no tenant maps to shard 1")
+	}
+	h.shards[1].Close()
+	resp, err := http.Post(h.router.URL+"/solve?tenant="+tenant, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502 when the owning shard is down", resp.StatusCode)
+	}
+}
+
+// jobsShard serves a canned GET /jobs page.
+func jobsShard(shard int, jobs []map[string]any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/jobs" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"total": len(jobs), "jobs": jobs})
+	})
+}
+
+func TestRouterGatherJobsMergesAndDegrades(t *testing.T) {
+	pages := [][]map[string]any{
+		{{"id": "aaa", "submitted_at": "2026-08-08T10:00:01Z"}, {"id": "ccc", "submitted_at": "2026-08-08T10:00:03Z"}},
+		{{"id": "bbb", "submitted_at": "2026-08-08T10:00:02Z"}},
+		{{"id": "ddd", "submitted_at": "2026-08-08T10:00:04Z"}},
+	}
+	h := newFleetHarness(t, 3, func(shard int) http.Handler { return jobsShard(shard, pages[shard]) })
+
+	resp, err := http.Get(h.router.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Total int `json:"total"`
+		Count int `json:"count"`
+		Jobs  []struct {
+			ID    string `json:"id"`
+			Shard int    `json:"shard"`
+		} `json:"jobs"`
+		Fleet struct {
+			Shards    int   `json:"shards"`
+			Responded []int `json:"responded"`
+			Failed    []int `json:"failed"`
+			Degraded  bool  `json:"degraded"`
+		} `json:"fleet"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if doc.Total != 4 || doc.Count != 4 {
+		t.Fatalf("total=%d count=%d, want 4/4", doc.Total, doc.Count)
+	}
+	for i, want := range []string{"aaa", "bbb", "ccc", "ddd"} {
+		if doc.Jobs[i].ID != want {
+			t.Fatalf("merged order %v, want chronological by submitted_at", doc.Jobs)
+		}
+	}
+	if doc.Jobs[1].Shard != 1 {
+		t.Errorf("job bbb tagged shard %d, want 1", doc.Jobs[1].Shard)
+	}
+	if doc.Fleet.Degraded || len(doc.Fleet.Responded) != 3 {
+		t.Errorf("healthy fleet reported %+v", doc.Fleet)
+	}
+
+	// One shard down: the listing degrades, it does not fail.
+	h.shards[2].Close()
+	resp, err = http.Get(h.router.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded status %d, want 200", resp.StatusCode)
+	}
+	if doc.Total != 3 || !doc.Fleet.Degraded || len(doc.Fleet.Failed) != 1 || doc.Fleet.Failed[0] != 2 {
+		t.Errorf("degraded doc: total=%d fleet=%+v", doc.Total, doc.Fleet)
+	}
+}
+
+func TestRouterGatherJobsPagination(t *testing.T) {
+	pages := [][]map[string]any{
+		{{"id": "a1", "submitted_at": "2026-08-08T10:00:01Z"}, {"id": "a3", "submitted_at": "2026-08-08T10:00:03Z"}},
+		{{"id": "a2", "submitted_at": "2026-08-08T10:00:02Z"}, {"id": "a4", "submitted_at": "2026-08-08T10:00:04Z"}},
+	}
+	h := newFleetHarness(t, 2, func(shard int) http.Handler { return jobsShard(shard, pages[shard]) })
+	resp, err := http.Get(h.router.URL + "/jobs?offset=1&limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Offset int `json:"offset"`
+		Jobs   []struct {
+			ID string `json:"id"`
+		} `json:"jobs"`
+	}
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if len(doc.Jobs) != 2 || doc.Jobs[0].ID != "a2" || doc.Jobs[1].ID != "a3" {
+		t.Fatalf("page at offset=1 limit=2: %+v", doc.Jobs)
+	}
+
+	if resp, err = http.Get(h.router.URL + "/jobs?offset=-1"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative offset: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRouterGatherWrappedWorstStatus(t *testing.T) {
+	statuses := []string{"ok", "breach", "warn"}
+	h := newFleetHarness(t, 3, func(shard int) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			json.NewEncoder(w).Encode(map[string]any{"status": statuses[shard]})
+		})
+	})
+	resp, err := http.Get(h.router.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Status string                     `json:"status"`
+		Shards map[string]json.RawMessage `json:"shards"`
+		Fleet  struct {
+			Degraded bool `json:"degraded"`
+		} `json:"fleet"`
+	}
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if doc.Status != "breach" {
+		t.Errorf("fleet status %q, want worst-of = breach", doc.Status)
+	}
+	if len(doc.Shards) != 3 {
+		t.Errorf("gathered %d shard docs, want 3", len(doc.Shards))
+	}
+	if got := resp.Header.Get(ShardHeader); !strings.HasPrefix(got, "fleet/3@") {
+		t.Errorf("scatter response shard header %q", got)
+	}
+}
+
+func TestRouterAnyShard(t *testing.T) {
+	h := newFleetHarness(t, 3, func(shard int) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if shard == 1 && strings.HasPrefix(r.URL.Path, "/jobs/deadbeef") {
+				json.NewEncoder(w).Encode(map[string]any{"id": "deadbeef", "shard": shard})
+				return
+			}
+			http.NotFound(w, r)
+		})
+	})
+	resp, err := http.Get(h.router.URL + "/jobs/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Shard int `json:"shard"`
+	}
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || doc.Shard != 1 {
+		t.Fatalf("status %d shard %d, want 200 from shard 1", resp.StatusCode, doc.Shard)
+	}
+
+	// Unknown everywhere: a clean 404.
+	if resp, err = http.Get(h.router.URL + "/jobs/0000000000000000"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown ID: status %d, want 404", resp.StatusCode)
+	}
+
+	// Unknown on reachable shards with one shard down: 502, because the ID
+	// may live on the unreachable shard.
+	h.shards[2].Close()
+	if resp, err = http.Get(h.router.URL + "/jobs/0000000000000000"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("partial 404: status %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestRouterReadyz(t *testing.T) {
+	h := newFleetHarness(t, 2, func(shard int) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/readyz" && shard == 0 {
+				fmt.Fprintln(w, "ok")
+				return
+			}
+			http.Error(w, "warming", http.StatusServiceUnavailable)
+		})
+	})
+	resp, err := http.Get(h.router.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("one shard ready: status %d, want 200", resp.StatusCode)
+	}
+
+	h.handler[0] = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "warming", http.StatusServiceUnavailable)
+	})
+	if resp, err = http.Get(h.router.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("no shard ready: status %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,226 @@
+package fleet
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ShardHeader is the response header every shard (and the router) sets so
+// misrouted requests are diagnosable from the client side: the value is
+// "<self>/<N>@<map fingerprint>" ("fleet/<N>@<fp>" on router-originated
+// scatter responses).
+const ShardHeader = "X-Phocus-Shard"
+
+// TenantHeader carries the tenant ID on requests. The query parameter
+// "tenant" is the fallback for clients that cannot set headers.
+const TenantHeader = "X-Phocus-Tenant"
+
+// ShardMap is the fleet's static topology: the base URL of every shard,
+// ordered by shard index, plus which index this process is (-1 for a
+// router or an external client, which participate in placement but own no
+// tenants). Placement comes from the embedded consistent-hash Ring, so two
+// processes holding maps with the same shard count agree on every tenant's
+// owner even if their URLs differ (e.g. shards dial each other on an
+// internal network while the router uses public addresses).
+type ShardMap struct {
+	// Self is this process's shard index, or -1 for a non-shard.
+	Self int
+	urls []string
+	ring *Ring
+	fp   string
+}
+
+// NewShardMap validates the topology and builds the placement ring. urls
+// are shard base URLs ordered by shard index; self must be -1 or a valid
+// index.
+func NewShardMap(self int, urls []string) (*ShardMap, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("fleet: shard map needs at least one shard")
+	}
+	if self < -1 || self >= len(urls) {
+		return nil, fmt.Errorf("fleet: shard index %d out of range for %d shards", self, len(urls))
+	}
+	clean := make([]string, len(urls))
+	for i, raw := range urls {
+		u, err := normalizeShardURL(raw)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		clean[i] = u
+	}
+	ring, err := NewRing(len(clean), 0)
+	if err != nil {
+		return nil, err
+	}
+	// The fingerprint covers the ordered URL list, so any two processes
+	// holding the same map compute the same value and a header mismatch
+	// pinpoints a stale or divergent topology.
+	h := sha256.New()
+	for i, u := range clean {
+		fmt.Fprintf(h, "%d=%s\n", i, u)
+	}
+	return &ShardMap{
+		Self: self,
+		urls: clean,
+		ring: ring,
+		fp:   hex.EncodeToString(h.Sum(nil))[:12],
+	}, nil
+}
+
+// normalizeShardURL validates one shard base URL: absolute http(s), no
+// trailing slash (so URL(i)+path concatenates cleanly).
+func normalizeShardURL(raw string) (string, error) {
+	raw = strings.TrimRight(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("invalid URL %q: %v", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("invalid URL %q: want absolute http(s)://host[:port]", raw)
+	}
+	return raw, nil
+}
+
+// N returns the shard count.
+func (m *ShardMap) N() int { return len(m.urls) }
+
+// URL returns shard i's base URL (no trailing slash).
+func (m *ShardMap) URL(i int) string { return m.urls[i] }
+
+// URLs returns a copy of the ordered shard URL list.
+func (m *ShardMap) URLs() []string { return append([]string(nil), m.urls...) }
+
+// Fingerprint returns the 12-hex digest of the ordered shard URL list.
+func (m *ShardMap) Fingerprint() string { return m.fp }
+
+// Owner returns the shard index owning the tenant.
+func (m *ShardMap) Owner(tenant string) int { return m.ring.Owner(tenant) }
+
+// Owns reports whether this process is the tenant's owning shard.
+func (m *ShardMap) Owns(tenant string) bool {
+	return m.Self >= 0 && m.ring.Owner(tenant) == m.Self
+}
+
+// HeaderValue renders the ShardHeader value for this process:
+// "<self>/<N>@<fp>", with "fleet" in place of the index for non-shards.
+func (m *ShardMap) HeaderValue() string {
+	if m.Self < 0 {
+		return fmt.Sprintf("fleet/%d@%s", len(m.urls), m.fp)
+	}
+	return fmt.Sprintf("%d/%d@%s", m.Self, len(m.urls), m.fp)
+}
+
+// ParseShardSpec parses the -shard flag: "i/N" pins both this process's
+// index and the expected fleet size; a bare "i" pins only the index (the
+// size then comes from the shard map file). Returns n = 0 when the spec
+// does not name a size.
+func ParseShardSpec(spec string) (self, n int, err error) {
+	idx, size, found := strings.Cut(spec, "/")
+	self, err = strconv.Atoi(strings.TrimSpace(idx))
+	if err != nil || self < 0 {
+		return 0, 0, fmt.Errorf("fleet: invalid -shard %q: want \"i/N\" or \"i\" with i >= 0", spec)
+	}
+	if !found {
+		return self, 0, nil
+	}
+	n, err = strconv.Atoi(strings.TrimSpace(size))
+	if err != nil || n <= 0 || self >= n {
+		return 0, 0, fmt.Errorf("fleet: invalid -shard %q: want \"i/N\" with 0 <= i < N", spec)
+	}
+	return self, n, nil
+}
+
+// SplitPeers parses the -peers flag: a comma-separated shard URL list
+// ordered by shard index. Empty elements are rejected rather than skipped —
+// a doubled comma almost certainly means a shard fell out of the list, and
+// silently compacting it would renumber every shard after it.
+func SplitPeers(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, fmt.Errorf("fleet: empty -peers list")
+	}
+	parts := strings.Split(csv, ",")
+	urls := make([]string, len(parts))
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("fleet: empty entry at position %d in -peers list", i)
+		}
+		urls[i] = p
+	}
+	return urls, nil
+}
+
+// ParseShardMap reads a shard map file: one shard base URL per line,
+// ordered by shard index. Blank lines and #-comments are skipped. A line
+// may carry an explicit "<index> <url>" prefix; when present the index
+// must equal the line's position, which guards a hand-edited file against
+// silently renumbering the fleet.
+func ParseShardMap(r io.Reader) ([]string, error) {
+	var urls []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if first, rest, found := strings.Cut(line, " "); found {
+			idx, err := strconv.Atoi(first)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: shard map line %d: %q is neither a URL nor \"<index> <url>\"", lineNo, line)
+			}
+			if idx != len(urls) {
+				return nil, fmt.Errorf("fleet: shard map line %d: index %d out of order (expected %d)", lineNo, idx, len(urls))
+			}
+			line = strings.TrimSpace(rest)
+		}
+		if _, err := normalizeShardURL(line); err != nil {
+			return nil, fmt.Errorf("fleet: shard map line %d: %v", lineNo, err)
+		}
+		urls = append(urls, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: read shard map: %w", err)
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("fleet: shard map names no shards")
+	}
+	return urls, nil
+}
+
+// LoadShardMap reads a shard map file from disk.
+func LoadShardMap(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: open shard map: %w", err)
+	}
+	defer f.Close()
+	return ParseShardMap(f)
+}
+
+// ValidTenant reports whether the tenant ID is well-formed: 1–64 chars of
+// [A-Za-z0-9._-], not starting with a separator. The bound keeps tenant
+// IDs safe as metric labels, log fields and hash inputs.
+func ValidTenant(t string) bool {
+	if len(t) == 0 || len(t) > 64 {
+		return false
+	}
+	for i, c := range t {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9':
+		case (c == '.' || c == '_' || c == '-') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

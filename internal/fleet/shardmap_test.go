@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewShardMap(t *testing.T) {
+	m, err := NewShardMap(1, []string{"http://a:8080", "http://b:8080/", " http://c:8080 "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 3 {
+		t.Fatalf("N() = %d, want 3", m.N())
+	}
+	if got := m.URL(1); got != "http://b:8080" {
+		t.Errorf("URL(1) = %q, want trailing slash trimmed", got)
+	}
+	if got := m.URL(2); got != "http://c:8080" {
+		t.Errorf("URL(2) = %q, want whitespace trimmed", got)
+	}
+	if len(m.Fingerprint()) != 12 {
+		t.Errorf("fingerprint %q, want 12 hex chars", m.Fingerprint())
+	}
+	if got := m.HeaderValue(); got != "1/3@"+m.Fingerprint() {
+		t.Errorf("HeaderValue() = %q", got)
+	}
+	router, err := NewShardMap(-1, m.URLs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := router.HeaderValue(); got != "fleet/3@"+m.Fingerprint() {
+		t.Errorf("router HeaderValue() = %q", got)
+	}
+	// Same URL list => same fingerprint and same placement, regardless of Self.
+	if router.Fingerprint() != m.Fingerprint() {
+		t.Error("fingerprint differs between shard and router maps of the same fleet")
+	}
+	for _, tenant := range []string{"default", "alice", "tenant-99"} {
+		if a, b := m.Owner(tenant), router.Owner(tenant); a != b {
+			t.Errorf("tenant %q: shard map says %d, router map says %d", tenant, a, b)
+		}
+		if m.Owns(tenant) != (m.Owner(tenant) == 1) {
+			t.Errorf("Owns(%q) inconsistent with Owner", tenant)
+		}
+		if router.Owns(tenant) {
+			t.Errorf("router (Self=-1) claims to own %q", tenant)
+		}
+	}
+}
+
+func TestNewShardMapRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		self int
+		urls []string
+	}{
+		{"empty", 0, nil},
+		{"self out of range", 3, []string{"http://a", "http://b"}},
+		{"self too negative", -2, []string{"http://a"}},
+		{"relative URL", 0, []string{"a:8080"}},
+		{"bad scheme", 0, []string{"ftp://a:8080"}},
+		{"no host", 0, []string{"http://"}},
+	}
+	for _, tc := range cases {
+		if _, err := NewShardMap(tc.self, tc.urls); err == nil {
+			t.Errorf("%s: NewShardMap succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestFingerprintTracksTopology(t *testing.T) {
+	a, _ := NewShardMap(0, []string{"http://a:1", "http://b:2"})
+	b, _ := NewShardMap(0, []string{"http://b:2", "http://a:1"})
+	c, _ := NewShardMap(0, []string{"http://a:1", "http://b:2", "http://c:3"})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("reordered shard list kept the same fingerprint")
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("grown shard list kept the same fingerprint")
+	}
+}
+
+func TestParseShardSpec(t *testing.T) {
+	for _, tc := range []struct {
+		spec    string
+		self, n int
+		ok      bool
+	}{
+		{"0/3", 0, 3, true},
+		{"2/3", 2, 3, true},
+		{"1", 1, 0, true},
+		{"0", 0, 0, true},
+		{"3/3", 0, 0, false},
+		{"-1/3", 0, 0, false},
+		{"a/3", 0, 0, false},
+		{"1/0", 0, 0, false},
+		{"", 0, 0, false},
+		{"1/x", 0, 0, false},
+	} {
+		self, n, err := ParseShardSpec(tc.spec)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseShardSpec(%q): err=%v, want ok=%v", tc.spec, err, tc.ok)
+			continue
+		}
+		if tc.ok && (self != tc.self || n != tc.n) {
+			t.Errorf("ParseShardSpec(%q) = (%d, %d), want (%d, %d)", tc.spec, self, n, tc.self, tc.n)
+		}
+	}
+}
+
+func TestSplitPeers(t *testing.T) {
+	urls, err := SplitPeers("http://a:1, http://b:2 ,http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(urls) != 3 || urls[1] != "http://b:2" {
+		t.Fatalf("SplitPeers = %v", urls)
+	}
+	for _, bad := range []string{"", "  ", "http://a,,http://b", "http://a,"} {
+		if _, err := SplitPeers(bad); err == nil {
+			t.Errorf("SplitPeers(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseShardMapFile(t *testing.T) {
+	const file = `
+# the phocus fleet
+http://a:8080
+
+0 is not an index here because the next lines use plain URLs
+`
+	if _, err := ParseShardMap(strings.NewReader(file)); err == nil {
+		t.Error("malformed line accepted")
+	}
+
+	good := `# fleet
+http://a:8080
+http://b:8080/
+http://c:8080
+`
+	urls, err := ParseShardMap(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(urls) != 3 {
+		t.Fatalf("got %d urls, want 3", len(urls))
+	}
+
+	indexed := `0 http://a:8080
+1 http://b:8080
+2 http://c:8080
+`
+	urls, err = ParseShardMap(strings.NewReader(indexed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(urls) != 3 || urls[2] != "http://c:8080" {
+		t.Fatalf("indexed form parsed to %v", urls)
+	}
+
+	outOfOrder := `0 http://a:8080
+2 http://c:8080
+`
+	if _, err := ParseShardMap(strings.NewReader(outOfOrder)); err == nil {
+		t.Error("out-of-order indices accepted; a hand-edit just renumbered the fleet")
+	}
+
+	if _, err := ParseShardMap(strings.NewReader("# only comments\n")); err == nil {
+		t.Error("empty shard map accepted")
+	}
+}
+
+// FuzzParseShardMap feeds arbitrary bytes through the shard-map parser: it
+// must never panic, and whatever it accepts must round-trip into a valid
+// ShardMap.
+func FuzzParseShardMap(f *testing.F) {
+	f.Add("http://a:8080\nhttp://b:8080\n")
+	f.Add("# comment\n\n0 http://a:8080\n1 http://b:8080\n")
+	f.Add("2 http://c\n")
+	f.Add("ftp://nope\n")
+	f.Add("0\n")
+	f.Add(strings.Repeat("http://a:8080\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		urls, err := ParseShardMap(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(urls) == 0 {
+			t.Fatal("accepted a shard map with no shards")
+		}
+		if _, err := NewShardMap(0, urls); err != nil {
+			t.Fatalf("parser accepted %q but NewShardMap rejects: %v", input, err)
+		}
+	})
+}
+
+func TestValidTenant(t *testing.T) {
+	for _, ok := range []string{"default", "a", "tenant-0", "A.B_c-9", strings.Repeat("x", 64)} {
+		if !ValidTenant(ok) {
+			t.Errorf("ValidTenant(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "-lead", ".lead", "_lead", "has space", "sla/sh", "émoji", strings.Repeat("x", 65)} {
+		if ValidTenant(bad) {
+			t.Errorf("ValidTenant(%q) = true, want false", bad)
+		}
+	}
+}

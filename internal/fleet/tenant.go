@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// TenantFromRequest resolves the request's tenant ID: the X-Phocus-Tenant
+// header wins, the "tenant" query parameter is the fallback, and requests
+// naming neither belong to DefaultTenant. Malformed IDs are an error (the
+// server answers 400) rather than a silent fallback — a typoed tenant must
+// not quietly land in the default tenant's shard and quota.
+func TenantFromRequest(r *http.Request) (string, error) {
+	t := r.Header.Get(TenantHeader)
+	if t == "" {
+		t = r.URL.Query().Get("tenant")
+	}
+	if t == "" {
+		return DefaultTenant, nil
+	}
+	if !ValidTenant(t) {
+		return "", fmt.Errorf("invalid tenant %q: want 1-64 chars of [A-Za-z0-9._-], not starting with a separator", t)
+	}
+	return t, nil
+}
+
+// LabelGuard bounds tenant-label cardinality on metrics: the first Cap
+// distinct tenants keep their own label, every later one collapses into
+// "other". Without it a client sweeping random tenant IDs would mint an
+// unbounded number of phocus_tenant_* series.
+type LabelGuard struct {
+	mu   sync.Mutex
+	cap  int
+	seen map[string]struct{}
+}
+
+// OverflowLabel is the collapsed label of tenants beyond the guard's cap.
+const OverflowLabel = "other"
+
+// NewLabelGuard returns a guard admitting up to cap distinct labels
+// (cap ≤ 0 = 1000).
+func NewLabelGuard(cap int) *LabelGuard {
+	if cap <= 0 {
+		cap = 1000
+	}
+	return &LabelGuard{cap: cap, seen: make(map[string]struct{})}
+}
+
+// Label returns the metric label to use for the tenant: the tenant itself
+// while the guard has room (or has seen it before), OverflowLabel beyond.
+func (g *LabelGuard) Label(tenant string) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.seen[tenant]; ok {
+		return tenant
+	}
+	if len(g.seen) >= g.cap {
+		return OverflowLabel
+	}
+	g.seen[tenant] = struct{}{}
+	return tenant
+}

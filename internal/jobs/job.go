@@ -56,6 +56,10 @@ func (s State) Valid() bool {
 type Job struct {
 	// ID is the job's unique identifier (assigned by the Service).
 	ID string `json:"id"`
+	// Tenant is the owning tenant. It is omitempty for WAL back-compat:
+	// pre-tenancy v1 records carry no tenant and replay assigns them
+	// fleet.DefaultTenant, so an upgraded shard keeps serving its old jobs.
+	Tenant string `json:"tenant,omitempty"`
 	// Seq orders jobs by submission (monotonic across restarts); listings
 	// and queue replay use it.
 	Seq uint64 `json:"seq"`

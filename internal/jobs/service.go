@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"phocus/internal/fleet"
 	"phocus/internal/obs"
 	"phocus/internal/pool"
 )
@@ -211,15 +212,24 @@ func (s *Service) QueueDepthCap() int { return s.cfg.QueueDepth }
 // finished and shutdown has not begun. /readyz keys off it.
 func (s *Service) Ready() bool { return s.ready.Load() && !s.draining.Load() }
 
-// Submit admits a new job: admission control first (ErrQueueFull →  429),
-// then the WAL submit record, then the queue. The returned Job is the
-// accepted snapshot (state queued).
+// Submit admits a new job for the default tenant; see SubmitTenant.
 func (s *Service) Submit(params string, body []byte) (Job, error) {
+	return s.SubmitTenant(fleet.DefaultTenant, params, body)
+}
+
+// SubmitTenant admits a new job owned by the given tenant: admission
+// control first (ErrQueueFull →  429), then the WAL submit record, then the
+// queue. The returned Job is the accepted snapshot (state queued).
+func (s *Service) SubmitTenant(tenant, params string, body []byte) (Job, error) {
 	if !s.Ready() {
 		return Job{}, ErrDraining
 	}
+	if tenant == "" {
+		tenant = fleet.DefaultTenant
+	}
 	job := &Job{
 		ID:          newJobID(),
+		Tenant:      tenant,
 		Params:      params,
 		Body:        body,
 		BodyBytes:   int64(len(body)),
@@ -256,21 +266,32 @@ func (s *Service) Submit(params string, body []byte) (Job, error) {
 	return *job, nil
 }
 
-// SubmitAt admits a job that must not run before the given time: it lands
-// durably in the WAL (state queued, NotBefore set) but enters the runnable
-// queue only when the deadline passes. A zero or past deadline degrades to
-// a plain Submit. Deferred jobs bypass the queue caps when they fire — they
-// were admitted at SubmitAt time, like a requeue — and survive restarts:
-// replay re-arms pending deadlines and requeues past-due ones.
+// SubmitAt admits a deferred job for the default tenant; see
+// SubmitTenantAt.
 func (s *Service) SubmitAt(params string, body []byte, at time.Time) (Job, error) {
+	return s.SubmitTenantAt(fleet.DefaultTenant, params, body, at)
+}
+
+// SubmitTenantAt admits a tenant-owned job that must not run before the
+// given time: it lands durably in the WAL (state queued, NotBefore set) but
+// enters the runnable queue only when the deadline passes. A zero or past
+// deadline degrades to a plain SubmitTenant. Deferred jobs bypass the queue
+// caps when they fire — they were admitted at submit time, like a requeue —
+// and survive restarts: replay re-arms pending deadlines and requeues
+// past-due ones.
+func (s *Service) SubmitTenantAt(tenant, params string, body []byte, at time.Time) (Job, error) {
 	if at.IsZero() || !at.After(time.Now()) {
-		return s.Submit(params, body)
+		return s.SubmitTenant(tenant, params, body)
 	}
 	if !s.Ready() {
 		return Job{}, ErrDraining
 	}
+	if tenant == "" {
+		tenant = fleet.DefaultTenant
+	}
 	job := &Job{
 		ID:          newJobID(),
+		Tenant:      tenant,
 		Params:      params,
 		Body:        body,
 		BodyBytes:   int64(len(body)),
@@ -377,6 +398,51 @@ func (s *Service) List(offset, limit int) ([]Job, int) {
 		end = total
 	}
 	return all[offset:end], total
+}
+
+// ListTenant returns up to limit of the tenant's jobs starting at offset
+// (submission order within the tenant), along with the tenant's total. An
+// empty tenant matches DefaultTenant (pre-tenancy records were assigned it
+// at replay). limit ≤ 0 means a default page of 100.
+func (s *Service) ListTenant(tenant string, offset, limit int) ([]Job, int) {
+	if tenant == "" {
+		tenant = fleet.DefaultTenant
+	}
+	if limit <= 0 {
+		limit = 100
+	}
+	s.mu.Lock()
+	all := s.store.List()
+	s.mu.Unlock()
+	mine := all[:0:0]
+	for _, j := range all {
+		if j.Tenant == tenant {
+			mine = append(mine, j)
+		}
+	}
+	total := len(mine)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	return mine[offset:end], total
+}
+
+// Counts returns the number of retained jobs per lifecycle state.
+func (s *Service) Counts() map[State]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := make(map[State]int, 5)
+	for _, j := range s.store.List() {
+		counts[j.State]++
+	}
+	return counts
 }
 
 // Cancel stops a job: a queued job is removed from the queue and marked

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"time"
+
+	"phocus/internal/fleet"
 )
 
 // Store is the durable job table: an in-memory map of jobs backed by an
@@ -139,6 +141,11 @@ func Open(dir string, opts StoreOptions) (*Store, ReplayStats, error) {
 	}
 	stats.Corrupt = corrupt
 	for _, j := range s.jobs {
+		if j.Tenant == "" {
+			// Pre-tenancy (v1) record: adopt it into the default tenant so an
+			// upgraded shard keeps serving its old jobs under the new model.
+			j.Tenant = fleet.DefaultTenant
+		}
 		if j.State == StateRunning {
 			j.State = StateQueued
 			j.StartedAt = time.Time{}

@@ -1,0 +1,33 @@
+package obs
+
+import "time"
+
+// Tenant-scoped serving metrics. The tenant label MUST come through a
+// fleet.LabelGuard (or an equivalent cardinality bound) — these helpers
+// record whatever label they are handed.
+
+// RecordTenantRequest counts one admitted tenant-keyed request on the
+// given endpoint ("solve", "jobs", "delta") and its handling latency.
+func RecordTenantRequest(reg *Registry, tenant, endpoint string, elapsed time.Duration) {
+	reg.Counter("phocus_tenant_requests_total", "tenant", tenant, "endpoint", endpoint).Inc()
+	reg.Histogram("phocus_tenant_request_seconds", DefBuckets, "tenant", tenant).Observe(elapsed.Seconds())
+}
+
+// RecordTenantThrottled counts one request rejected (429) by the tenant's
+// admission quota.
+func RecordTenantThrottled(reg *Registry, tenant string) {
+	reg.Counter("phocus_tenant_throttled_total", "tenant", tenant).Inc()
+}
+
+// RecordTenantMisrouted counts one tenant-keyed request that reached a
+// shard that does not own the tenant (answered 421). A nonzero rate means
+// a client or router holds a stale shard map.
+func RecordTenantMisrouted(reg *Registry, tenant string) {
+	reg.Counter("phocus_tenant_misrouted_total", "tenant", tenant).Inc()
+}
+
+// SetTenantsTracked publishes how many tenant quota buckets the shard
+// currently tracks.
+func SetTenantsTracked(reg *Registry, n int) {
+	reg.Gauge("phocus_tenants_tracked").Set(float64(n))
+}

@@ -1,0 +1,250 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — end-to-end smoke test for the sharded fleet: three
+# phocus-server shards behind one phocus-router, all holding the same static
+# shard map.
+#
+# Asserts:
+#
+#   1. every shard and the router stamp X-Phocus-Shard with the same shard-map
+#      fingerprint (shards as "i/3@fp", the router as "fleet/3@fp");
+#   2. routing is deterministic: the same tenant lands on the same shard on
+#      every request, and tenant-0/1/2 spread across all three shards;
+#   3. shards enforce ownership: a tenant's solve answers 200 only on its
+#      owning shard and 421 Misdirected Request on the other two;
+#   4. a solve through the router is byte-identical to the same solve sent
+#      directly to the owning shard (same pinned X-Request-ID; only the
+#      elapsed-time stat is normalized before comparison);
+#   5. GET /jobs on the router merges jobs admitted on different shards into
+#      one chronological listing, each job tagged with its shard;
+#   6. per-tenant quotas hold: a hot tenant hammering the fleet collects 429s
+#      (with Retry-After) while a cold tenant still answers 200;
+#   7. killing one shard degrades fleet reads instead of failing them: the
+#      merged listing answers 200 with "degraded":true and names the dead
+#      shard, /readyz stays 200, tenants owned by live shards still solve —
+#      and the dead shard's tenants get a clean 502.
+#
+# Requires: go toolchain. JSON is picked apart with sed/grep so the script
+# runs on a bare CI image.
+set -euo pipefail
+
+PORT0="${PHOCUS_FLEET_PORT:-18601}"
+PORT1=$((PORT0 + 1))
+PORT2=$((PORT0 + 2))
+RPORT=$((PORT0 + 3))
+S0="http://127.0.0.1:$PORT0"
+S1="http://127.0.0.1:$PORT1"
+S2="http://127.0.0.1:$PORT2"
+ROUTER="http://127.0.0.1:$RPORT"
+PEERS="$S0,$S1,$S2"
+WORKDIR="$(mktemp -d)"
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+shard_url() { # shard_url <index>
+  case "$1" in
+    0) echo "$S0" ;;
+    1) echo "$S1" ;;
+    2) echo "$S2" ;;
+    *) fail "no shard $1" ;;
+  esac
+}
+
+wait_ready() { # wait_ready <base-url>
+  for _ in $(seq 1 100); do
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "$1/readyz" || true)" = 200 ]; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  fail "$1 never became ready"
+}
+
+shard_header() { # shard_header <url> [curl args...] — X-Phocus-Shard of a response
+  local url="$1"
+  shift
+  curl -s -D - -o /dev/null "$@" "$url" | tr -d '\r' \
+    | sed -n 's/^X-Phocus-Shard: //Ip'
+}
+
+echo "==> building phocus-server, phocus-router, phocus-datagen"
+go build -o "$WORKDIR/phocus-server" ./cmd/phocus-server
+go build -o "$WORKDIR/phocus-router" ./cmd/phocus-router
+go build -o "$WORKDIR/phocus-datagen" ./cmd/phocus-datagen
+
+echo "==> starting 3 shards + router on ports $PORT0-$RPORT"
+# -tenant-rate/-tenant-burst sized so the earlier phases never throttle but
+# the 40-request hot-tenant burst below reliably does.
+for i in 0 1 2; do
+  "$WORKDIR/phocus-server" -addr "127.0.0.1:$((PORT0 + i))" \
+    -shard "$i/3" -peers "$PEERS" \
+    -data-dir "$WORKDIR/data$i" -job-workers 2 -queue-depth 16 \
+    -drain-timeout 5s -tenant-rate 10 -tenant-burst 15 \
+    >"$WORKDIR/shard$i.log" 2>&1 &
+  PIDS[i]=$!
+done
+"$WORKDIR/phocus-router" -addr "127.0.0.1:$RPORT" -peers "$PEERS" \
+  -shard-timeout 2s >"$WORKDIR/router.log" 2>&1 &
+PIDS[3]=$!
+for url in "$S0" "$S1" "$S2" "$ROUTER"; do wait_ready "$url"; done
+
+echo "==> shard headers agree on the map fingerprint"
+FP=""
+for i in 0 1 2; do
+  H=$(shard_header "$(shard_url $i)/healthz")
+  case "$H" in
+    "$i/3@"*) ;;
+    *) fail "shard $i stamped X-Phocus-Shard '$H', want '$i/3@<fp>'" ;;
+  esac
+  [ -z "$FP" ] && FP="${H#*@}"
+  [ "${H#*@}" = "$FP" ] || fail "shard $i fingerprint ${H#*@} != $FP"
+done
+RH=$(shard_header "$ROUTER/healthz")
+[ "$RH" = "fleet/3@$FP" ] || fail "router stamped '$RH', want 'fleet/3@$FP'"
+echo "    map fingerprint $FP on every shard and the router"
+
+"$WORKDIR/phocus-datagen" -kind public -photos 40 -seed 7 > "$WORKDIR/inst.json"
+
+owner_of() { # owner_of <tenant> — shard index the router sends this tenant to
+  local h
+  h=$(shard_header "$ROUTER/solve?tau=0.6" -XPOST \
+    -H "X-Phocus-Tenant: $1" --data-binary @"$WORKDIR/inst.json")
+  case "$h" in
+    [0-9]*/3@"$FP") echo "${h%%/*}" ;;
+    *) fail "routed solve for $1 stamped '$h', want '<i>/3@$FP'" ;;
+  esac
+}
+
+echo "==> routing determinism: same tenant, same shard, every time"
+OWNERS=""
+for t in tenant-0 tenant-1 tenant-2 alice; do
+  O1=$(owner_of "$t")
+  O2=$(owner_of "$t")
+  [ "$O1" = "$O2" ] || fail "tenant $t routed to shard $O1 then $O2"
+  OWNERS="$OWNERS $t=$O1"
+done
+echo "    owners:$OWNERS"
+SPREAD=$(for t in tenant-0 tenant-1 tenant-2; do owner_of "$t"; done | sort -u | wc -l)
+[ "$SPREAD" -eq 3 ] || fail "tenant-0/1/2 spread over $SPREAD shards, want 3"
+
+echo "==> ownership enforcement: 200 on the owner, 421 elsewhere"
+ALICE=$(owner_of alice)
+OK=0; MISROUTED=0
+for i in 0 1 2; do
+  CODE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST \
+    -H "X-Phocus-Tenant: alice" --data-binary @"$WORKDIR/inst.json" \
+    "$(shard_url $i)/solve?tau=0.6")
+  if [ "$i" = "$ALICE" ]; then
+    [ "$CODE" = 200 ] || fail "owning shard $i answered $CODE for alice, want 200"
+    OK=$((OK + 1))
+  else
+    [ "$CODE" = 421 ] || fail "shard $i answered $CODE for alice, want 421"
+    MISROUTED=$((MISROUTED + 1))
+  fi
+done
+[ "$OK" -eq 1 ] && [ "$MISROUTED" -eq 2 ] || fail "ownership split $OK/$MISROUTED, want 1/2"
+
+echo "==> routed solve is byte-identical to the direct owning-shard solve"
+REQID="fleet-smoke-$$"
+curl -s -XPOST -H "X-Phocus-Tenant: alice" -H "X-Request-ID: $REQID" \
+  --data-binary @"$WORKDIR/inst.json" "$ROUTER/solve?tau=0.6" > "$WORKDIR/routed.json"
+curl -s -XPOST -H "X-Phocus-Tenant: alice" -H "X-Request-ID: $REQID" \
+  --data-binary @"$WORKDIR/inst.json" "$(shard_url "$ALICE")/solve?tau=0.6" > "$WORKDIR/direct.json"
+# The wall-clock stat is the one legitimately nondeterministic field; zero it
+# on both sides and require everything else — selection, score, fingerprint,
+# request id — to match byte for byte.
+for f in routed direct; do
+  sed 's/"elapsed_ms":[0-9.eE+-]*/"elapsed_ms":0/' \
+    "$WORKDIR/$f.json" > "$WORKDIR/$f.norm.json"
+done
+cmp -s "$WORKDIR/routed.norm.json" "$WORKDIR/direct.norm.json" \
+  || fail "routed and direct solve bodies differ: $(cat "$WORKDIR/routed.json"; echo " vs "; cat "$WORKDIR/direct.json")"
+grep -q "\"request_id\":\"$REQID\"" "$WORKDIR/routed.json" \
+  || fail "routed solve dropped the pinned request id"
+echo "    identical bodies (request id $REQID pinned through the router)"
+
+echo "==> fleet-wide job listing merges shards"
+for t in tenant-0 tenant-1 tenant-2; do
+  CODE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST -H "X-Phocus-Tenant: $t" \
+    --data-binary @"$WORKDIR/inst.json" "$ROUTER/jobs?algo=celf")
+  [ "$CODE" = 202 ] || fail "job submit for $t answered $CODE, want 202"
+done
+for _ in $(seq 1 100); do
+  LIST=$(curl -s "$ROUTER/jobs?limit=50")
+  DONE=$(echo "$LIST" | grep -o '"state":"done"' | wc -l)
+  [ "$DONE" -ge 3 ] && break
+  sleep 0.1
+done
+[ "$DONE" -ge 3 ] || fail "fleet listing never showed 3 done jobs: $LIST"
+TAGGED=$(echo "$LIST" | grep -o '"shard":[0-9]*' | sort -u | wc -l)
+[ "$TAGGED" -eq 3 ] || fail "merged jobs tagged with $TAGGED distinct shards, want 3: $LIST"
+echo "$LIST" | grep -q '"degraded":false' || fail "healthy fleet listing claims degradation: $LIST"
+echo "    3 jobs done across 3 shards in one listing"
+
+echo "==> hot tenant throttled, cold tenant unharmed"
+HOT=0; THROTTLED=0; RETRY=""
+for _ in $(seq 1 40); do
+  CODE=$(curl -s -D "$WORKDIR/hot.hdr" -o /dev/null -w '%{http_code}' -XPOST \
+    -H "X-Phocus-Tenant: hog" \
+    --data-binary @"$WORKDIR/inst.json" "$ROUTER/solve?tau=0.6")
+  case "$CODE" in
+    200) HOT=$((HOT + 1)) ;;
+    429)
+      THROTTLED=$((THROTTLED + 1))
+      [ -n "$RETRY" ] || RETRY=$(tr -d '\r' < "$WORKDIR/hot.hdr" | sed -n 's/^Retry-After: //Ip')
+      ;;
+    *) fail "hot-tenant solve answered $CODE, want 200 or 429" ;;
+  esac
+done
+[ "$HOT" -ge 1 ] || fail "hot tenant never got a single 200"
+[ "$THROTTLED" -ge 1 ] || fail "40 rapid requests never tripped the tenant quota (rate 10, burst 15)"
+[ -n "$RETRY" ] || fail "throttled responses carried no Retry-After"
+COLD=$(curl -s -o /dev/null -w '%{http_code}' -XPOST -H "X-Phocus-Tenant: alice" \
+  --data-binary @"$WORKDIR/inst.json" "$ROUTER/solve?tau=0.6")
+[ "$COLD" = 200 ] || fail "cold tenant answered $COLD during the hot burst, want 200"
+TOTAL_THROTTLED=0
+for i in 0 1 2; do
+  N=$(curl -s "$(shard_url $i)/metrics" \
+    | awk '/^phocus_tenant_throttled_total/ { sum += $2 } END { print sum + 0 }')
+  TOTAL_THROTTLED=$((TOTAL_THROTTLED + N))
+done
+[ "$TOTAL_THROTTLED" -ge 1 ] || fail "no shard counted a throttled tenant request"
+echo "    hot tenant: $HOT admitted, $THROTTLED throttled (Retry-After $RETRY); cold tenant clean"
+
+echo "==> one shard down: reads degrade, live tenants keep solving"
+DEAD=$(owner_of tenant-0)
+kill -9 "${PIDS[$DEAD]}" 2>/dev/null || true
+wait "${PIDS[$DEAD]}" 2>/dev/null || true
+LIST=$(curl -s -o "$WORKDIR/degraded.json" -w '%{http_code}' "$ROUTER/jobs?limit=50")
+[ "$LIST" = 200 ] || fail "degraded fleet listing answered $LIST, want 200"
+grep -q '"degraded":true' "$WORKDIR/degraded.json" \
+  || fail "listing with shard $DEAD down not flagged degraded: $(cat "$WORKDIR/degraded.json")"
+grep -q "\"failed\":\[$DEAD\]" "$WORKDIR/degraded.json" \
+  || fail "listing did not name dead shard $DEAD: $(cat "$WORKDIR/degraded.json")"
+[ "$(curl -s -o /dev/null -w '%{http_code}' "$ROUTER/readyz")" = 200 ] \
+  || fail "router readyz dropped with 2/3 shards alive"
+# tenant-0 is owned by the dead shard; any tenant owned by a live shard must
+# still route cleanly while the dead tenant's writes fail fast with 502.
+for t in tenant-1 tenant-2 alice; do
+  O=""
+  for o in 0 1 2; do
+    [ "$o" != "$DEAD" ] || continue
+    case " $OWNERS " in *" $t=$o "*) O=$o ;; esac
+  done
+  [ -n "$O" ] || continue
+  CODE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST -H "X-Phocus-Tenant: $t" \
+    --data-binary @"$WORKDIR/inst.json" "$ROUTER/solve?tau=0.6")
+  [ "$CODE" = 200 ] || fail "live tenant $t answered $CODE with shard $DEAD down"
+done
+DEADCODE=$(curl -s -o /dev/null -w '%{http_code}' -XPOST -H "X-Phocus-Tenant: tenant-0" \
+  --data-binary @"$WORKDIR/inst.json" "$ROUTER/solve?tau=0.6")
+[ "$DEADCODE" = 502 ] || fail "dead-shard tenant answered $DEADCODE, want 502"
+echo "    shard $DEAD down: listing degraded, readyz 200, live tenants 200, dead tenant 502"
+
+echo "PASS: fleet routing deterministic, ownership enforced, routed solve byte-identical, listings merge and degrade, quotas isolate tenants"
